@@ -1,0 +1,20 @@
+# Convenience targets for the reproduction package.
+
+.PHONY: install test bench report examples all
+
+install:
+	pip install -e . || python setup.py develop
+
+test:
+	pytest tests/
+
+bench:
+	pytest benchmarks/ --benchmark-only
+
+report:
+	python -m repro report --out REPORT.md
+
+examples:
+	for f in examples/*.py; do echo "== $$f"; python $$f > /dev/null || exit 1; done
+
+all: test bench examples

@@ -1,0 +1,29 @@
+"""Shared configuration for the benchmark suite.
+
+Every bench regenerates one table or figure of the paper (see DESIGN.md's
+per-experiment index), prints the reproduced rows/series, and asserts the
+paper's *shape* claims (who wins, by roughly what factor, where crossovers
+fall).  Run with::
+
+    pytest benchmarks/ --benchmark-only
+
+Benches use ``benchmark.pedantic(..., rounds=1)``: each experiment is a
+deterministic simulation; timing it once is enough and keeps the suite fast.
+"""
+
+import pytest
+
+
+def run_once(benchmark, fn, *args, **kwargs):
+    """Time *fn* exactly once and return its result."""
+    return benchmark.pedantic(fn, args=args, kwargs=kwargs, rounds=1, iterations=1)
+
+
+@pytest.fixture()
+def once(benchmark):
+    """Fixture form of :func:`run_once`."""
+
+    def runner(fn, *args, **kwargs):
+        return run_once(benchmark, fn, *args, **kwargs)
+
+    return runner

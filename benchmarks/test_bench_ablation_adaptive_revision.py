@@ -1,0 +1,103 @@
+"""Section 4 ablation: one-shot decisions vs periodic revision.
+
+The paper's prescription for imprecise estimates is to keep "revisiting the
+workload management decisions periodically if the inaccuracies of the model
+have resulted in suboptimal decisions".  This bench quantifies that advice
+on the maintenance problem under a severe Assumption 2 violation: every
+query *underreports* its remaining cost by a factor.
+
+Policies compared (same workloads, same deadline = 0.7 t_finish):
+
+* one-shot multi-query-PI plan (operation O2' only), and
+* the adaptive manager, which starts from the same wrong plan but
+  re-projects every few seconds and aborts more as reality surfaces.
+
+Shape claims: with accurate estimates the two coincide; as underreporting
+grows, the one-shot plan increasingly misses the deadline (stragglers
+killed at the deadline after consuming capacity) while the adaptive manager
+recovers most of the difference.
+"""
+
+import random
+
+from repro.core.metrics import mean
+from repro.experiments.reporting import format_table
+from repro.sim.jobs import CostNoiseJob, SyntheticJob
+from repro.sim.rdbms import SimulatedRDBMS
+from repro.wm.manager import run_adaptive_maintenance
+from repro.wm.policies import decide_multi_pi, execute_policy
+
+UNDERREPORT = (1.0, 0.7, 0.5)  # estimate = factor * true remaining
+RUNS = 8
+DEADLINE_FRACTION = 0.7
+
+
+def _workload(seed):
+    rng = random.Random(seed)
+    costs = [rng.uniform(20, 200) for _ in range(8)]
+    return costs
+
+
+def _build(costs, factor):
+    db = SimulatedRDBMS(processing_rate=1.0)
+    total = {}
+    for i, cost in enumerate(costs):
+        job = SyntheticJob(f"Q{i}", cost)
+        if factor != 1.0:
+            job = CostNoiseJob(job, factor)
+        db.submit(job)
+        total[f"Q{i}"] = cost
+    return db, total
+
+
+def _one_shot_uw(costs, factor, deadline):
+    db, totals = _build(costs, factor)
+    outcome = execute_policy(db, decide_multi_pi, deadline, total_costs=totals)
+    return outcome.unfinished_fraction
+
+
+def _adaptive_uw(costs, factor, deadline):
+    db, totals = _build(costs, factor)
+    db.drain(True)
+    manager = run_adaptive_maintenance(db, deadline=deadline, check_interval=2.0)
+    lost = sum(totals[qid] for qid in manager.total_aborted if qid in totals)
+    return lost / sum(totals.values())
+
+
+def test_adaptive_revision_recovers_from_bad_estimates(once):
+    def run_all():
+        rows = []
+        for factor in UNDERREPORT:
+            one_shot, adaptive = [], []
+            for r in range(RUNS):
+                costs = _workload(100 + r)
+                deadline = DEADLINE_FRACTION * sum(costs)
+                one_shot.append(_one_shot_uw(costs, factor, deadline))
+                adaptive.append(_adaptive_uw(costs, factor, deadline))
+            rows.append((factor, mean(one_shot), mean(adaptive)))
+        return rows
+
+    rows = once(run_all)
+    print()
+    print(
+        "One-shot vs adaptive revision (mean UW/TW, deadline = "
+        f"{DEADLINE_FRACTION} t_finish):"
+    )
+    print(
+        format_table(
+            ["estimate factor", "one-shot plan", "adaptive manager"], rows
+        )
+    )
+
+    by_factor = {r[0]: r for r in rows}
+    # Accurate estimates: both lose the same (the greedy optimum).
+    assert by_factor[1.0][1] == by_factor[1.0][2]
+    # Under underreporting, revision strictly helps at every noise level.
+    # (The *gap* is not monotone: with severe noise the adaptive manager
+    # also wastes capacity before the truth surfaces, so both degrade.)
+    assert by_factor[0.7][2] < by_factor[0.7][1]
+    assert by_factor[0.5][2] < by_factor[0.5][1]
+    # Revision recovers a substantial share of the one-shot loss.
+    for factor in (0.7, 0.5):
+        recovered = by_factor[factor][1] - by_factor[factor][2]
+        assert recovered > 0.1

@@ -1,0 +1,81 @@
+"""Design ablation: the forecast horizon of the multi-query PI.
+
+DESIGN.md calls out the drain-relative forecast horizon
+(``horizon_drain_factor``) as a design choice: it bounds estimates when the
+forecast rate exceeds capacity.  This bench sweeps the factor and shows
+(i) in the stable regime the choice barely matters, and (ii) with an
+overloaded (wrong) forecast an unbounded horizon destroys the estimate
+while a bounded one degrades gracefully -- the behaviour Figures 8-10 need.
+"""
+
+import math
+
+from repro.core.forecast import WorkloadForecast
+from repro.core.metrics import mean
+from repro.core.multi_query import MultiQueryProgressIndicator
+from repro.experiments.reporting import format_table
+from repro.experiments.scq import (
+    SCQConfig,
+    mean_arrival_cost,
+    simulate_scq_run,
+)
+from repro.core.metrics import relative_error
+
+FACTORS = (1.0, 3.0, 6.0, None)  # None = unbounded horizon
+
+
+def _errors_for_factor(runs, forecast, factor):
+    errs = []
+    for run in runs:
+        pi = MultiQueryProgressIndicator(
+            forecast=forecast, horizon_drain_factor=factor
+        )
+        estimate = pi.estimate(run.snapshot0)
+        for qid in run.initial_ids:
+            errs.append(
+                relative_error(estimate.for_query(qid), run.actual_finish[qid])
+            )
+    return mean(errs)
+
+
+def test_forecast_horizon_ablation(once):
+    config = SCQConfig(runs=8, seed=21)
+    c_bar = mean_arrival_cost(config)
+
+    def run_all():
+        stable_runs = [
+            simulate_scq_run(config, 0.03, seed=config.seed + r)
+            for r in range(config.runs)
+        ]
+        stable_forecast = WorkloadForecast(arrival_rate=0.03, average_cost=c_bar)
+        overload_forecast = WorkloadForecast(arrival_rate=0.2, average_cost=c_bar)
+        rows = []
+        for factor in FACTORS:
+            rows.append(
+                (
+                    "inf" if factor is None else factor,
+                    _errors_for_factor(stable_runs, stable_forecast, factor),
+                    _errors_for_factor(stable_runs, overload_forecast, factor),
+                )
+            )
+        return rows
+
+    rows = once(run_all)
+    print()
+    print("Forecast-horizon ablation (avg relative error, true lambda=0.03):")
+    print(
+        format_table(
+            ["horizon factor", "correct forecast", "overload forecast (l'=0.2)"],
+            rows,
+        )
+    )
+
+    by_factor = {r[0]: r for r in rows}
+    # Stable regime: all bounded factors land in the same small-error band.
+    stable_errors = [r[1] for r in rows]
+    assert max(stable_errors) < 0.35
+
+    # With an overloaded forecast, the unbounded horizon is far worse than
+    # a drain-relative bound.
+    assert by_factor["inf"][2] > 2.0 * by_factor[3.0][2]
+    assert math.isfinite(by_factor["inf"][2])

@@ -1,0 +1,72 @@
+"""Paper Section 4.3: algorithmic complexity of the PI/WM algorithms.
+
+The paper claims ``O(n log n)`` time for the standard-case estimation and
+victim-selection algorithms, arguing the cost is negligible because "the
+effective n ... is likely to be small".  This bench measures runtime across
+``n`` spanning three orders of magnitude and asserts near-linearithmic
+scaling: time(n=8000)/time(n=1000) stays far below the quadratic ratio.
+"""
+
+import random
+import time
+
+from repro.core.model import QuerySnapshot
+from repro.core.standard_case import standard_case
+from repro.experiments.reporting import format_table
+from repro.wm.multi_speedup import choose_victim_for_all
+from repro.wm.speedup import choose_victim
+
+SIZES = (250, 1000, 4000, 8000)
+
+
+def _workload(n, seed=0):
+    rng = random.Random(seed)
+    return [
+        QuerySnapshot(
+            f"q{i}", rng.uniform(1, 1000), weight=rng.choice([1.0, 2.0, 4.0])
+        )
+        for i in range(n)
+    ]
+
+
+def _time(fn, *args, repeats: int = 3) -> float:
+    """Best-of-N wall time: robust against GC pauses and scheduler noise."""
+    best = float("inf")
+    for _ in range(repeats):
+        start = time.perf_counter()
+        fn(*args)
+        best = min(best, time.perf_counter() - start)
+    return best
+
+
+def test_algorithm_scaling(once):
+    def run_all():
+        rows = []
+        for n in SIZES:
+            queries = _workload(n)
+            t_std = _time(standard_case, queries, 1.0, False)
+            t_victim = _time(choose_victim, queries, "q0", 1.0)
+            t_multi = _time(choose_victim_for_all, queries, 1.0)
+            rows.append((n, t_std * 1e3, t_victim * 1e3, t_multi * 1e3))
+        return rows
+
+    rows = once(run_all)
+    print()
+    print("Section 4.3 -- algorithm runtime (milliseconds):")
+    print(
+        format_table(
+            ["n", "standard_case", "choose_victim", "victim_for_all"],
+            rows,
+        )
+    )
+
+    by_n = {r[0]: r for r in rows}
+    growth = 8000 / 1000  # 8x input
+    quadratic = growth**2  # 64x
+    for col in (1, 2, 3):
+        base = max(by_n[1000][col], 1e-3)
+        ratio = by_n[8000][col] / base
+        # Allow generous constant-factor noise; must stay far below n^2.
+        assert ratio < quadratic / 2, (
+            f"column {col} scaled {ratio:.1f}x for 8x input"
+        )

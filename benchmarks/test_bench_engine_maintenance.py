@@ -1,0 +1,58 @@
+"""Prototype-fidelity maintenance: Figure 11's comparison on real SQL.
+
+The synthetic Figure 11 bench grants Assumption 2 (exact remaining costs).
+Here the three policies decide from the *executors' refined estimates*
+(~10-25% error) while lost work is accounted against ground truth learned
+from oracle runs.
+
+Shape claims: averaged over workloads, the multi-query-PI method loses the
+least work among the executable methods for deadlines below t_finish --
+the paper's headline -- while estimate error now produces the "occasionally
+worse" cases the paper acknowledges (visible at t = t_finish, where any
+abort is unnecessary and the no-PI method trivially wins).
+"""
+
+from repro.core.metrics import mean
+from repro.experiments.engine_mode import EngineMCQConfig, run_engine_maintenance
+from repro.experiments.reporting import format_table
+
+FRACTIONS = (0.4, 0.6, 0.8, 1.0)
+SEEDS = range(11, 17)
+
+
+def test_engine_mode_maintenance(once):
+    def run_all():
+        table = {}
+        for frac in FRACTIONS:
+            agg: dict[str, list[float]] = {}
+            for seed in SEEDS:
+                result = run_engine_maintenance(
+                    EngineMCQConfig(seed=seed), deadline_fraction=frac
+                )
+                for method, uw in result.fractions.items():
+                    agg.setdefault(method, []).append(uw)
+            table[frac] = {m: mean(v) for m, v in agg.items()}
+        return table
+
+    table = once(run_all)
+    print()
+    print("Engine-mode maintenance -- mean UW/TW (estimates imprecise):")
+    methods = list(next(iter(table.values())).keys())
+    print(
+        format_table(
+            ["t/t_finish"] + methods,
+            [[frac] + [table[frac][m] for m in methods] for frac in FRACTIONS],
+        )
+    )
+
+    for frac in FRACTIONS:
+        row = table[frac]
+        # Multi-query PI beats the single-query PI at every deadline.
+        assert row["multi-query PI"] < row["single-query PI"]
+        if frac < 1.0:
+            # ...and beats no-PI whenever aborting is actually useful.
+            assert row["multi-query PI"] < row["no PI"]
+    # At t = t_finish the no-PI method is trivially optimal; the estimate
+    # error costs the PI methods something -- the paper's "occasionally
+    # performs worse" regime.  It must stay bounded.
+    assert table[1.0]["multi-query PI"] < 0.6

@@ -1,0 +1,46 @@
+"""Engine throughput: a genuine timing benchmark (not a figure).
+
+Times the paper's correlated-subquery query, a hash-join aggregate and a
+full scan on the scaled TPC-R data.  pytest-benchmark runs these multiple
+rounds; they guard against performance regressions in the executor and
+confirm the engine is fast enough for the experiment suite (the other
+benches run whole simulations on top of it).
+"""
+
+import pytest
+
+from repro.workload.queries import join_query, paper_query, scan_query
+from repro.workload.tpcr import TpcrConfig, generate
+
+
+@pytest.fixture(scope="module")
+def dataset():
+    return generate(TpcrConfig(scale=1 / 2000, seed=1), part_sizes={1: 5})
+
+
+def test_throughput_paper_query(benchmark, dataset):
+    rows = benchmark(dataset.db.query, paper_query(1))
+    assert 0 < len(rows) <= 50
+
+
+def test_throughput_join_aggregate(benchmark, dataset):
+    rows = benchmark(dataset.db.query, join_query(1))
+    assert len(rows) <= 10
+
+
+def test_throughput_full_scan(benchmark, dataset):
+    rows = benchmark(
+        dataset.db.query, "SELECT count(*), sum(quantity) FROM lineitem"
+    )
+    assert rows[0][0] == 12_000
+
+
+def test_throughput_steppable_execution(benchmark, dataset):
+    def stepped():
+        ex = dataset.db.prepare(paper_query(1))
+        while not ex.finished:
+            ex.step(10.0)
+        return ex
+
+    ex = benchmark(stepped)
+    assert ex.work_done > 0

@@ -1,0 +1,27 @@
+"""Paper Figure 1: standard-case stage execution of n=4 queries.
+
+Four equal-priority queries run under fair sharing; at the end of stage i
+query Q_i finishes.  The bench renders the Gantt rows and asserts the stage
+structure (finish order, durations, speed-ups between stages).
+"""
+
+import pytest
+
+from repro.experiments.stages import figure1
+
+
+def test_fig1_stage_schedule(once):
+    fig = once(figure1, (10.0, 20.0, 30.0, 40.0), 1.0)
+    print()
+    print("Figure 1 -- standard case, n=4 equal-priority queries:")
+    print(fig.render())
+
+    result = fig.result
+    assert result.finish_order == ("Q1", "Q2", "Q3", "Q4")
+    assert fig.stage_durations() == pytest.approx([40.0, 30.0, 20.0, 10.0])
+    assert result.remaining_times == pytest.approx(
+        {"Q1": 40.0, "Q2": 70.0, "Q3": 90.0, "Q4": 100.0}
+    )
+    # Speeds rise as queries depart: 1/4, 1/3, 1/2, 1 of C for Q4.
+    q4_speeds = [s.speeds["Q4"] for s in result.stages]
+    assert q4_speeds == pytest.approx([0.25, 1 / 3, 0.5, 1.0])

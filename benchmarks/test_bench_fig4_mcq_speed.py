@@ -1,0 +1,31 @@
+"""Paper Figure 4: the focus query's execution speed over time (MCQ).
+
+As concurrent queries finish, the focus query's speed rises steadily --
+"by almost a factor of five" in the paper's run; the exact factor depends
+on the Zipf draw, so the bench asserts a several-fold monotone increase
+ending at the full processing rate.
+"""
+
+import pytest
+
+from repro.experiments.mcq import MCQConfig, run_mcq
+from repro.experiments.reporting import format_series, sparkline
+
+
+def test_fig4_mcq_execution_speed(once):
+    config = MCQConfig(seed=3)
+    result = once(run_mcq, config)
+    print()
+    print(f"Figure 4 -- execution speed of {result.focus_query} (U/s)")
+    print(format_series("speed", result.speed, precision=2))
+    print("shape:", sparkline([v for _, v in result.speed]))
+
+    speeds = [v for _, v in result.speed]
+    # Monotone non-decreasing under fair sharing with departures only.
+    assert all(b >= a - 1e-9 for a, b in zip(speeds, speeds[1:]))
+    # Several-fold speed-up across the run (paper: ~5x).
+    assert result.speedup_factor() >= 2.0
+    # The last survivor ends up with the whole machine.
+    assert speeds[-1] == pytest.approx(config.processing_rate)
+    # It started with roughly a 1/n share.
+    assert speeds[0] <= config.processing_rate / 2

@@ -1,0 +1,51 @@
+"""Paper Figure 5: the Non-empty Admission Queue experiment.
+
+Three queries (N = 50, 10, 20) under an MPL of 2: Q3 waits for Q2.  Only
+the queue-aware multi-query PI predicts Q1's remaining time correctly from
+the start; the queue-blind variant underestimates until Q3 is admitted and
+the single-query PI overestimates until Q2 finishes.
+"""
+
+import pytest
+
+from repro.experiments.harness import (
+    MULTI_QUERY,
+    MULTI_QUERY_NO_QUEUE,
+    SINGLE_QUERY,
+)
+from repro.experiments.naq import NAQConfig, run_naq
+from repro.experiments.reporting import format_series
+
+
+def test_fig5_naq_estimates(once):
+    result = once(run_naq, NAQConfig())
+    print()
+    print(
+        f"Figure 5 -- Q1 remaining-time estimates; Q3 starts at "
+        f"t={result.q3_start:.0f}, Q3 finishes at t={result.q3_finish:.0f}, "
+        f"Q1 finishes at t={result.q1_finish:.0f}"
+    )
+    for name in (SINGLE_QUERY, MULTI_QUERY_NO_QUEUE, MULTI_QUERY):
+        print(format_series(name, result.estimates[name]))
+
+    # Paper timeline shape: Q2 done (97s) -> Q3 done (291s) -> Q1 (~400s).
+    assert result.q3_start < result.q3_finish < result.q1_finish
+
+    # Queue-aware estimate is exact throughout.
+    assert result.mean_abs_error(MULTI_QUERY) == pytest.approx(0.0, abs=1e-6)
+
+    # Before Q3 starts: queue-blind underestimates, single overestimates.
+    horizon = result.q3_start - 1e-9
+    for t, v in result.estimates[MULTI_QUERY_NO_QUEUE]:
+        if t < horizon:
+            assert v < result.q1_finish - t
+    for t, v in result.estimates[SINGLE_QUERY]:
+        if t < horizon:
+            assert v > result.q1_finish - t
+
+    # Queue awareness wins by a wide margin before Q3 is admitted.
+    aware = result.mean_abs_error(MULTI_QUERY, until=horizon)
+    blind = result.mean_abs_error(MULTI_QUERY_NO_QUEUE, until=horizon)
+    single = result.mean_abs_error(SINGLE_QUERY, until=horizon)
+    assert aware < 0.1 * blind
+    assert aware < 0.1 * single

@@ -1,0 +1,46 @@
+"""Paper Figure 6: SCQ relative error vs arrival rate, last-finishing query.
+
+Ten initial queries plus a Poisson(lambda) stream (Zipf 2.2 sizes); the
+multi-query PI knows the exact lambda and average cost.  Shape claims:
+multi beats single in the stable regime (lambda below the ~0.07 saturation
+point), single's error *decreases* with lambda (its constant-load
+assumption becomes truer), multi's error *increases*, and past saturation
+both are large and comparable.
+"""
+
+from repro.experiments.reporting import format_table
+from repro.experiments.scq import SCQConfig, run_scq_sweep
+
+LAMBDAS = (0.0, 0.02, 0.04, 0.06, 0.1, 0.15, 0.2)
+
+
+def test_fig6_scq_relative_error_last_finishing(once):
+    config = SCQConfig(runs=12, seed=42)
+    sweep = once(run_scq_sweep, config, LAMBDAS)
+    print()
+    print("Figure 6 -- relative error of the last-finishing query's estimate:")
+    print(
+        format_table(
+            ["lambda", "single-query", "multi-query"],
+            [(p.lam, p.single_last, p.multi_last) for p in sweep.points],
+        )
+    )
+
+    by_lam = {p.lam: p for p in sweep.points}
+
+    # Stable regime: multi wins, by a lot at low lambda.
+    for lam in (0.0, 0.02, 0.04, 0.06):
+        assert by_lam[lam].multi_last < by_lam[lam].single_last
+    assert by_lam[0.0].multi_last < 0.2 * by_lam[0.0].single_last
+
+    # Single-query error decreases as lambda approaches saturation.
+    singles = [by_lam[lam].single_last for lam in (0.0, 0.02, 0.04, 0.06)]
+    assert singles == sorted(singles, reverse=True)
+
+    # Multi-query error grows with lambda.
+    assert by_lam[0.06].multi_last > by_lam[0.0].multi_last
+
+    # Past saturation both estimators are in the same (large-error) regime.
+    for lam in (0.15, 0.2):
+        ratio = by_lam[lam].multi_last / max(by_lam[lam].single_last, 1e-9)
+        assert 0.2 < ratio < 5.0

@@ -1,0 +1,39 @@
+"""Paper Figure 7: SCQ average relative error vs arrival rate (all ten).
+
+Same sweep as Figure 6, averaged over the ten initial queries.  Additional
+paper claim checked here: the last-finishing query's error dominates the
+average (it suffers the largest and most random influence from arrivals).
+"""
+
+from repro.experiments.reporting import format_table
+from repro.experiments.scq import SCQConfig, run_scq_sweep
+
+LAMBDAS = (0.0, 0.02, 0.04, 0.06, 0.1, 0.15, 0.2)
+
+
+def test_fig7_scq_average_relative_error(once):
+    config = SCQConfig(runs=12, seed=43)
+    sweep = once(run_scq_sweep, config, LAMBDAS)
+    print()
+    print("Figure 7 -- average relative error over all ten initial queries:")
+    print(
+        format_table(
+            ["lambda", "single-query", "multi-query"],
+            [(p.lam, p.single_avg, p.multi_avg) for p in sweep.points],
+        )
+    )
+
+    by_lam = {p.lam: p for p in sweep.points}
+
+    # Stable regime: multi-query wins on average too.
+    for lam in (0.0, 0.02, 0.04, 0.06):
+        assert by_lam[lam].multi_avg < by_lam[lam].single_avg
+
+    # The average error is below the last-finishing query's error
+    # (paper: the last finisher gets the largest, most random influence).
+    for p in sweep.points:
+        assert p.single_avg <= p.single_last + 1e-9
+        assert p.multi_avg <= p.multi_last + 1e-9
+
+    # Stable-case multi error stays small in absolute terms.
+    assert by_lam[0.02].multi_avg < 0.2

@@ -1,0 +1,45 @@
+"""Paper Figure 8: multi-query PI fed a wrong rate lambda' (last finisher).
+
+The true rate is lambda = 0.03; the PI's estimate uses lambda' swept from 0
+to 0.2.  The single-query error is flat across the sweep by construction.
+Multi-query error grows with |lambda' - lambda| but moderate misestimates
+still beat the single-query PI ("even somewhat inaccurate information about
+the future is better than no information").
+"""
+
+from repro.experiments.reporting import format_table
+from repro.experiments.scq import SCQConfig, run_lambda_sensitivity
+
+LAMBDA_PRIMES = (0.0, 0.01, 0.03, 0.05, 0.08, 0.12, 0.2)
+
+
+def test_fig8_wrong_lambda_last_finishing(once):
+    config = SCQConfig(runs=12, seed=44)
+    sweep = once(run_lambda_sensitivity, config, 0.03, LAMBDA_PRIMES)
+    print()
+    print("Figure 8 -- relative error (last finisher), true lambda = 0.03:")
+    print(
+        format_table(
+            ["lambda'", "single-query", "multi-query"],
+            [(p.lam, p.single_last, p.multi_last) for p in sweep.points],
+        )
+    )
+
+    by_lp = {p.lam: p for p in sweep.points}
+
+    # Single-query error is identical across lambda' (same runs).
+    singles = [p.single_last for p in sweep.points]
+    assert max(singles) - min(singles) < 1e-9
+
+    # Error grows monotonically for lambda' at/above the truth.
+    assert (
+        by_lp[0.03].multi_last
+        <= by_lp[0.05].multi_last
+        <= by_lp[0.08].multi_last
+        <= by_lp[0.12].multi_last
+        <= by_lp[0.2].multi_last
+    )
+
+    # Near-correct lambda' beats the single-query PI.
+    for lp in (0.0, 0.01, 0.03, 0.05):
+        assert by_lp[lp].multi_last < by_lp[lp].single_last

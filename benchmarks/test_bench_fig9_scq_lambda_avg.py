@@ -1,0 +1,40 @@
+"""Paper Figure 9: wrong lambda', averaged over all ten initial queries.
+
+Same sweep as Figure 8 with the Figure 7 aggregation.  The paper's summary
+claim -- the multi-query estimate beats the single-query one unless lambda'
+is *several times* larger than the truth -- is asserted on the average.
+"""
+
+from repro.experiments.reporting import format_table
+from repro.experiments.scq import SCQConfig, run_lambda_sensitivity
+
+LAMBDA_PRIMES = (0.0, 0.01, 0.03, 0.05, 0.08, 0.12, 0.2)
+
+
+def test_fig9_wrong_lambda_average(once):
+    config = SCQConfig(runs=12, seed=45)
+    sweep = once(run_lambda_sensitivity, config, 0.03, LAMBDA_PRIMES)
+    print()
+    print("Figure 9 -- average relative error, true lambda = 0.03:")
+    print(
+        format_table(
+            ["lambda'", "single-query", "multi-query"],
+            [(p.lam, p.single_avg, p.multi_avg) for p in sweep.points],
+        )
+    )
+
+    by_lp = {p.lam: p for p in sweep.points}
+
+    # Multi beats single for lambda' up to ~3x the truth (paper: ~5x).
+    for lp in (0.0, 0.01, 0.03, 0.05, 0.08):
+        assert by_lp[lp].multi_avg < by_lp[lp].single_avg
+
+    # A grossly wrong forecast eventually loses.
+    assert by_lp[0.2].multi_avg > by_lp[0.03].multi_avg
+
+    # Error is monotone in the deviation above the truth.
+    assert (
+        by_lp[0.03].multi_avg
+        <= by_lp[0.08].multi_avg
+        <= by_lp[0.2].multi_avg
+    )

@@ -1,0 +1,32 @@
+"""Paper Table 1: the test data set (scaled reproduction).
+
+Regenerates the lineitem / part_i tables and checks the structural ratios
+the experiments rely on: part tables hold ``10 * N_i`` distinct-key tuples
+and each part tuple matches ~30 lineitem tuples.
+"""
+
+from repro.experiments.tables import build_table1
+from repro.workload.tpcr import TpcrConfig
+
+
+def test_table1_dataset(once):
+    result = once(build_table1, TpcrConfig(scale=1 / 2000, seed=1), {1: 5, 2: 2, 3: 3})
+    print()
+    print("Table 1 (scale = 1/2000 of the paper's 24M-row lineitem):")
+    print(result.render())
+
+    rows = {r.table: r for r in result.rows}
+    assert rows["lineitem"].tuples == 12_000
+    assert rows["part_1"].tuples == 50  # 10 * N_1
+    assert rows["part_2"].tuples == 20
+    assert rows["part_3"].tuples == 30
+
+    # ~30 lineitem matches per part tuple (paper Section 5.1).
+    db = result.dataset.db
+    matches = db.query(
+        "SELECT count(*) FROM part_1 p JOIN lineitem l ON l.partkey = p.partkey"
+    )[0][0]
+    assert abs(matches / rows["part_1"].tuples - 30) < 1
+
+    # The index on lineitem.partkey exists, as in the paper.
+    assert db.catalog.table("lineitem").index_on("partkey") is not None

@@ -1,0 +1,65 @@
+#!/usr/bin/env python3
+"""Scheduled-maintenance planning with a multi-query PI (paper Section 3.3).
+
+Maintenance is scheduled t seconds from now; new queries are already being
+rejected (operation O1).  Which running queries should be aborted *now* so
+the system drains in time with minimal lost work?
+
+The script compares, on one workload:
+  * the no-PI policy (let everything run, kill stragglers at the deadline),
+  * the single-query-PI policy (abort largest remaining cost while anyone
+    is predicted -- under constant load -- to miss the deadline),
+  * the multi-query-PI greedy knapsack plan (Section 3.3), and
+  * the theoretical limit (exact knapsack on true costs).
+
+Run:  python examples/maintenance_planner.py [deadline_fraction]
+"""
+
+import random
+import sys
+
+from repro.experiments.maintenance import MaintenanceConfig, run_one
+from repro.experiments.maintenance import (
+    MULTI_PI,
+    NO_PI,
+    SINGLE_PI,
+    THEORETICAL,
+    sample_running_queries,
+    t_finish_of,
+)
+from repro.wm.maintenance import LostWorkCase, plan_maintenance
+
+
+def main() -> None:
+    fraction = float(sys.argv[1]) if len(sys.argv) > 1 else 0.6
+    config = MaintenanceConfig(seed=99)
+    rng = random.Random(config.seed)
+    queries = sample_running_queries(config, rng)
+    t_finish = t_finish_of(queries, config.processing_rate)
+    deadline = fraction * t_finish
+
+    print(f"Workload: {len(queries)} running queries, "
+          f"t_finish = {t_finish:.0f}s, deadline = {deadline:.0f}s "
+          f"({fraction:.0%} of t_finish)\n")
+    print(f"{'query':<6} {'total cost':>10} {'done':>8} {'remaining':>10}")
+    for q in queries:
+        print(f"{q.query_id:<6} {q.total_cost:>10.0f} "
+              f"{q.completed_work:>8.0f} {q.remaining_cost:>10.0f}")
+
+    plan = plan_maintenance(
+        queries, deadline, config.processing_rate, LostWorkCase.TOTAL_COST
+    )
+    print(f"\nMulti-query-PI plan: abort {list(plan.aborts) or 'nothing'}")
+    print(f"  projected drain time: {plan.projected_quiescent_time:.0f}s "
+          f"(deadline {deadline:.0f}s)")
+    print(f"  lost work: {plan.lost_work:.0f} U of {plan.total_work:.0f} U "
+          f"({plan.unfinished_fraction:.0%})")
+
+    print("\nRealised unfinished work UW/TW by policy (simulated):")
+    for method in (NO_PI, SINGLE_PI, MULTI_PI, THEORETICAL):
+        uw = run_one(queries, deadline, config, method)
+        print(f"  {method:<18} {uw:6.1%}")
+
+
+if __name__ == "__main__":
+    main()

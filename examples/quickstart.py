@@ -1,0 +1,52 @@
+#!/usr/bin/env python3
+"""Quickstart: a multi-query progress indicator in a dozen lines.
+
+Three queries share a simulated RDBMS.  At t = 0 we ask both PIs how long
+the big query will take; then we run the simulation and compare against
+what actually happened -- the single-query PI assumes the current load
+lasts forever, the multi-query PI knows the small queries will finish and
+free up capacity.
+
+Run:  python examples/quickstart.py
+"""
+
+from repro.core.multi_query import MultiQueryProgressIndicator
+from repro.sim.jobs import SyntheticJob
+from repro.sim.rdbms import SimulatedRDBMS
+
+
+def main() -> None:
+    # An RDBMS processing 10 units of work per second (Assumption 1).
+    rdbms = SimulatedRDBMS(processing_rate=10.0)
+
+    # Three concurrent queries: costs in U's (pages of work).
+    rdbms.submit(SyntheticJob("small-1", cost=100))
+    rdbms.submit(SyntheticJob("small-2", cost=200))
+    rdbms.submit(SyntheticJob("big", cost=900))
+
+    # --- single-query PI: remaining cost / current speed -----------------
+    snapshot = rdbms.snapshot()
+    speed = rdbms.current_speeds()["big"]  # 10/3 U/s while sharing 3 ways
+    single_estimate = snapshot.find("big").remaining_cost / speed
+
+    # --- multi-query PI: models the other queries explicitly -------------
+    pi = MultiQueryProgressIndicator()
+    multi_estimate = pi.estimate(snapshot).for_query("big")
+
+    # --- ground truth -----------------------------------------------------
+    rdbms.run_to_completion()
+    actual = rdbms.traces["big"].finished_at
+
+    print(f"single-query PI estimate : {single_estimate:7.1f} s")
+    print(f"multi-query  PI estimate : {multi_estimate:7.1f} s")
+    print(f"actual completion        : {actual:7.1f} s")
+    print()
+    print(
+        "The multi-query PI is exact here because the paper's Assumptions "
+        "1-3 hold\nin the simulator; the single-query PI overestimates by "
+        f"{single_estimate / actual:.1f}x."
+    )
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,13 @@
+"""Legacy setup shim.
+
+Offline environments without the `wheel` package cannot do PEP 660
+editable installs; this shim enables the legacy ``python setup.py
+develop`` fallback.  Project metadata lives in pyproject.toml; the console
+script is duplicated here because the legacy path does not read
+``[project.scripts]``.
+"""
+from setuptools import setup
+
+setup(
+    entry_points={"console_scripts": ["repro = repro.cli:main"]},
+)

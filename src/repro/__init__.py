@@ -1,0 +1,54 @@
+"""Reproduction of "Multi-query SQL Progress Indicators" (EDBT 2006).
+
+Public API re-exports the pieces a downstream user typically needs:
+
+* progress indicators: :class:`MultiQueryProgressIndicator`,
+  :class:`SingleQueryProgressIndicator`, :func:`standard_case`,
+  :func:`project`, :class:`WorkloadForecast`, :class:`AdaptiveForecaster`;
+* the simulated RDBMS: :class:`SimulatedRDBMS`, :class:`SyntheticJob`,
+  :class:`EngineJob`;
+* the SQL engine: :class:`Database`;
+* workload management: :func:`choose_victim`, :func:`choose_victims`,
+  :func:`choose_victim_for_all`, :func:`plan_maintenance`,
+  :func:`exact_maintenance_plan`.
+
+See ``README.md`` for a tour and ``DESIGN.md`` for the system inventory.
+"""
+
+from repro.core.forecast import AdaptiveForecaster, WorkloadForecast
+from repro.core.model import QuerySnapshot, SystemSnapshot
+from repro.core.multi_query import MultiQueryProgressIndicator
+from repro.core.projection import project
+from repro.core.single_query import SingleQueryProgressIndicator
+from repro.core.standard_case import standard_case
+from repro.engine.database import Database
+from repro.sim.jobs import EngineJob, SyntheticJob
+from repro.sim.rdbms import SimulatedRDBMS
+from repro.wm.maintenance import LostWorkCase, plan_maintenance
+from repro.wm.multi_speedup import choose_victim_for_all
+from repro.wm.oracle import exact_maintenance_plan
+from repro.wm.speedup import choose_victim, choose_victims
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "AdaptiveForecaster",
+    "Database",
+    "EngineJob",
+    "LostWorkCase",
+    "MultiQueryProgressIndicator",
+    "QuerySnapshot",
+    "SimulatedRDBMS",
+    "SingleQueryProgressIndicator",
+    "SyntheticJob",
+    "SystemSnapshot",
+    "WorkloadForecast",
+    "__version__",
+    "choose_victim",
+    "choose_victim_for_all",
+    "choose_victims",
+    "exact_maintenance_plan",
+    "plan_maintenance",
+    "project",
+    "standard_case",
+]

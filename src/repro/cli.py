@@ -1,0 +1,317 @@
+"""Command-line interface: ``python -m repro <command>``.
+
+Commands
+--------
+``demo``
+    The quickstart comparison: single- vs multi-query estimate on one
+    concurrent workload.
+``sql``
+    Run a SQL statement against a freshly generated TPC-R-style database
+    (``--explain`` shows the plan and cost estimate instead).
+``experiment``
+    Run one of the paper's experiments (``mcq``, ``naq``, ``scq``,
+    ``lambda``, ``maintenance``, ``table1``) and print the reproduced
+    series/rows (``--csv`` also exports the data).
+``report``
+    Run the full evaluation and write a Markdown report.
+``shell``
+    Interactive SQL shell over a generated TPC-R database.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from typing import Sequence
+
+
+def build_parser() -> argparse.ArgumentParser:
+    """The top-level argument parser."""
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description=(
+            "Reproduction of 'Multi-query SQL Progress Indicators' "
+            "(Luo, Naughton, Yu; EDBT 2006)"
+        ),
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    sub.add_parser("demo", help="quick single- vs multi-query PI comparison")
+
+    sql = sub.add_parser("sql", help="run SQL against a generated TPC-R database")
+    sql.add_argument("statement", help="the SQL statement to run")
+    sql.add_argument(
+        "--scale", type=float, default=1 / 2000,
+        help="dataset scale relative to the paper's 24M-row lineitem",
+    )
+    sql.add_argument(
+        "--parts", type=int, default=3, help="number of part_i tables"
+    )
+    sql.add_argument(
+        "--explain", action="store_true",
+        help="show the plan and cost estimate instead of executing",
+    )
+    sql.add_argument("--seed", type=int, default=0)
+
+    exp = sub.add_parser("experiment", help="run one of the paper's experiments")
+    exp.add_argument(
+        "name",
+        choices=[
+            "mcq", "naq", "scq", "lambda", "adaptive", "maintenance", "table1",
+        ],
+        help="which experiment to run",
+    )
+    exp.add_argument("--runs", type=int, default=8, help="runs to average over")
+    exp.add_argument("--seed", type=int, default=42)
+    exp.add_argument(
+        "--csv", default=None,
+        help="also write the experiment's data to this CSV file",
+    )
+
+    rep = sub.add_parser(
+        "report", help="run the full evaluation and write a Markdown report"
+    )
+    rep.add_argument("--out", default="REPORT.md", help="output file path")
+    rep.add_argument("--runs", type=int, default=8, help="runs to average over")
+    rep.add_argument("--seed", type=int, default=42)
+
+    shell = sub.add_parser(
+        "shell", help="interactive SQL shell over a generated TPC-R database"
+    )
+    shell.add_argument("--scale", type=float, default=1 / 2000)
+    shell.add_argument("--parts", type=int, default=3)
+    shell.add_argument("--seed", type=int, default=0)
+
+    return parser
+
+
+def cmd_demo() -> int:
+    """The quickstart single- vs multi-query comparison."""
+    from repro.core.multi_query import MultiQueryProgressIndicator
+    from repro.sim.jobs import SyntheticJob
+    from repro.sim.rdbms import SimulatedRDBMS
+
+    rdbms = SimulatedRDBMS(processing_rate=10.0)
+    for qid, cost in (("small-1", 100), ("small-2", 200), ("big", 900)):
+        rdbms.submit(SyntheticJob(qid, cost))
+    snapshot = rdbms.snapshot()
+    single = snapshot.find("big").remaining_cost / rdbms.current_speeds()["big"]
+    multi = MultiQueryProgressIndicator().estimate(snapshot).for_query("big")
+    rdbms.run_to_completion()
+    actual = rdbms.traces["big"].finished_at
+    print(f"single-query PI estimate : {single:7.1f} s")
+    print(f"multi-query  PI estimate : {multi:7.1f} s")
+    print(f"actual completion        : {actual:7.1f} s")
+    return 0
+
+
+def cmd_sql(args: argparse.Namespace) -> int:
+    """Run (or EXPLAIN) one SQL statement against generated TPC-R data."""
+    from repro.engine.errors import EngineError
+    from repro.workload.tpcr import TpcrConfig, generate
+
+    sizes = {i: 2 + i for i in range(1, args.parts + 1)}
+    dataset = generate(
+        TpcrConfig(scale=args.scale, seed=args.seed), part_sizes=sizes
+    )
+    db = dataset.db
+    print("tables:", ", ".join(
+        f"{name}({rows} rows)" for name, rows, _ in dataset.table_summary()
+    ))
+    try:
+        if args.explain:
+            print(db.explain(args.statement))
+            print(f"estimated cost: {db.estimated_cost(args.statement):.1f} U")
+        else:
+            result = db.execute(args.statement)
+            if isinstance(result, list):
+                for row in result[:50]:
+                    print(row)
+                if len(result) > 50:
+                    print(f"... {len(result) - 50} more rows")
+                print(f"({len(result)} rows)")
+            elif result is not None:
+                print(f"ok ({result} rows affected)")
+            else:
+                print("ok")
+    except EngineError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 1
+    return 0
+
+
+def cmd_experiment(args: argparse.Namespace) -> int:
+    """Run one of the paper's experiments and print (optionally CSV) data."""
+    from repro.experiments.reporting import format_series, format_table, write_csv
+
+    csv_headers: list = []
+    csv_rows: list = []
+
+    if args.name == "mcq":
+        from repro.experiments.harness import MULTI_QUERY, SINGLE_QUERY
+        from repro.experiments.mcq import MCQConfig, run_mcq
+
+        result = run_mcq(MCQConfig(seed=args.seed))
+        print(f"focus query {result.focus_query}, finishes at "
+              f"t={result.finish_time:.1f}s")
+        print(format_series("actual", result.actual))
+        print(format_series("single-query", result.estimates[SINGLE_QUERY]))
+        print(format_series("multi-query", result.estimates[MULTI_QUERY]))
+        csv_headers = ["series", "time", "value"]
+        csv_rows = (
+            [("actual", t, v) for t, v in result.actual]
+            + [("single-query", t, v) for t, v in result.estimates[SINGLE_QUERY]]
+            + [("multi-query", t, v) for t, v in result.estimates[MULTI_QUERY]]
+        )
+    elif args.name == "naq":
+        from repro.experiments.naq import run_naq
+
+        result = run_naq()
+        print(f"Q3 starts t={result.q3_start:.0f}s, finishes "
+              f"t={result.q3_finish:.0f}s; Q1 finishes t={result.q1_finish:.0f}s")
+        for name, series in result.estimates.items():
+            print(format_series(name, series))
+        csv_headers = ["series", "time", "value"]
+        csv_rows = [
+            (name, t, v)
+            for name, series in result.estimates.items()
+            for t, v in series
+        ]
+    elif args.name == "scq":
+        from repro.experiments.scq import SCQConfig, run_scq_sweep
+
+        sweep = run_scq_sweep(SCQConfig(runs=args.runs, seed=args.seed))
+        csv_headers = [
+            "lambda", "single last", "multi last", "single avg", "multi avg"
+        ]
+        csv_rows = sweep.as_rows()
+        print(format_table(csv_headers, csv_rows))
+    elif args.name == "lambda":
+        from repro.experiments.scq import SCQConfig, run_lambda_sensitivity
+
+        sweep = run_lambda_sensitivity(SCQConfig(runs=args.runs, seed=args.seed))
+        csv_headers = [
+            "lambda'", "single last", "multi last", "single avg", "multi avg"
+        ]
+        csv_rows = sweep.as_rows()
+        print(format_table(csv_headers, csv_rows))
+    elif args.name == "adaptive":
+        from repro.experiments.scq import SCQConfig, run_adaptive_trace
+
+        trace = run_adaptive_trace(SCQConfig(runs=1, seed=args.seed))
+        print(
+            f"focus {trace.focus_query}, finishes at t={trace.finish_time:.1f}s "
+            "(true lambda = 0.03)"
+        )
+        for lp, series in trace.series.items():
+            print(format_series(f"lambda' = {lp}", series))
+        csv_headers = ["lambda_prime", "time", "estimate"]
+        csv_rows = [
+            (lp, t, v) for lp, series in trace.series.items() for t, v in series
+        ]
+    elif args.name == "maintenance":
+        from repro.experiments.maintenance import (
+            MaintenanceConfig,
+            run_maintenance_sweep,
+        )
+
+        sweep = run_maintenance_sweep(
+            MaintenanceConfig(runs=args.runs, seed=args.seed)
+        )
+        csv_headers = ["t/t_finish"] + list(sweep.curves)
+        csv_rows = [
+            [frac] + [sweep.curves[m][i] for m in sweep.curves]
+            for i, frac in enumerate(sweep.fractions)
+        ]
+        print(format_table(csv_headers, csv_rows))
+    elif args.name == "table1":
+        from repro.experiments.tables import build_table1
+
+        result = build_table1()
+        print(result.render())
+        csv_headers = ["table", "tuples", "pages"]
+        csv_rows = [(r.table, r.tuples, r.pages) for r in result.rows]
+
+    if args.csv and csv_rows:
+        n = write_csv(args.csv, csv_headers, csv_rows)
+        print(f"wrote {n} rows to {args.csv}")
+    return 0
+
+
+def cmd_report(args: argparse.Namespace) -> int:
+    """Generate the full Markdown reproduction report."""
+    from repro.experiments.full_report import ReportConfig, generate_report
+
+    text = generate_report(ReportConfig(runs=args.runs, seed=args.seed))
+    with open(args.out, "w") as f:
+        f.write(text)
+    print(f"wrote {args.out} ({len(text.splitlines())} lines)")
+    return 0
+
+
+def cmd_shell(args: argparse.Namespace, input_fn=input) -> int:
+    """A minimal interactive SQL shell (``\\q`` to quit)."""
+    from repro.engine.errors import EngineError
+    from repro.workload.tpcr import TpcrConfig, generate
+
+    sizes = {i: 2 + i for i in range(1, args.parts + 1)}
+    dataset = generate(
+        TpcrConfig(scale=args.scale, seed=args.seed), part_sizes=sizes
+    )
+    db = dataset.db
+    print("tables:", ", ".join(
+        f"{name}({rows} rows)" for name, rows, _ in dataset.table_summary()
+    ))
+    print("enter SQL statements; \\q quits, \\d lists tables")
+    while True:
+        try:
+            line = input_fn("sql> ").strip()
+        except (EOFError, KeyboardInterrupt):
+            print()
+            return 0
+        if not line:
+            continue
+        if line in ("\\q", "quit", "exit"):
+            return 0
+        if line == "\\d":
+            for table in db.catalog.tables():
+                cols = ", ".join(
+                    f"{c.name} {c.sql_type.value}" for c in table.schema.columns
+                )
+                print(f"  {table.name}({cols}) -- {table.heap.row_count} rows")
+            continue
+        try:
+            result = db.execute(line.rstrip(";"))
+        except EngineError as exc:
+            print(f"error: {exc}")
+            continue
+        if isinstance(result, list):
+            for row in result[:40]:
+                print(row)
+            print(f"({len(result)} rows)")
+        elif isinstance(result, str):
+            print(result)
+        elif result is not None:
+            print(f"ok ({result} rows affected)")
+        else:
+            print("ok")
+
+
+def main(argv: Sequence[str] | None = None) -> int:
+    """CLI entry point; returns the process exit code."""
+    args = build_parser().parse_args(argv)
+    if args.command == "demo":
+        return cmd_demo()
+    if args.command == "sql":
+        return cmd_sql(args)
+    if args.command == "experiment":
+        return cmd_experiment(args)
+    if args.command == "report":
+        return cmd_report(args)
+    if args.command == "shell":
+        return cmd_shell(args)
+    raise AssertionError(f"unhandled command {args.command!r}")
+
+
+if __name__ == "__main__":  # pragma: no cover
+    sys.exit(main())

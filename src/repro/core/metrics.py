@@ -1,0 +1,133 @@
+"""Error metrics and time-series helpers used across the experiments.
+
+The paper's headline accuracy metric (Section 5.2.3) is the *relative error*
+
+    ``|t_est - t_actual| / t_actual * 100%``
+
+of an estimated remaining execution time against the measured one.  This
+module provides that metric plus small utilities for working with the
+(time, value) series the simulator traces produce.
+"""
+
+from __future__ import annotations
+
+import math
+from bisect import bisect_right
+from typing import Iterable, Sequence
+
+
+def relative_error(estimated: float, actual: float) -> float:
+    """Relative error ``|est - actual| / actual`` as a fraction (not %).
+
+    ``actual`` must be positive; an actual of zero has no defined relative
+    error and raises :class:`ValueError`.  Infinite or NaN estimates yield
+    ``inf`` (the estimator produced no usable answer).
+    """
+    if actual <= 0:
+        raise ValueError(f"actual must be > 0, got {actual}")
+    if math.isnan(estimated) or math.isinf(estimated):
+        return float("inf")
+    return abs(estimated - actual) / actual
+
+
+def mean(values: Iterable[float]) -> float:
+    """Arithmetic mean; raises on an empty iterable."""
+    vals = list(values)
+    if not vals:
+        raise ValueError("mean of empty sequence")
+    return sum(vals) / len(vals)
+
+
+def mean_finite(values: Iterable[float], cap: float | None = None) -> float:
+    """Mean after replacing non-finite values with *cap* (or dropping them).
+
+    Experiment runs occasionally produce an infinite relative error (the
+    estimator declined to answer); averaging across runs needs a policy.
+    With ``cap=None`` non-finite values are dropped; otherwise they are
+    clamped to ``cap``.
+    """
+    vals = []
+    for v in values:
+        if math.isfinite(v):
+            vals.append(v)
+        elif cap is not None:
+            vals.append(cap)
+    if not vals:
+        raise ValueError("no finite values to average")
+    return sum(vals) / len(vals)
+
+
+class StepSeries:
+    """A piecewise-constant time series (last observation carried forward).
+
+    Traces record a value whenever it changes; :meth:`at` answers "what was
+    the value at time t" and :meth:`sample` resamples onto a uniform grid --
+    how the figure benches align estimator outputs with ground truth.
+    """
+
+    def __init__(self, points: Sequence[tuple[float, float]] = ()) -> None:
+        self._times: list[float] = []
+        self._values: list[float] = []
+        for t, v in points:
+            self.append(t, v)
+
+    def append(self, time: float, value: float) -> None:
+        """Record *value* observed at *time* (non-decreasing times)."""
+        if self._times and time < self._times[-1]:
+            raise ValueError("times must be non-decreasing")
+        if self._times and time == self._times[-1]:
+            self._values[-1] = value
+            return
+        self._times.append(time)
+        self._values.append(value)
+
+    def __len__(self) -> int:
+        return len(self._times)
+
+    def __iter__(self):
+        return iter(zip(self._times, self._values))
+
+    @property
+    def times(self) -> list[float]:
+        """Observation times."""
+        return list(self._times)
+
+    @property
+    def values(self) -> list[float]:
+        """Observed values."""
+        return list(self._values)
+
+    def at(self, time: float) -> float:
+        """Value in effect at *time* (last observation carried forward)."""
+        if not self._times:
+            raise ValueError("empty series")
+        idx = bisect_right(self._times, time) - 1
+        if idx < 0:
+            raise ValueError(f"time {time} precedes first observation")
+        return self._values[idx]
+
+    def sample(self, times: Iterable[float]) -> list[float]:
+        """Resample the series at each of *times*."""
+        return [self.at(t) for t in times]
+
+    def first_time(self) -> float:
+        """Time of the first observation."""
+        if not self._times:
+            raise ValueError("empty series")
+        return self._times[0]
+
+    def last_time(self) -> float:
+        """Time of the last observation."""
+        if not self._times:
+            raise ValueError("empty series")
+        return self._times[-1]
+
+
+def uniform_grid(start: float, stop: float, points: int) -> list[float]:
+    """*points* evenly spaced times from *start* to *stop* inclusive."""
+    if points < 2:
+        raise ValueError("points must be >= 2")
+    if stop < start:
+        raise ValueError("stop must be >= start")
+    step = (stop - start) / (points - 1)
+    return [start + i * step for i in range(points)]

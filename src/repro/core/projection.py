@@ -1,0 +1,263 @@
+"""Event-driven forward projection of system execution.
+
+This generalises the Section 2.2 stage algorithm in two directions the paper
+needs:
+
+* **Non-empty admission queues** (Section 2.3): queries waiting in the
+  admission queue are "known" future work.  When a running query finishes and
+  a multiprogramming slot frees up, the head of the queue is admitted.
+* **Predicted future arrivals** (Section 2.4): every ``1 / lambda`` seconds a
+  virtual query with the average cost ``c̄`` and average priority weight
+  ``w̄`` is assumed to arrive, and it competes for capacity like any real
+  query.
+
+The projection simulates forward under the paper's three assumptions
+(constant total rate ``C``, known remaining costs, speed proportional to
+weight) and records the predicted finish time of every *real* query.  It
+terminates once all real queries have finished; virtual queries beyond that
+point are irrelevant.
+
+With an empty queue and no forecast the projection is equivalent to
+:func:`repro.core.standard_case.standard_case` (a property the test suite
+verifies).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Iterable, Iterator, Sequence
+
+from repro.core.forecast import WorkloadForecast
+from repro.core.model import QuerySnapshot
+
+#: Numerical slack used when comparing event times.
+_EPS = 1e-12
+
+#: Hard caps protecting against unstable forecasts (``lambda * c̄ > C``):
+#: beyond this many concurrently active virtual queries, further virtual
+#: arrivals are dropped (the projection degrades gracefully instead of
+#: livelocking).
+_MAX_VIRTUAL_ACTIVE = 512
+_MAX_EVENTS = 1_000_000
+
+
+class ProjectionError(RuntimeError):
+    """Raised when a projection exceeds its event budget or stalls."""
+
+
+@dataclass
+class _Job:
+    query_id: str
+    remaining: float
+    weight: float
+    virtual: bool
+
+
+@dataclass
+class _Waiting:
+    query_id: str
+    cost: float
+    weight: float
+    virtual: bool
+    arrived_at: float
+
+
+@dataclass(frozen=True)
+class ProjectedQuery:
+    """Projection output for one real query."""
+
+    query_id: str
+    #: Predicted time until the query finishes, seconds from the snapshot.
+    finish_time: float
+    #: Predicted time the query spends waiting in the admission queue
+    #: (from its arrival -- or the snapshot, for already-queued queries --
+    #: until it starts running).
+    queue_wait: float
+
+
+@dataclass(frozen=True)
+class ProjectionResult:
+    """Output of :func:`project`."""
+
+    queries: dict[str, ProjectedQuery]
+    #: Time at which the last real query finishes.
+    quiescent_time: float
+
+    def remaining_time(self, query_id: str) -> float:
+        """Predicted remaining execution time of *query_id*, in seconds."""
+        try:
+            return self.queries[query_id].finish_time
+        except KeyError:
+            raise KeyError(f"query {query_id!r} not in projection") from None
+
+    @property
+    def remaining_times(self) -> dict[str, float]:
+        """Mapping of query id to predicted remaining time, in seconds."""
+        return {qid: p.finish_time for qid, p in self.queries.items()}
+
+
+def _forecast_arrivals(
+    forecast: WorkloadForecast | None, start: float
+) -> Iterator[tuple[float, float, float]]:
+    """Yield ``(arrival_time, cost, weight)`` for predicted future queries.
+
+    Per Section 2.4, one virtual query of cost ``c̄`` and weight ``w̄``
+    arrives every ``1 / lambda`` seconds, starting one inter-arrival time
+    after the snapshot.
+    """
+    if forecast is None or forecast.arrival_rate <= 0 or forecast.average_cost <= 0:
+        return
+    interval = 1.0 / forecast.arrival_rate
+    t = start + interval
+    while forecast.horizon is None or t <= forecast.horizon:
+        yield (t, forecast.average_cost, forecast.average_weight)
+        t += interval
+
+
+def project(
+    running: Sequence[QuerySnapshot],
+    queued: Sequence[QuerySnapshot] = (),
+    processing_rate: float = 1.0,
+    multiprogramming_limit: int | None = None,
+    forecast: WorkloadForecast | None = None,
+    extra_arrivals: Iterable[tuple[float, QuerySnapshot]] = (),
+) -> ProjectionResult:
+    """Project the execution of the current workload forward in time.
+
+    Parameters
+    ----------
+    running:
+        Queries currently executing.
+    queued:
+        Queries in the admission queue, FIFO order (Section 2.3).
+    processing_rate:
+        Total work rate ``C`` in U/s.
+    multiprogramming_limit:
+        Maximum number of concurrent queries, or ``None`` for unlimited.  If
+        the system is transiently over the limit no admissions occur until
+        enough queries finish.
+    forecast:
+        Optional prediction of future arrivals (Section 2.4).
+    extra_arrivals:
+        Known one-off future arrivals as ``(time, snapshot)`` pairs -- used
+        by workload-management what-if analyses.
+
+    Returns
+    -------
+    ProjectionResult
+        Predicted finish time (and queue wait) of every real query: every
+        query in ``running``, ``queued`` or ``extra_arrivals``.
+    """
+    if processing_rate <= 0:
+        raise ValueError(f"processing_rate must be > 0, got {processing_rate}")
+    mpl = multiprogramming_limit
+
+    active: list[_Job] = [
+        _Job(q.query_id, q.remaining_cost, q.weight, virtual=False) for q in running
+    ]
+    waiting: list[_Waiting] = [
+        _Waiting(q.query_id, q.remaining_cost, q.weight, virtual=False, arrived_at=0.0)
+        for q in queued
+    ]
+
+    pending = sorted(
+        ((t, q.query_id, q.remaining_cost, q.weight) for t, q in extra_arrivals),
+        key=lambda item: item[0],
+    )
+    pending_idx = 0
+    virtual_stream = _forecast_arrivals(forecast, start=0.0)
+    next_virtual = next(virtual_stream, None)
+    virtual_seq = 0
+
+    real_outstanding = len(active) + len(waiting) + len(pending)
+    finish_times: dict[str, float] = {}
+    started_at: dict[str, float] = {j.query_id: 0.0 for j in active}
+    arrived_at: dict[str, float] = {j.query_id: 0.0 for j in active}
+    arrived_at.update({w.query_id: 0.0 for w in waiting})
+
+    clock = 0.0
+    events = 0
+
+    def admit() -> None:
+        """Move queued jobs into the active set while slots are available."""
+        while waiting and (mpl is None or len(active) < mpl):
+            w = waiting.pop(0)
+            active.append(_Job(w.query_id, w.cost, w.weight, w.virtual))
+            if not w.virtual:
+                started_at[w.query_id] = clock
+
+    admit()
+
+    while real_outstanding > 0:
+        events += 1
+        if events > _MAX_EVENTS:
+            raise ProjectionError(
+                f"projection exceeded {_MAX_EVENTS} events; "
+                "forecast load is likely far above capacity"
+            )
+
+        total_weight = sum(j.weight for j in active)
+
+        # Earliest completion among active jobs.
+        finish_dt = float("inf")
+        if active and total_weight > 0:
+            min_ratio = min(j.remaining / j.weight for j in active)
+            finish_dt = max(min_ratio * total_weight / processing_rate, 0.0)
+
+        # Next arrival (known one-off or virtual forecast).
+        arrival_t = float("inf")
+        if pending_idx < len(pending):
+            arrival_t = pending[pending_idx][0]
+        if next_virtual is not None:
+            arrival_t = min(arrival_t, next_virtual[0])
+        arrival_dt = arrival_t - clock if arrival_t < float("inf") else float("inf")
+
+        if finish_dt == float("inf") and arrival_dt == float("inf"):
+            raise ProjectionError("projection stalled: outstanding work cannot run")
+
+        dt = min(finish_dt, arrival_dt)
+        if dt > 0 and active and total_weight > 0:
+            for j in active:
+                j.remaining -= processing_rate * (j.weight / total_weight) * dt
+        clock += dt
+
+        if finish_dt <= arrival_dt:
+            # Completion event: retire every job that has (numerically) hit 0.
+            slack = _EPS * max(1.0, clock)
+            done = [j for j in active if j.remaining <= slack]
+            done_ids = {id(j) for j in done}
+            active[:] = [j for j in active if id(j) not in done_ids]
+            for j in done:
+                if not j.virtual:
+                    finish_times[j.query_id] = clock
+                    real_outstanding -= 1
+        else:
+            # Arrival event: enqueue the arriving query, then try to admit.
+            if pending_idx < len(pending) and pending[pending_idx][0] <= arrival_t:
+                _, qid, cost, weight = pending[pending_idx]
+                pending_idx += 1
+                waiting.append(_Waiting(qid, cost, weight, False, arrived_at=clock))
+                arrived_at[qid] = clock
+            elif next_virtual is not None:
+                _, cost, weight = next_virtual
+                n_virtual = sum(1 for j in active if j.virtual) + sum(
+                    1 for w in waiting if w.virtual
+                )
+                if n_virtual < _MAX_VIRTUAL_ACTIVE:
+                    virtual_seq += 1
+                    waiting.append(
+                        _Waiting(f"__virtual_{virtual_seq}", cost, weight, True, clock)
+                    )
+                next_virtual = next(virtual_stream, None)
+        admit()
+
+    projected = {
+        qid: ProjectedQuery(
+            query_id=qid,
+            finish_time=t_fin,
+            queue_wait=max(started_at.get(qid, 0.0) - arrived_at.get(qid, 0.0), 0.0),
+        )
+        for qid, t_fin in finish_times.items()
+    }
+    quiescent = max(finish_times.values(), default=0.0)
+    return ProjectionResult(queries=projected, quiescent_time=quiescent)

@@ -1,0 +1,134 @@
+"""The system catalog: tables, indexes, and their statistics."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Iterable, Sequence
+
+from repro.engine.errors import CatalogError
+from repro.engine.index import BTreeIndex
+from repro.engine.schema import TableSchema
+from repro.engine.stats import TableStats
+from repro.engine.storage import DEFAULT_PAGE_CAPACITY, RID, HeapFile
+
+
+@dataclass
+class Table:
+    """One stored table: schema, heap file, indexes, statistics."""
+
+    schema: TableSchema
+    heap: HeapFile
+    indexes: dict[str, BTreeIndex] = field(default_factory=dict)
+    stats: TableStats | None = None
+
+    @property
+    def name(self) -> str:
+        """Table name."""
+        return self.schema.name
+
+    def insert(self, values: Sequence[Any]) -> RID:
+        """Validate, store and index one row."""
+        row = self.schema.validate_row(values)
+        rid = self.heap.append(row)
+        for index in self.indexes.values():
+            pos = self.schema.column_position(index.column)
+            index.insert(row[pos], rid)
+        self.stats = None  # stored stats are stale now
+        return rid
+
+    def insert_many(self, rows: Iterable[Sequence[Any]]) -> int:
+        """Insert many rows; returns the count inserted."""
+        n = 0
+        for values in rows:
+            self.insert(values)
+            n += 1
+        return n
+
+    def index_on(self, column: str) -> BTreeIndex | None:
+        """The index covering *column*, if any."""
+        target = column.lower()
+        for index in self.indexes.values():
+            if index.column.lower() == target:
+                return index
+        return None
+
+
+class Catalog:
+    """All tables and indexes of one database."""
+
+    def __init__(self, page_capacity: int = DEFAULT_PAGE_CAPACITY) -> None:
+        if page_capacity < 1:
+            raise CatalogError("page_capacity must be >= 1")
+        self.page_capacity = page_capacity
+        self._tables: dict[str, Table] = {}
+
+    def create_table(self, schema: TableSchema) -> Table:
+        """Register a new table.
+
+        Raises
+        ------
+        CatalogError
+            If a table of that name already exists.
+        """
+        key = schema.name.lower()
+        if key in self._tables:
+            raise CatalogError(f"table {schema.name!r} already exists")
+        table = Table(schema=schema, heap=HeapFile(self.page_capacity))
+        self._tables[key] = table
+        return table
+
+    def drop_table(self, name: str) -> None:
+        """Remove a table and its indexes.
+
+        Raises
+        ------
+        CatalogError
+            For an unknown table.
+        """
+        key = name.lower()
+        if key not in self._tables:
+            raise CatalogError(f"no table {name!r}")
+        del self._tables[key]
+
+    def table(self, name: str) -> Table:
+        """Look up a table by (case-insensitive) name.
+
+        Raises
+        ------
+        CatalogError
+            For an unknown table.
+        """
+        try:
+            return self._tables[name.lower()]
+        except KeyError:
+            raise CatalogError(f"no table {name!r}") from None
+
+    def has_table(self, name: str) -> bool:
+        """Whether *name* exists."""
+        return name.lower() in self._tables
+
+    def tables(self) -> list[Table]:
+        """All tables, in creation order."""
+        return list(self._tables.values())
+
+    def create_index(self, name: str, table_name: str, column: str) -> BTreeIndex:
+        """Create (and backfill) an index on one column.
+
+        Raises
+        ------
+        CatalogError
+            For unknown table/column or a duplicate index name.
+        """
+        table = self.table(table_name)
+        if not table.schema.has_column(column):
+            raise CatalogError(f"no column {column!r} in table {table_name!r}")
+        key = name.lower()
+        for t in self._tables.values():
+            if key in t.indexes:
+                raise CatalogError(f"index {name!r} already exists")
+        index = BTreeIndex(name=name, table=table.name, column=column)
+        pos = table.schema.column_position(column)
+        for rid, row in table.heap.scan_rows():
+            index.insert(row[pos], rid)
+        table.indexes[key] = index
+        return index

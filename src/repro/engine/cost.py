@@ -1,0 +1,171 @@
+"""The optimizer's cost model, in U's (pages of work).
+
+These formulas produce the *initial* cost estimates progress indicators
+start from (paper Section 2: "the PI initially takes the optimizer's
+estimated cost for Q measured in U's").  They are intentionally the same
+formulas the runtime operators charge, so estimation error comes from
+cardinality/selectivity error -- the realistic failure mode -- rather than
+from a mismatched unit system.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+
+from repro.engine.index import BTreeIndex
+
+
+@dataclass(frozen=True)
+class Estimate:
+    """Cost (U's) and output cardinality of a (sub)plan."""
+
+    cost: float
+    rows: float
+
+    def __post_init__(self) -> None:
+        if self.cost < 0 or self.rows < 0:
+            raise ValueError("estimates must be non-negative")
+
+
+def seq_scan(page_count: int, row_count: int) -> Estimate:
+    """Full scan: one U per page."""
+    return Estimate(cost=float(page_count), rows=float(row_count))
+
+
+def expected_heap_pages(
+    matches: float, page_count: int, rows_per_page: int, correlation: float
+) -> float:
+    """Distinct heap pages touched fetching *matches* rows.
+
+    Interpolates, by squared column/heap correlation (PostgreSQL's
+    approach), between the perfectly clustered case
+    (``matches / rows_per_page`` consecutive pages) and the unclustered
+    Cardenas estimate ``P * (1 - (1 - 1/P)^matches)``.
+    """
+    if matches <= 0 or page_count <= 0:
+        return 0.0
+    clustered = max(math.ceil(matches / rows_per_page), 1)
+    if page_count == 1:
+        uncorrelated = 1.0
+    else:
+        uncorrelated = page_count * (1.0 - (1.0 - 1.0 / page_count) ** matches)
+    c2 = min(correlation * correlation, 1.0)
+    return c2 * clustered + (1.0 - c2) * uncorrelated
+
+
+def index_probe(
+    index: BTreeIndex,
+    table_rows: float,
+    selectivity: float,
+    page_count: int = 0,
+    rows_per_page: int = 50,
+    correlation: float = 0.0,
+) -> Estimate:
+    """One equality probe: B-tree descent, leaf pages, then heap fetches.
+
+    ``selectivity`` is the expected fraction of the table matching the
+    probe.  Heap fetches are costed as distinct pages via
+    :func:`expected_heap_pages`; with ``page_count = 0`` (no stats) they
+    degrade to one page per row.
+    """
+    matches = max(table_rows * selectivity, 0.0)
+    leaf_pages = max(math.ceil(matches / index.leaf_capacity), 1)
+    if page_count > 0:
+        heap = expected_heap_pages(matches, page_count, rows_per_page, correlation)
+    else:
+        heap = matches
+    cost = index.height() + (leaf_pages - 1) + heap
+    return Estimate(cost=cost, rows=matches)
+
+
+def index_range(
+    index: BTreeIndex,
+    table_rows: float,
+    selectivity: float,
+    page_count: int,
+    rows_per_page: int,
+    correlation: float,
+) -> Estimate:
+    """A range scan over an index: descent, leaf chain, heap fetches."""
+    matches = max(table_rows * selectivity, 0.0)
+    leaf_pages = max(math.ceil(matches / index.leaf_capacity), 1)
+    heap = expected_heap_pages(matches, page_count, rows_per_page, correlation)
+    return Estimate(cost=index.height() + (leaf_pages - 1) + heap, rows=matches)
+
+
+def filter_rows(input_est: Estimate, selectivity: float) -> Estimate:
+    """Predicate application: free in U's, scales cardinality."""
+    sel = min(max(selectivity, 0.0), 1.0)
+    return Estimate(cost=input_est.cost, rows=input_est.rows * sel)
+
+
+def subquery_filter(
+    input_est: Estimate, per_row_subquery_cost: float, selectivity: float
+) -> Estimate:
+    """A filter that runs a correlated subquery per input row.
+
+    This is the paper's workload shape: the dominant cost term is
+    ``input_rows * per_row_subquery_cost``.
+    """
+    sel = min(max(selectivity, 0.0), 1.0)
+    return Estimate(
+        cost=input_est.cost + input_est.rows * max(per_row_subquery_cost, 0.0),
+        rows=input_est.rows * sel,
+    )
+
+
+def materialize(input_est: Estimate, rows_per_page: int) -> Estimate:
+    """Spill + one reread of the cached rows."""
+    pages = math.ceil(input_est.rows / rows_per_page) if input_est.rows else 0
+    return Estimate(cost=input_est.cost + 2.0 * pages, rows=input_est.rows)
+
+
+def nested_loop_join(
+    outer: Estimate, inner_materialized: Estimate, selectivity: float
+) -> Estimate:
+    """NL join over a materialized inner (replays are free in U's)."""
+    sel = min(max(selectivity, 0.0), 1.0)
+    return Estimate(
+        cost=outer.cost + inner_materialized.cost,
+        rows=outer.rows * inner_materialized.rows * sel,
+    )
+
+
+def hash_join(
+    probe: Estimate, build: Estimate, selectivity: float, rows_per_page: int
+) -> Estimate:
+    """Hash join: children plus a build-side spill model."""
+    sel = min(max(selectivity, 0.0), 1.0)
+    spill = 2.0 * (math.ceil(build.rows / rows_per_page) if build.rows else 0)
+    return Estimate(
+        cost=probe.cost + build.cost + spill,
+        rows=probe.rows * build.rows * sel,
+    )
+
+
+def sort(input_est: Estimate, rows_per_page: int) -> Estimate:
+    """External sort model: one write pass plus one read pass."""
+    pages = math.ceil(input_est.rows / rows_per_page) if input_est.rows else 0
+    return Estimate(cost=input_est.cost + 2.0 * pages, rows=input_est.rows)
+
+
+def aggregate(input_est: Estimate, group_count: float | None) -> Estimate:
+    """Hash aggregation: free in U's, collapses cardinality."""
+    if group_count is None:
+        rows = 1.0
+    else:
+        rows = min(max(group_count, 1.0), max(input_est.rows, 1.0))
+        if input_est.rows == 0:
+            rows = 0.0
+    return Estimate(cost=input_est.cost, rows=rows)
+
+
+def limit(input_est: Estimate, n: int | None, offset: int) -> Estimate:
+    """LIMIT caps cardinality (cost model keeps full input cost --
+    conservative, since the executor stops early)."""
+    rows = input_est.rows
+    rows = max(rows - offset, 0.0)
+    if n is not None:
+        rows = min(rows, float(n))
+    return Estimate(cost=input_est.cost, rows=rows)

@@ -1,0 +1,256 @@
+"""The user-facing database facade.
+
+:class:`Database` ties the catalog, parser, planner and executor together:
+
+>>> db = Database()
+>>> db.execute("CREATE TABLE part (partkey INT, retailprice FLOAT)")
+>>> db.execute("INSERT INTO part VALUES (1, 9.99), (2, 19.99)")
+2
+>>> db.query("SELECT partkey FROM part WHERE retailprice > 10")
+[(2,)]
+
+DDL and DML run eagerly; ``prepare`` returns a steppable
+:class:`~repro.engine.executor.QueryExecution` for cooperative execution
+(what the simulator timeshares and progress indicators observe).
+"""
+
+from __future__ import annotations
+
+from typing import Any, Optional, Sequence
+
+from repro.engine.catalog import Catalog, Table
+from repro.engine.errors import PlanError
+from repro.engine.executor import QueryExecution
+from repro.engine.expr import Env, bind_expr, BindContext, Layout
+from repro.engine.operators.base import WorkAccount
+from repro.engine.planner import Planner
+from repro.engine.schema import Column, TableSchema
+from repro.engine.sql import ast, parse_statement
+from repro.engine.stats import analyze_table
+from repro.engine.storage import DEFAULT_PAGE_CAPACITY
+from repro.engine.types import SqlType
+
+
+class Database:
+    """An in-memory SQL database with a steppable executor."""
+
+    def __init__(self, page_capacity: int = DEFAULT_PAGE_CAPACITY) -> None:
+        self.catalog = Catalog(page_capacity=page_capacity)
+        self.planner = Planner(self.catalog)
+
+    # ------------------------------------------------------------------
+    # Statement execution
+    # ------------------------------------------------------------------
+
+    def execute(self, sql: str) -> Any:
+        """Run one statement of any kind.
+
+        Returns query rows for SELECT, the inserted-row count for INSERT,
+        and ``None`` for DDL.
+        """
+        statement = parse_statement(sql)
+        if isinstance(statement, (ast.Select, ast.Union)):
+            return self._run_query(statement, sql)
+        if isinstance(statement, ast.Insert):
+            return self._run_insert(statement)
+        if isinstance(statement, ast.CreateTable):
+            self._run_create_table(statement)
+            return None
+        if isinstance(statement, ast.CreateIndex):
+            self.catalog.create_index(
+                statement.name, statement.table, statement.column
+            )
+            return None
+        if isinstance(statement, ast.DropTable):
+            self.catalog.drop_table(statement.name)
+            return None
+        if isinstance(statement, ast.Update):
+            return self._run_update(statement)
+        if isinstance(statement, ast.Delete):
+            return self._run_delete(statement)
+        if isinstance(statement, ast.Analyze):
+            self.analyze(statement.table)
+            return None
+        if isinstance(statement, ast.Explain):
+            account = WorkAccount()
+            inner = statement.statement
+            if isinstance(inner, ast.Union):
+                root = self.planner.plan_union(inner, account)
+            else:
+                root = self.planner.plan_select(inner, account)
+            return root.explain()
+        raise PlanError(f"unsupported statement {type(statement).__name__}")
+
+    def query(self, sql: str) -> list[tuple]:
+        """Run a SELECT (or UNION) to completion and return its rows."""
+        statement = parse_statement(sql)
+        if not isinstance(statement, (ast.Select, ast.Union)):
+            raise PlanError("query() requires a SELECT statement")
+        return self._run_query(statement, sql)
+
+    def prepare(self, sql: str) -> QueryExecution:
+        """Plan a SELECT (or UNION) and return a steppable execution handle."""
+        statement = parse_statement(sql)
+        if not isinstance(statement, (ast.Select, ast.Union)):
+            raise PlanError("prepare() requires a SELECT statement")
+        account = WorkAccount()
+        if isinstance(statement, ast.Union):
+            root = self.planner.plan_union(statement, account)
+        else:
+            root = self.planner.plan_select(statement, account)
+        return QueryExecution(root=root, account=account, sql=sql)
+
+    def explain(self, sql: str) -> str:
+        """The annotated physical plan of a SELECT."""
+        return self.prepare(sql).explain()
+
+    def estimated_cost(self, sql: str) -> float:
+        """The optimizer's cost estimate of a SELECT, in U's."""
+        return self.prepare(sql).root.est_cost
+
+    # ------------------------------------------------------------------
+    # Helpers
+    # ------------------------------------------------------------------
+
+    def _run_query(self, statement, sql: str) -> list[tuple]:
+        account = WorkAccount()
+        if isinstance(statement, ast.Union):
+            root = self.planner.plan_union(statement, account)
+        else:
+            root = self.planner.plan_select(statement, account)
+        execution = QueryExecution(root=root, account=account, sql=sql)
+        return execution.run_to_completion()
+
+    def _run_update(self, statement: ast.Update) -> int:
+        """UPDATE: evaluate assignments per matching row, rewrite the table.
+
+        The heap is append-only, so updates rewrite the table in place:
+        every row is re-validated and indexes are rebuilt.  Returns the
+        number of rows updated.
+        """
+        table = self.catalog.table(statement.table)
+        schema = table.schema
+        layout = Layout.for_table(statement.table, schema.column_names)
+        ctx = BindContext(layout)
+        predicate = (
+            bind_expr(statement.where, ctx) if statement.where is not None else None
+        )
+        assignments = [
+            (schema.column_position(col), bind_expr(expr, ctx))
+            for col, expr in statement.assignments
+        ]
+
+        new_rows: list[tuple] = []
+        updated = 0
+        for _, row in table.heap.scan_rows():
+            env = Env(row)
+            keep = predicate is None or predicate(env) is True
+            if keep:
+                values = list(row)
+                for pos, compute in assignments:
+                    values[pos] = compute(env)
+                new_rows.append(schema.validate_row(values))
+                updated += 1
+            else:
+                new_rows.append(row)
+        self._rewrite_table(table, new_rows)
+        return updated
+
+    def _run_delete(self, statement: ast.Delete) -> int:
+        """DELETE: drop matching rows, rewrite the table.
+
+        Returns the number of rows deleted.
+        """
+        table = self.catalog.table(statement.table)
+        layout = Layout.for_table(statement.table, table.schema.column_names)
+        ctx = BindContext(layout)
+        predicate = (
+            bind_expr(statement.where, ctx) if statement.where is not None else None
+        )
+        survivors: list[tuple] = []
+        deleted = 0
+        for _, row in table.heap.scan_rows():
+            if predicate is None or predicate(Env(row)) is True:
+                deleted += 1
+            else:
+                survivors.append(row)
+        self._rewrite_table(table, survivors)
+        return deleted
+
+    def _rewrite_table(self, table: Table, rows: list[tuple]) -> None:
+        """Replace a table's heap contents and rebuild its indexes."""
+        from repro.engine.storage import HeapFile
+
+        table.heap = HeapFile(self.catalog.page_capacity)
+        index_positions = {
+            name: table.schema.column_position(index.column)
+            for name, index in table.indexes.items()
+        }
+        fresh = {}
+        for name, index in table.indexes.items():
+            from repro.engine.index import BTreeIndex
+
+            fresh[name] = BTreeIndex(
+                name=index.name,
+                table=index.table,
+                column=index.column,
+                fanout=index.fanout,
+                leaf_capacity=index.leaf_capacity,
+            )
+        for row in rows:
+            rid = table.heap.append(row)
+            for name, index in fresh.items():
+                index.insert(row[index_positions[name]], rid)
+        table.indexes = fresh
+        table.stats = None
+
+    def _run_insert(self, statement: ast.Insert) -> int:
+        table = self.catalog.table(statement.table)
+        schema = table.schema
+        empty_ctx = BindContext(Layout([]))
+        env = Env(())
+
+        if statement.columns:
+            positions = [schema.column_position(c) for c in statement.columns]
+        else:
+            positions = list(range(len(schema.columns)))
+
+        count = 0
+        for value_row in statement.rows:
+            if len(value_row) != len(positions):
+                raise PlanError(
+                    f"INSERT expects {len(positions)} values, got {len(value_row)}"
+                )
+            full: list[Any] = [None] * len(schema.columns)
+            for pos, expr in zip(positions, value_row):
+                full[pos] = bind_expr(expr, empty_ctx)(env)
+            table.insert(full)
+            count += 1
+        return count
+
+    def _run_create_table(self, statement: ast.CreateTable) -> Table:
+        columns = [
+            Column(
+                name=c.name,
+                sql_type=SqlType.parse(c.type_name),
+                nullable=c.nullable,
+            )
+            for c in statement.columns
+        ]
+        return self.catalog.create_table(TableSchema.of(statement.name, columns))
+
+    # ------------------------------------------------------------------
+    # Maintenance utilities
+    # ------------------------------------------------------------------
+
+    def analyze(self, table_name: Optional[str] = None) -> None:
+        """Collect statistics for one table (or all tables)."""
+        if table_name is not None:
+            analyze_table(self.catalog.table(table_name))
+            return
+        for table in self.catalog.tables():
+            analyze_table(table)
+
+    def insert_rows(self, table_name: str, rows: Sequence[Sequence[Any]]) -> int:
+        """Bulk-insert Python values directly (bypasses SQL parsing)."""
+        return self.catalog.table(table_name).insert_many(rows)

@@ -1,0 +1,112 @@
+"""Cooperative query execution in work-unit budgets.
+
+:class:`QueryExecution` wraps a planned operator tree and advances it with
+``step(budget_units)``: the root iterator is pulled until at least that much
+work has been charged (or the query finishes).  A single pull can overshoot
+its budget -- e.g. one outer tuple of the paper's query triggers a whole
+correlated index probe -- so the execution keeps a *work debt* and repays it
+from subsequent budgets, preserving long-run conservation when a simulator
+timeshares many queries.
+"""
+
+from __future__ import annotations
+
+from typing import Iterator, Optional
+
+from repro.engine.errors import ExecutionError
+from repro.engine.operators.base import Operator, WorkAccount
+from repro.engine.progress import ProgressTracker
+
+_SENTINEL = object()
+
+
+class QueryExecution:
+    """One query's cooperative execution state."""
+
+    def __init__(
+        self,
+        root: Operator,
+        account: WorkAccount,
+        sql: str = "",
+    ) -> None:
+        self.root = root
+        self.account = account
+        self.sql = sql
+        self.progress = ProgressTracker(
+            root, account, optimizer_estimate=root.est_cost
+        )
+        self.rows: list[tuple] = []
+        self._iterator: Optional[Iterator[tuple]] = None
+        self._finished = False
+        self._debt = 0.0
+
+    @property
+    def finished(self) -> bool:
+        """Whether the query has produced all of its rows."""
+        return self._finished
+
+    @property
+    def work_done(self) -> float:
+        """Total work charged so far, in U's."""
+        return self.account.total
+
+    @property
+    def column_names(self) -> tuple[str, ...]:
+        """Output column names."""
+        return tuple(slot.name for slot in self.root.layout.slots)
+
+    def step(self, budget: float) -> float:
+        """Run until roughly *budget* more U's are consumed.
+
+        Returns the budget consumed: exactly *budget* while running (debt
+        smooths overshoot), possibly less on the step that finishes the
+        query.
+
+        Raises
+        ------
+        ExecutionError
+            If called with a negative budget.
+        """
+        if budget < 0:
+            raise ExecutionError("budget must be >= 0")
+        if self._finished:
+            return 0.0
+        if self._iterator is None:
+            self._iterator = self.root.rows(None)
+
+        if self._debt >= budget:
+            # Still paying off a previous overshoot.
+            self._debt -= budget
+            return budget
+
+        effective = budget - self._debt
+        start = self.account.total
+        consumed_at_finish: Optional[float] = None
+        while self.account.total - start < effective:
+            row = next(self._iterator, _SENTINEL)
+            if row is _SENTINEL:
+                self._finished = True
+                self.progress.mark_finished()
+                consumed_at_finish = self.account.total - start
+                break
+            self.rows.append(row)
+
+        actual = self.account.total - start
+        if self._finished:
+            # Pay down debt with the work actually performed this step.
+            used = self._debt + (consumed_at_finish or actual)
+            self._debt = 0.0
+            return min(used, budget)
+        # Ran past the budget: bank the overshoot as debt.
+        self._debt = max(actual - effective, 0.0)
+        return budget
+
+    def run_to_completion(self, chunk: float = 1000.0) -> list[tuple]:
+        """Run the query to completion and return its rows."""
+        while not self._finished:
+            self.step(chunk)
+        return self.rows
+
+    def explain(self) -> str:
+        """The annotated physical plan."""
+        return self.root.explain()

@@ -1,0 +1,542 @@
+"""Expression binding and evaluation.
+
+The planner *binds* AST expressions against a row :class:`Layout`, producing
+fast closures that take an :class:`Env` (the current row plus any outer rows
+for correlated subqueries) and return a Python value.
+
+Semantics follow SQL: three-valued logic for AND/OR/NOT, NULL propagation
+through arithmetic and comparisons, ``LIKE`` with ``%``/``_`` wildcards,
+and integer/float arithmetic with true division yielding floats.
+"""
+
+from __future__ import annotations
+
+import re
+from dataclasses import dataclass
+from typing import Any, Callable, Optional, Sequence
+
+from repro.engine.errors import ExecutionError, PlanError, SqlTypeError
+from repro.engine.sql import ast
+from repro.engine.types import compare_values, is_numeric
+
+# ---------------------------------------------------------------------------
+# Row layout and evaluation environment
+# ---------------------------------------------------------------------------
+
+
+@dataclass(frozen=True)
+class ColumnSlot:
+    """One output column of an operator: its binding name and column name."""
+
+    qualifier: Optional[str]
+    name: str
+
+    def matches(self, name: str, qualifier: Optional[str]) -> bool:
+        """Whether this slot answers to ``[qualifier.]name``."""
+        if self.name.lower() != name.lower():
+            return False
+        if qualifier is None:
+            return True
+        return (self.qualifier or "").lower() == qualifier.lower()
+
+
+class Layout:
+    """The ordered column slots of rows produced by an operator."""
+
+    def __init__(self, slots: Sequence[ColumnSlot]) -> None:
+        self.slots = list(slots)
+
+    @classmethod
+    def for_table(cls, binding: str, column_names: Sequence[str]) -> "Layout":
+        """Layout of a base-table scan bound as *binding*."""
+        return cls([ColumnSlot(binding, name) for name in column_names])
+
+    def __len__(self) -> int:
+        return len(self.slots)
+
+    def merge(self, other: "Layout") -> "Layout":
+        """Concatenate two layouts (row tuples concatenate likewise)."""
+        return Layout(self.slots + other.slots)
+
+    def try_resolve(self, name: str, qualifier: Optional[str]) -> Optional[int]:
+        """Slot index of ``[qualifier.]name``, or None if absent.
+
+        Raises
+        ------
+        PlanError
+            If the reference is ambiguous.
+        """
+        matches = [
+            i for i, slot in enumerate(self.slots) if slot.matches(name, qualifier)
+        ]
+        if not matches:
+            return None
+        if len(matches) > 1:
+            ref = f"{qualifier}.{name}" if qualifier else name
+            raise PlanError(f"ambiguous column reference {ref!r}")
+        return matches[0]
+
+    def resolve(self, name: str, qualifier: Optional[str]) -> int:
+        """Slot index of ``[qualifier.]name``.
+
+        Raises
+        ------
+        PlanError
+            If the column is unknown or ambiguous.
+        """
+        idx = self.try_resolve(name, qualifier)
+        if idx is None:
+            ref = f"{qualifier}.{name}" if qualifier else name
+            raise PlanError(f"unknown column {ref!r}")
+        return idx
+
+
+class Env:
+    """Evaluation environment: the current row, linked to outer rows."""
+
+    __slots__ = ("row", "parent")
+
+    def __init__(self, row: tuple, parent: Optional["Env"] = None) -> None:
+        self.row = row
+        self.parent = parent
+
+    def ancestor(self, depth: int) -> "Env":
+        """The environment *depth* levels up (0 = this one)."""
+        env = self
+        for _ in range(depth):
+            if env.parent is None:
+                raise ExecutionError("correlated reference escaped its scope")
+            env = env.parent
+        return env
+
+
+#: A bound expression: Env -> value.
+BoundExpr = Callable[[Env], Any]
+
+
+class BindContext:
+    """Name-resolution scope for binding expressions.
+
+    ``subquery_compiler`` is provided by the planner: it compiles a nested
+    SELECT (in this scope) into a runner ``fn(env) -> list[tuple]``.
+    """
+
+    def __init__(
+        self,
+        layout: Layout,
+        outer: Optional["BindContext"] = None,
+        subquery_compiler: Optional[
+            Callable[[ast.Select, "BindContext"], Callable[[Env], list]]
+        ] = None,
+    ) -> None:
+        self.layout = layout
+        self.outer = outer
+        self.subquery_compiler = subquery_compiler or (
+            outer.subquery_compiler if outer else None
+        )
+
+    def resolve(self, name: str, qualifier: Optional[str]) -> tuple[int, int]:
+        """Resolve a column to ``(depth, slot index)`` walking outer scopes."""
+        depth = 0
+        ctx: Optional[BindContext] = self
+        while ctx is not None:
+            idx = ctx.layout.try_resolve(name, qualifier)
+            if idx is not None:
+                return depth, idx
+            ctx = ctx.outer
+            depth += 1
+        ref = f"{qualifier}.{name}" if qualifier else name
+        raise PlanError(f"unknown column {ref!r}")
+
+
+# ---------------------------------------------------------------------------
+# Scalar functions
+# ---------------------------------------------------------------------------
+
+
+def _fn_abs(v):
+    return None if v is None else abs(v)
+
+
+def _fn_round(v, digits=0):
+    if v is None:
+        return None
+    result = round(v, int(digits))
+    return result
+
+
+def _fn_floor(v):
+    import math
+
+    return None if v is None else math.floor(v)
+
+
+def _fn_ceil(v):
+    import math
+
+    return None if v is None else math.ceil(v)
+
+
+def _fn_length(v):
+    return None if v is None else len(v)
+
+
+def _fn_upper(v):
+    return None if v is None else v.upper()
+
+
+def _fn_lower(v):
+    return None if v is None else v.lower()
+
+
+def _fn_coalesce(*args):
+    for a in args:
+        if a is not None:
+            return a
+    return None
+
+
+def _fn_nullif(a, b):
+    return None if a == b else a
+
+
+SCALAR_FUNCTIONS: dict[str, Callable] = {
+    "ABS": _fn_abs,
+    "ROUND": _fn_round,
+    "FLOOR": _fn_floor,
+    "CEIL": _fn_ceil,
+    "CEILING": _fn_ceil,
+    "LENGTH": _fn_length,
+    "UPPER": _fn_upper,
+    "LOWER": _fn_lower,
+    "COALESCE": _fn_coalesce,
+    "NULLIF": _fn_nullif,
+}
+
+
+# ---------------------------------------------------------------------------
+# Binding
+# ---------------------------------------------------------------------------
+
+
+def bind_expr(expr: ast.Expr, ctx: BindContext) -> BoundExpr:
+    """Compile *expr* into a closure over :class:`Env`.
+
+    Raises
+    ------
+    PlanError
+        On unknown columns/functions or aggregates in a scalar context.
+    """
+    if isinstance(expr, ast.Literal):
+        value = expr.value
+        return lambda env: value
+
+    if isinstance(expr, ast.ColumnRef):
+        depth, idx = ctx.resolve(expr.name, expr.qualifier)
+        if depth == 0:
+            return lambda env: env.row[idx]
+        return lambda env: env.ancestor(depth).row[idx]
+
+    if isinstance(expr, ast.BinaryOp):
+        return _bind_binary(expr, ctx)
+
+    if isinstance(expr, ast.UnaryOp):
+        operand = bind_expr(expr.operand, ctx)
+        if expr.op == "NOT":
+            def _not(env, operand=operand):
+                v = operand(env)
+                if v is None:
+                    return None
+                _require_bool(v, "NOT")
+                return not v
+
+            return _not
+        if expr.op == "-":
+            def _neg(env, operand=operand):
+                v = operand(env)
+                if v is None:
+                    return None
+                if not is_numeric(v):
+                    raise SqlTypeError(f"cannot negate {type(v).__name__}")
+                return -v
+
+            return _neg
+        raise PlanError(f"unknown unary operator {expr.op!r}")
+
+    if isinstance(expr, ast.FunctionCall):
+        name = expr.name.upper()
+        if name in ast.AGGREGATE_FUNCTIONS:
+            raise PlanError(
+                f"aggregate {name} is not allowed in this context"
+            )
+        fn = SCALAR_FUNCTIONS.get(name)
+        if fn is None:
+            raise PlanError(f"unknown function {name!r}")
+        args = [bind_expr(a, ctx) for a in expr.args]
+
+        def _call(env, fn=fn, args=args):
+            try:
+                return fn(*[a(env) for a in args])
+            except (TypeError, AttributeError) as exc:
+                raise SqlTypeError(f"bad arguments to {name}: {exc}") from exc
+
+        return _call
+
+    if isinstance(expr, ast.IsNull):
+        operand = bind_expr(expr.operand, ctx)
+        if expr.negated:
+            return lambda env: operand(env) is not None
+        return lambda env: operand(env) is None
+
+    if isinstance(expr, ast.InList):
+        operand = bind_expr(expr.operand, ctx)
+        items = [bind_expr(i, ctx) for i in expr.items]
+        negated = expr.negated
+
+        def _in(env, operand=operand, items=items, negated=negated):
+            v = operand(env)
+            if v is None:
+                return None
+            saw_null = False
+            for item in items:
+                w = item(env)
+                if w is None:
+                    saw_null = True
+                    continue
+                if compare_values(v, w) == 0:
+                    return not negated
+            if saw_null:
+                return None
+            return negated
+
+        return _in
+
+    if isinstance(expr, ast.Between):
+        operand = bind_expr(expr.operand, ctx)
+        low = bind_expr(expr.low, ctx)
+        high = bind_expr(expr.high, ctx)
+        negated = expr.negated
+
+        def _between(env):
+            v = operand(env)
+            lo = low(env)
+            hi = high(env)
+            c1 = compare_values(v, lo)
+            c2 = compare_values(v, hi)
+            if c1 is None or c2 is None:
+                return None
+            result = c1 >= 0 and c2 <= 0
+            return (not result) if negated else result
+
+        return _between
+
+    if isinstance(expr, ast.Like):
+        operand = bind_expr(expr.operand, ctx)
+        pattern = bind_expr(expr.pattern, ctx)
+        negated = expr.negated
+        cache: dict[str, re.Pattern] = {}
+
+        def _like(env):
+            v = operand(env)
+            p = pattern(env)
+            if v is None or p is None:
+                return None
+            if not isinstance(v, str) or not isinstance(p, str):
+                raise SqlTypeError("LIKE requires text operands")
+            rx = cache.get(p)
+            if rx is None:
+                rx = re.compile(_like_to_regex(p), re.DOTALL)
+                cache[p] = rx
+            result = rx.fullmatch(v) is not None
+            return (not result) if negated else result
+
+        return _like
+
+    if isinstance(expr, ast.Case):
+        whens = [(bind_expr(c, ctx), bind_expr(v, ctx)) for c, v in expr.whens]
+        else_ = bind_expr(expr.else_, ctx) if expr.else_ is not None else None
+
+        def _case(env):
+            for cond, value in whens:
+                if cond(env) is True:
+                    return value(env)
+            return else_(env) if else_ is not None else None
+
+        return _case
+
+    if isinstance(expr, ast.ScalarSubquery):
+        if ctx.subquery_compiler is None:
+            raise PlanError("subqueries are not allowed in this context")
+        runner = ctx.subquery_compiler(expr.select, ctx)
+
+        def _scalar(env):
+            rows = runner(env)
+            if not rows:
+                return None
+            if len(rows) > 1:
+                raise ExecutionError("scalar subquery returned more than one row")
+            if len(rows[0]) != 1:
+                raise ExecutionError(
+                    "scalar subquery must return exactly one column"
+                )
+            return rows[0][0]
+
+        return _scalar
+
+    if isinstance(expr, ast.ExistsSubquery):
+        if ctx.subquery_compiler is None:
+            raise PlanError("subqueries are not allowed in this context")
+        runner = ctx.subquery_compiler(expr.select, ctx)
+        negated = expr.negated
+
+        def _exists(env):
+            rows = runner(env)
+            return (not rows) if negated else bool(rows)
+
+        return _exists
+
+    if isinstance(expr, ast.InSubquery):
+        if ctx.subquery_compiler is None:
+            raise PlanError("subqueries are not allowed in this context")
+        operand = bind_expr(expr.operand, ctx)
+        runner = ctx.subquery_compiler(expr.select, ctx)
+        negated = expr.negated
+
+        def _in_subquery(env):
+            v = operand(env)
+            if v is None:
+                return None
+            rows = runner(env)
+            saw_null = False
+            for row in rows:
+                if len(row) != 1:
+                    raise ExecutionError("IN subquery must return one column")
+                w = row[0]
+                if w is None:
+                    saw_null = True
+                elif compare_values(v, w) == 0:
+                    return not negated
+            if saw_null:
+                return None
+            return negated
+
+        return _in_subquery
+
+    if isinstance(expr, ast.Star):
+        raise PlanError("'*' is only allowed at the top of a select list")
+
+    raise PlanError(f"cannot bind expression {expr!r}")
+
+
+def _require_bool(value: Any, where: str) -> None:
+    if not isinstance(value, bool):
+        raise SqlTypeError(f"{where} requires a boolean, got {type(value).__name__}")
+
+
+def _bind_binary(expr: ast.BinaryOp, ctx: BindContext) -> BoundExpr:
+    op = expr.op
+    left = bind_expr(expr.left, ctx)
+    right = bind_expr(expr.right, ctx)
+
+    if op == "AND":
+        def _and(env):
+            l = left(env)
+            if l is False:
+                return False
+            r = right(env)
+            if r is False:
+                return False
+            if l is None or r is None:
+                return None
+            _require_bool(l, "AND")
+            _require_bool(r, "AND")
+            return True
+
+        return _and
+
+    if op == "OR":
+        def _or(env):
+            l = left(env)
+            if l is True:
+                return True
+            r = right(env)
+            if r is True:
+                return True
+            if l is None or r is None:
+                return None
+            _require_bool(l, "OR")
+            _require_bool(r, "OR")
+            return False
+
+        return _or
+
+    if op in ("=", "<>", "<", "<=", ">", ">="):
+        def _cmp(env, op=op):
+            c = compare_values(left(env), right(env))
+            if c is None:
+                return None
+            if op == "=":
+                return c == 0
+            if op == "<>":
+                return c != 0
+            if op == "<":
+                return c < 0
+            if op == "<=":
+                return c <= 0
+            if op == ">":
+                return c > 0
+            return c >= 0
+
+        return _cmp
+
+    if op == "||":
+        def _concat(env):
+            l, r = left(env), right(env)
+            if l is None or r is None:
+                return None
+            if not isinstance(l, str) or not isinstance(r, str):
+                raise SqlTypeError("|| requires text operands")
+            return l + r
+
+        return _concat
+
+    if op in ("+", "-", "*", "/", "%"):
+        def _arith(env, op=op):
+            l, r = left(env), right(env)
+            if l is None or r is None:
+                return None
+            if not is_numeric(l) or not is_numeric(r):
+                raise SqlTypeError(
+                    f"operator {op} requires numeric operands, got "
+                    f"{type(l).__name__} and {type(r).__name__}"
+                )
+            if op == "+":
+                return l + r
+            if op == "-":
+                return l - r
+            if op == "*":
+                return l * r
+            if op == "/":
+                if r == 0:
+                    raise ExecutionError("division by zero")
+                return l / r
+            if r == 0:
+                raise ExecutionError("modulo by zero")
+            return l % r
+
+        return _arith
+
+    raise PlanError(f"unknown binary operator {op!r}")
+
+
+def _like_to_regex(pattern: str) -> str:
+    """Translate a SQL LIKE pattern into a regular expression."""
+    out = []
+    for ch in pattern:
+        if ch == "%":
+            out.append(".*")
+        elif ch == "_":
+            out.append(".")
+        else:
+            out.append(re.escape(ch))
+    return "".join(out)

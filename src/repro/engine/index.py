@@ -1,0 +1,134 @@
+"""Simulated B-tree indexes.
+
+The index maps a single column's values to row RIDs.  It is "simulated" in
+the sense that lookups are served from an in-memory sorted structure, but
+the *cost model* mirrors a disk B-tree: a lookup pays the tree height in
+page reads plus one page per ``entries_per_leaf`` matching entries, and each
+matching row costs a heap-page fetch (operators account that part).
+"""
+
+from __future__ import annotations
+
+import bisect
+import math
+from typing import Any, Iterator
+
+from repro.engine.errors import ExecutionError
+from repro.engine.storage import RID
+from repro.engine.types import sort_key
+
+#: Modeled fan-out of interior B-tree nodes.
+DEFAULT_FANOUT = 128
+#: Modeled entries per leaf page.
+DEFAULT_LEAF_CAPACITY = 128
+
+
+class BTreeIndex:
+    """A single-column index with a B-tree cost model."""
+
+    def __init__(
+        self,
+        name: str,
+        table: str,
+        column: str,
+        fanout: int = DEFAULT_FANOUT,
+        leaf_capacity: int = DEFAULT_LEAF_CAPACITY,
+    ) -> None:
+        if fanout < 2:
+            raise ValueError("fanout must be >= 2")
+        if leaf_capacity < 1:
+            raise ValueError("leaf_capacity must be >= 1")
+        self.name = name
+        self.table = table
+        self.column = column
+        self.fanout = fanout
+        self.leaf_capacity = leaf_capacity
+        self._entries: dict[Any, list[RID]] = {}
+        self._sorted_keys: list = []
+        self._sorted_dirty = False
+        self._size = 0
+
+    @property
+    def entry_count(self) -> int:
+        """Total number of (key, RID) entries."""
+        return self._size
+
+    @property
+    def key_count(self) -> int:
+        """Number of distinct keys."""
+        return len(self._entries)
+
+    def height(self) -> int:
+        """Modeled tree height in pages (root..leaf), at least 1."""
+        leaves = max(math.ceil(self.key_count / self.leaf_capacity), 1)
+        levels = 1
+        width = leaves
+        while width > 1:
+            width = math.ceil(width / self.fanout)
+            levels += 1
+        return levels
+
+    def insert(self, key: Any, rid: RID) -> None:
+        """Add one entry.  NULL keys are not indexed (SQL convention)."""
+        if key is None:
+            return
+        if key not in self._entries:
+            self._entries[key] = []
+            self._sorted_dirty = True
+        self._entries[key].append(rid)
+        self._size += 1
+
+    def lookup_cost(self, matches: int) -> float:
+        """Cost in U's of an equality probe returning *matches* entries."""
+        leaf_pages = max(math.ceil(matches / self.leaf_capacity), 1)
+        return float(self.height() + leaf_pages - 1)
+
+    def search(self, key: Any) -> list[RID]:
+        """RIDs of rows whose indexed column equals *key* (NULL matches none)."""
+        if key is None:
+            return []
+        try:
+            return list(self._entries.get(key, ()))
+        except TypeError as exc:
+            raise ExecutionError(f"unhashable index probe value {key!r}") from exc
+
+    def _keys(self) -> list:
+        if self._sorted_dirty:
+            self._sorted_keys = sorted(self._entries.keys(), key=sort_key)
+            self._sorted_dirty = False
+        return self._sorted_keys
+
+    def search_range(
+        self,
+        low: Any = None,
+        high: Any = None,
+        low_inclusive: bool = True,
+        high_inclusive: bool = True,
+    ) -> Iterator[tuple[Any, list[RID]]]:
+        """Iterate ``(key, rids)`` for keys within the given bounds."""
+        keys = self._keys()
+        if low is None:
+            start = 0
+        else:
+            probe = sort_key(low)
+            if low_inclusive:
+                start = bisect.bisect_left(keys, probe, key=sort_key)
+            else:
+                start = bisect.bisect_right(keys, probe, key=sort_key)
+        for key in keys[start:]:
+            if high is not None:
+                cmp = sort_key(key) > sort_key(high)
+                edge = sort_key(key) == sort_key(high)
+                if cmp or (edge and not high_inclusive):
+                    break
+            yield key, list(self._entries[key])
+
+    def min_key(self) -> Any:
+        """Smallest indexed key, or None if empty."""
+        keys = self._keys()
+        return keys[0] if keys else None
+
+    def max_key(self) -> Any:
+        """Largest indexed key, or None if empty."""
+        keys = self._keys()
+        return keys[-1] if keys else None

@@ -1,0 +1,31 @@
+"""Physical operators: pull-based iterators with page-level work accounting."""
+
+from repro.engine.operators.base import Operator, WorkAccount
+from repro.engine.operators.scans import IndexScan, SeqScan
+from repro.engine.operators.transforms import (
+    Distinct,
+    Filter,
+    Limit,
+    Materialize,
+    Project,
+)
+from repro.engine.operators.joins import HashJoin, NestedLoopJoin
+from repro.engine.operators.agg import AggSpec, HashAggregate
+from repro.engine.operators.sort import Sort
+
+__all__ = [
+    "AggSpec",
+    "Distinct",
+    "Filter",
+    "HashAggregate",
+    "HashJoin",
+    "IndexScan",
+    "Limit",
+    "Materialize",
+    "NestedLoopJoin",
+    "Operator",
+    "Project",
+    "SeqScan",
+    "Sort",
+    "WorkAccount",
+]

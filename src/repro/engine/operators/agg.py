@@ -1,0 +1,126 @@
+"""Aggregation: hash aggregate with SQL NULL semantics.
+
+Supports SUM / COUNT / AVG / MIN / MAX, ``COUNT(*)`` and ``DISTINCT``
+arguments.  With no GROUP BY the aggregate produces exactly one row even on
+empty input (``COUNT`` = 0, other aggregates = NULL), matching SQL.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Any, Iterator, Optional, Sequence
+
+from repro.engine.errors import PlanError, SqlTypeError
+from repro.engine.expr import BoundExpr, Env, Layout
+from repro.engine.operators.base import Operator
+from repro.engine.types import compare_values, is_numeric
+
+
+@dataclass
+class AggSpec:
+    """One aggregate to compute: function, argument, DISTINCT flag."""
+
+    func: str  # SUM / COUNT / AVG / MIN / MAX
+    arg: Optional[BoundExpr]  # None only for COUNT(*)
+    distinct: bool = False
+
+    def __post_init__(self) -> None:
+        self.func = self.func.upper()
+        if self.func not in ("SUM", "COUNT", "AVG", "MIN", "MAX"):
+            raise PlanError(f"unknown aggregate {self.func!r}")
+        if self.arg is None and self.func != "COUNT":
+            raise PlanError(f"{self.func} requires an argument")
+
+
+class _AggState:
+    """Accumulator for one aggregate within one group."""
+
+    __slots__ = ("spec", "count", "total", "extreme", "seen")
+
+    def __init__(self, spec: AggSpec) -> None:
+        self.spec = spec
+        self.count = 0
+        self.total: Any = None
+        self.extreme: Any = None
+        self.seen: set | None = set() if spec.distinct else None
+
+    def update(self, value: Any) -> None:
+        if value is None:
+            return
+        if self.seen is not None:
+            if value in self.seen:
+                return
+            self.seen.add(value)
+        func = self.spec.func
+        self.count += 1
+        if func in ("SUM", "AVG"):
+            if not is_numeric(value):
+                raise SqlTypeError(f"{func} requires numeric input, got {value!r}")
+            self.total = value if self.total is None else self.total + value
+        elif func == "MIN":
+            if self.extreme is None or compare_values(value, self.extreme) < 0:
+                self.extreme = value
+        elif func == "MAX":
+            if self.extreme is None or compare_values(value, self.extreme) > 0:
+                self.extreme = value
+
+    def result(self) -> Any:
+        func = self.spec.func
+        if func == "COUNT":
+            return self.count
+        if func == "SUM":
+            return self.total
+        if func == "AVG":
+            return None if self.count == 0 else self.total / self.count
+        return self.extreme
+
+
+class HashAggregate(Operator):
+    """Group rows by key expressions and fold aggregates per group.
+
+    Output rows are ``group values + aggregate values`` in declaration
+    order; *layout* must match.
+    """
+
+    def __init__(
+        self,
+        child: Operator,
+        group_exprs: Sequence[BoundExpr],
+        aggregates: Sequence[AggSpec],
+        layout: Layout,
+    ) -> None:
+        if len(layout) != len(group_exprs) + len(aggregates):
+            raise ValueError("aggregate layout arity mismatch")
+        super().__init__(layout, child.account)
+        self.child = child
+        self.group_exprs = list(group_exprs)
+        self.aggregates = list(aggregates)
+
+    def children(self) -> tuple[Operator, ...]:
+        return (self.child,)
+
+    def rows(self, outer_env: Optional[Env] = None) -> Iterator[tuple]:
+        groups: dict[tuple, list[_AggState]] = {}
+        order: list[tuple] = []
+        for row in self.child.rows(outer_env):
+            env = Env(row, outer_env)
+            key = tuple(g(env) for g in self.group_exprs)
+            states = groups.get(key)
+            if states is None:
+                states = [_AggState(spec) for spec in self.aggregates]
+                groups[key] = states
+                order.append(key)
+            for state in states:
+                value = state.spec.arg(env) if state.spec.arg is not None else 1
+                state.update(value)
+
+        if not groups and not self.group_exprs:
+            # Global aggregate over empty input: one row of identities.
+            yield tuple(_AggState(spec).result() for spec in self.aggregates)
+            return
+        for key in order:
+            yield key + tuple(state.result() for state in groups[key])
+
+    def describe(self) -> str:
+        aggs = ", ".join(s.func for s in self.aggregates)
+        return f"HashAggregate groups={len(self.group_exprs)} aggs=[{aggs}]"

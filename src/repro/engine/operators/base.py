@@ -1,0 +1,67 @@
+"""Operator base class and the work account.
+
+Every operator produces an iterator of row tuples via :meth:`Operator.rows`.
+Operators that touch storage charge the shared :class:`WorkAccount` as they
+go -- **one page of I/O = one U** -- which is what makes executions steppable
+in work units and gives progress indicators their counters.
+
+``rows(outer_env)`` takes the evaluation environment of the *enclosing*
+query (or ``None`` at the top level) so the same operator tree can serve as
+a correlated subplan, re-executed per outer row.
+"""
+
+from __future__ import annotations
+
+import abc
+from typing import Iterator, Optional
+
+from repro.engine.expr import Env, Layout
+
+
+class WorkAccount:
+    """Accumulates work (in U's) charged by operators during execution."""
+
+    __slots__ = ("total",)
+
+    def __init__(self) -> None:
+        self.total = 0.0
+
+    def charge(self, units: float) -> None:
+        """Add *units* U's of work."""
+        if units < 0:
+            raise ValueError("cannot charge negative work")
+        self.total += units
+
+
+class Operator(abc.ABC):
+    """Base class of all physical operators."""
+
+    def __init__(self, layout: Layout, account: WorkAccount) -> None:
+        self.layout = layout
+        self.account = account
+        #: Optimizer estimates, annotated by the planner.
+        self.est_cost: float = 0.0
+        self.est_rows: float = 0.0
+
+    @abc.abstractmethod
+    def rows(self, outer_env: Optional[Env] = None) -> Iterator[tuple]:
+        """Iterate output rows, charging work as pages are touched."""
+
+    def children(self) -> tuple["Operator", ...]:
+        """Child operators (for plan inspection and explain output)."""
+        return ()
+
+    def explain(self, indent: int = 0) -> str:
+        """A human-readable plan tree with cost annotations."""
+        pad = "  " * indent
+        line = (
+            f"{pad}{self.describe()}  "
+            f"(cost={self.est_cost:.1f} rows={self.est_rows:.0f})"
+        )
+        parts = [line]
+        parts.extend(child.explain(indent + 1) for child in self.children())
+        return "\n".join(parts)
+
+    def describe(self) -> str:
+        """One-line operator description (overridden by subclasses)."""
+        return type(self).__name__

@@ -1,0 +1,135 @@
+"""Join operators: nested loop and hash join."""
+
+from __future__ import annotations
+
+import math
+from typing import Iterator, Optional
+
+from repro.engine.errors import SqlTypeError
+from repro.engine.expr import BoundExpr, Env
+from repro.engine.operators.base import Operator
+
+
+class NestedLoopJoin(Operator):
+    """Inner join by rescanning the (usually materialized) inner side.
+
+    The optional condition is evaluated over the concatenated row; a missing
+    condition makes this a cross join.
+    """
+
+    def __init__(
+        self,
+        outer: Operator,
+        inner: Operator,
+        condition: Optional[BoundExpr] = None,
+        label: str = "",
+        left_outer: bool = False,
+    ) -> None:
+        super().__init__(outer.layout.merge(inner.layout), outer.account)
+        self.outer = outer
+        self.inner = inner
+        self.condition = condition
+        self.label = label
+        self.left_outer = left_outer
+
+    def children(self) -> tuple[Operator, ...]:
+        return (self.outer, self.inner)
+
+    def rows(self, outer_env: Optional[Env] = None) -> Iterator[tuple]:
+        condition = self.condition
+        pad = (None,) * len(self.inner.layout)
+        for left in self.outer.rows(outer_env):
+            matched = False
+            for right in self.inner.rows(outer_env):
+                combined = left + right
+                if condition is None:
+                    matched = True
+                    yield combined
+                    continue
+                verdict = condition(Env(combined, outer_env))
+                if verdict is True:
+                    matched = True
+                    yield combined
+                elif verdict is not False and verdict is not None:
+                    raise SqlTypeError("join condition must be boolean")
+            if self.left_outer and not matched:
+                yield left + pad
+
+    def describe(self) -> str:
+        if self.left_outer:
+            kind = "NestedLoopLeftJoin"
+        elif self.condition:
+            kind = "NestedLoopJoin"
+        else:
+            kind = "CrossJoin"
+        return f"{kind} {self.label}".rstrip()
+
+
+class HashJoin(Operator):
+    """Equi-join: build a hash table on the right side, probe with the left.
+
+    Charges a modeled partition spill of the build side
+    (``2 * ceil(rows / rows_per_page)`` U) on top of the children's own
+    costs, mirroring a grace hash join that writes and rereads build
+    partitions.  Residual (non-equi) predicates can be attached by wrapping
+    the join in a Filter.
+    """
+
+    def __init__(
+        self,
+        probe_side: Operator,
+        build_side: Operator,
+        probe_key: BoundExpr,
+        build_key: BoundExpr,
+        rows_per_page: int = 50,
+        label: str = "",
+        left_outer: bool = False,
+        residual: Optional[BoundExpr] = None,
+    ) -> None:
+        super().__init__(probe_side.layout.merge(build_side.layout), probe_side.account)
+        self.probe_side = probe_side
+        self.build_side = build_side
+        self.probe_key = probe_key
+        self.build_key = build_key
+        self.rows_per_page = rows_per_page
+        self.label = label
+        self.left_outer = left_outer
+        self.residual = residual
+
+    def children(self) -> tuple[Operator, ...]:
+        return (self.probe_side, self.build_side)
+
+    def rows(self, outer_env: Optional[Env] = None) -> Iterator[tuple]:
+        table: dict = {}
+        count = 0
+        for row in self.build_side.rows(outer_env):
+            key = self.build_key(Env(row, outer_env))
+            if key is None:
+                continue  # NULL never joins
+            table.setdefault(key, []).append(row)
+            count += 1
+        self.account.charge(2.0 * math.ceil(count / self.rows_per_page))
+
+        pad = (None,) * len(self.build_side.layout)
+        for left in self.probe_side.rows(outer_env):
+            key = self.probe_key(Env(left, outer_env))
+            matched = False
+            if key is not None:
+                for right in table.get(key, ()):
+                    combined = left + right
+                    if self.residual is not None:
+                        verdict = self.residual(Env(combined, outer_env))
+                        if verdict is not True:
+                            if verdict not in (False, None):
+                                raise SqlTypeError(
+                                    "join condition must be boolean"
+                                )
+                            continue
+                    matched = True
+                    yield combined
+            if self.left_outer and not matched:
+                yield left + pad
+
+    def describe(self) -> str:
+        kind = "HashLeftJoin" if self.left_outer else "HashJoin"
+        return f"{kind} {self.label}".rstrip()

@@ -1,0 +1,52 @@
+"""Sort operator (blocking, with modeled external-sort cost)."""
+
+from __future__ import annotations
+
+import math
+from typing import Iterator, Optional, Sequence
+
+from repro.engine.expr import BoundExpr, Env
+from repro.engine.operators.base import Operator
+from repro.engine.types import sort_key
+
+
+class Sort(Operator):
+    """ORDER BY: materialize, sort, emit.
+
+    Charges ``2 * ceil(rows / rows_per_page)`` U, modeling one write and one
+    read pass of an external sort.  NULLs sort first (ascending).
+    """
+
+    def __init__(
+        self,
+        child: Operator,
+        keys: Sequence[tuple[BoundExpr, bool]],  # (expr, descending)
+        rows_per_page: int = 50,
+    ) -> None:
+        if not keys:
+            raise ValueError("sort requires at least one key")
+        if rows_per_page < 1:
+            raise ValueError("rows_per_page must be >= 1")
+        super().__init__(child.layout, child.account)
+        self.child = child
+        self.keys = list(keys)
+        self.rows_per_page = rows_per_page
+
+    def children(self) -> tuple[Operator, ...]:
+        return (self.child,)
+
+    def rows(self, outer_env: Optional[Env] = None) -> Iterator[tuple]:
+        data = list(self.child.rows(outer_env))
+        self.account.charge(2.0 * math.ceil(len(data) / self.rows_per_page))
+
+        # Stable multi-key sort: apply keys right-to-left.
+        for expr, descending in reversed(self.keys):
+            data.sort(
+                key=lambda row, e=expr: sort_key(e(Env(row, outer_env))),
+                reverse=descending,
+            )
+        yield from data
+
+    def describe(self) -> str:
+        directions = ", ".join("DESC" if d else "ASC" for _, d in self.keys)
+        return f"Sort [{directions}]"

@@ -1,0 +1,215 @@
+"""Row-transforming operators: filter, project, limit, distinct, materialize."""
+
+from __future__ import annotations
+
+import math
+from typing import Iterator, Optional, Sequence
+
+from repro.engine.errors import SqlTypeError
+from repro.engine.expr import BoundExpr, Env, Layout
+from repro.engine.operators.base import Operator, WorkAccount
+
+__all__ = [
+    "Concat",
+    "Distinct",
+    "Filter",
+    "Limit",
+    "Materialize",
+    "Project",
+    "SingleRow",
+]
+
+
+class SingleRow(Operator):
+    """Produces exactly one empty row (``SELECT 1`` without FROM)."""
+
+    def __init__(self, account: WorkAccount) -> None:
+        super().__init__(Layout([]), account)
+
+    def rows(self, outer_env: Optional[Env] = None) -> Iterator[tuple]:
+        yield ()
+
+    def describe(self) -> str:
+        return "SingleRow"
+
+
+class Filter(Operator):
+    """Keep rows whose predicate evaluates to TRUE (not FALSE, not NULL)."""
+
+    def __init__(self, child: Operator, predicate: BoundExpr, label: str = "") -> None:
+        super().__init__(child.layout, child.account)
+        self.child = child
+        self.predicate = predicate
+        self.label = label
+
+    def children(self) -> tuple[Operator, ...]:
+        return (self.child,)
+
+    def rows(self, outer_env: Optional[Env] = None) -> Iterator[tuple]:
+        predicate = self.predicate
+        for row in self.child.rows(outer_env):
+            verdict = predicate(Env(row, outer_env))
+            if verdict is True:
+                yield row
+            elif verdict is not False and verdict is not None:
+                raise SqlTypeError(
+                    f"WHERE/ON predicate returned {type(verdict).__name__}, "
+                    "expected boolean"
+                )
+
+    def describe(self) -> str:
+        return f"Filter {self.label}".rstrip()
+
+
+class Project(Operator):
+    """Evaluate a list of expressions per row."""
+
+    def __init__(
+        self,
+        child: Operator,
+        exprs: Sequence[BoundExpr],
+        layout: Layout,
+    ) -> None:
+        if len(exprs) != len(layout):
+            raise ValueError("projection arity mismatch")
+        super().__init__(layout, child.account)
+        self.child = child
+        self.exprs = list(exprs)
+
+    def children(self) -> tuple[Operator, ...]:
+        return (self.child,)
+
+    def rows(self, outer_env: Optional[Env] = None) -> Iterator[tuple]:
+        exprs = self.exprs
+        for row in self.child.rows(outer_env):
+            env = Env(row, outer_env)
+            yield tuple(e(env) for e in exprs)
+
+    def describe(self) -> str:
+        names = ", ".join(s.name for s in self.layout.slots)
+        return f"Project [{names}]"
+
+
+class Limit(Operator):
+    """LIMIT / OFFSET."""
+
+    def __init__(
+        self, child: Operator, limit: Optional[int], offset: int = 0
+    ) -> None:
+        if limit is not None and limit < 0:
+            raise ValueError("limit must be >= 0")
+        if offset < 0:
+            raise ValueError("offset must be >= 0")
+        super().__init__(child.layout, child.account)
+        self.child = child
+        self.limit = limit
+        self.offset = offset
+
+    def children(self) -> tuple[Operator, ...]:
+        return (self.child,)
+
+    def rows(self, outer_env: Optional[Env] = None) -> Iterator[tuple]:
+        produced = 0
+        skipped = 0
+        for row in self.child.rows(outer_env):
+            if skipped < self.offset:
+                skipped += 1
+                continue
+            if self.limit is not None and produced >= self.limit:
+                return
+            produced += 1
+            yield row
+
+    def describe(self) -> str:
+        return f"Limit {self.limit} offset {self.offset}"
+
+
+class Distinct(Operator):
+    """Hash-based duplicate elimination (row-wise)."""
+
+    def __init__(self, child: Operator) -> None:
+        super().__init__(child.layout, child.account)
+        self.child = child
+
+    def children(self) -> tuple[Operator, ...]:
+        return (self.child,)
+
+    def rows(self, outer_env: Optional[Env] = None) -> Iterator[tuple]:
+        seen: set = set()
+        for row in self.child.rows(outer_env):
+            if row not in seen:
+                seen.add(row)
+                yield row
+
+    def describe(self) -> str:
+        return "Distinct"
+
+
+class Concat(Operator):
+    """Concatenate the outputs of several children (UNION ALL).
+
+    All children must share the first child's arity; the output layout is
+    the first child's with qualifiers stripped (a union result is a fresh
+    relation).
+    """
+
+    def __init__(self, children: Sequence[Operator], layout: Layout) -> None:
+        if not children:
+            raise ValueError("Concat requires at least one child")
+        arity = len(children[0].layout)
+        for child in children[1:]:
+            if len(child.layout) != arity:
+                raise ValueError(
+                    "UNION branches must have the same number of columns"
+                )
+        super().__init__(layout, children[0].account)
+        self._children = tuple(children)
+
+    def children(self) -> tuple[Operator, ...]:
+        return self._children
+
+    def rows(self, outer_env: Optional[Env] = None) -> Iterator[tuple]:
+        for child in self._children:
+            yield from child.rows(outer_env)
+
+    def describe(self) -> str:
+        return f"Concat ({len(self._children)} branches)"
+
+
+class Materialize(Operator):
+    """Run the child once, cache its rows, and replay them for free.
+
+    Charges the spill cost once: ``ceil(rows / rows_per_page)`` U to write
+    plus the same to re-read on the first replay (an in-memory-friendly but
+    not free model).  Used as the inner side of nested-loop joins.
+
+    A materialization is only valid for a fixed outer environment; callers
+    must not reuse it across different correlation bindings (the planner
+    only materializes uncorrelated subtrees).
+    """
+
+    def __init__(self, child: Operator, rows_per_page: int = 50) -> None:
+        if rows_per_page < 1:
+            raise ValueError("rows_per_page must be >= 1")
+        super().__init__(child.layout, child.account)
+        self.child = child
+        self.rows_per_page = rows_per_page
+        self._cache: list[tuple] | None = None
+
+    def children(self) -> tuple[Operator, ...]:
+        return (self.child,)
+
+    def spill_pages(self, row_count: int) -> int:
+        """Modeled pages needed to hold *row_count* rows."""
+        return math.ceil(row_count / self.rows_per_page) if row_count else 0
+
+    def rows(self, outer_env: Optional[Env] = None) -> Iterator[tuple]:
+        if self._cache is None:
+            cache = list(self.child.rows(outer_env))
+            # Write + one read of the spill file.
+            self.account.charge(2.0 * self.spill_pages(len(cache)))
+            self._cache = cache
+        yield from self._cache
+
+    def describe(self) -> str:
+        return "Materialize"

@@ -1,0 +1,105 @@
+"""Per-query progress tracking: the single-query machinery of [11, 12].
+
+A query starts with the optimizer's cost estimate (in U's).  As execution
+proceeds the tracker *refines* the total-cost estimate by extrapolating
+from the plan's **driver scan** -- the outermost sequential scan, whose
+page progress tells us which fraction of the input has been consumed.
+Because the work counter includes everything charged downstream (index
+probes of a correlated subquery, spills, ...), the extrapolation
+
+    ``refined_total = work_done / driver_fraction``
+
+automatically corrects both cardinality and per-probe cost errors, exactly
+the kind of mid-flight refinement the paper's PIs rely on.  Early in the
+run (driver fraction below ``blend_until``) the optimizer estimate and the
+extrapolation are blended linearly to avoid wild small-sample swings.
+
+Plans without a sequential scan (pure index lookups) fall back to the
+optimizer estimate, floored at the work already done.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+from repro.engine.operators.base import Operator, WorkAccount
+from repro.engine.operators.scans import SeqScan
+
+
+def find_driver_scan(root: Operator) -> Optional[SeqScan]:
+    """The plan's driver: the first sequential scan in DFS order."""
+    if isinstance(root, SeqScan):
+        return root
+    for child in root.children():
+        found = find_driver_scan(child)
+        if found is not None:
+            return found
+    return None
+
+
+class ProgressTracker:
+    """Refined remaining-cost estimation for one running query."""
+
+    def __init__(
+        self,
+        root: Operator,
+        account: WorkAccount,
+        optimizer_estimate: float,
+        blend_until: float = 0.05,
+    ) -> None:
+        if optimizer_estimate < 0:
+            raise ValueError("optimizer_estimate must be >= 0")
+        if not 0 < blend_until <= 1:
+            raise ValueError("blend_until must be in (0, 1]")
+        self._root = root
+        self._account = account
+        self.optimizer_estimate = optimizer_estimate
+        self._blend_until = blend_until
+        self._driver = find_driver_scan(root)
+        self._finished = False
+
+    @property
+    def work_done(self) -> float:
+        """Work charged so far, in U's."""
+        return self._account.total
+
+    def driver_fraction(self) -> Optional[float]:
+        """Input fraction consumed by the driver scan, or None if no driver."""
+        if self._driver is None:
+            return None
+        return self._driver.progress_fraction()
+
+    def mark_finished(self) -> None:
+        """Record that the query has completed (remaining cost is 0)."""
+        self._finished = True
+
+    def estimated_total_cost(self) -> float:
+        """Current refined estimate of the query's total cost, in U's."""
+        done = self.work_done
+        if self._finished:
+            return done
+        fraction = self.driver_fraction()
+        if fraction is None or fraction <= 0:
+            return max(self.optimizer_estimate, done)
+        extrapolated = done / fraction
+        if fraction < self._blend_until:
+            weight = fraction / self._blend_until
+            blended = (
+                weight * extrapolated + (1.0 - weight) * self.optimizer_estimate
+            )
+        else:
+            blended = extrapolated
+        return max(blended, done)
+
+    def estimated_remaining_cost(self) -> float:
+        """Refined remaining cost in U's (the PI's ``c``)."""
+        if self._finished:
+            return 0.0
+        return max(self.estimated_total_cost() - self.work_done, 0.0)
+
+    def completed_fraction(self) -> float:
+        """Fraction of the (refined) total completed so far."""
+        total = self.estimated_total_cost()
+        if total <= 0:
+            return 1.0 if self._finished else 0.0
+        return min(self.work_done / total, 1.0)

@@ -1,0 +1,101 @@
+"""Table schemas: column definitions and row validation."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Sequence
+
+from repro.engine.errors import CatalogError, SqlTypeError
+from repro.engine.types import SqlType, coerce_value
+
+
+@dataclass(frozen=True)
+class Column:
+    """One column of a table."""
+
+    name: str
+    sql_type: SqlType
+    nullable: bool = True
+
+    def __post_init__(self) -> None:
+        if not self.name or not self.name.isidentifier():
+            raise CatalogError(f"invalid column name {self.name!r}")
+
+
+@dataclass(frozen=True)
+class TableSchema:
+    """An ordered collection of columns."""
+
+    name: str
+    columns: tuple[Column, ...]
+    _index: dict = field(default_factory=dict, compare=False, repr=False)
+
+    def __post_init__(self) -> None:
+        if not self.name or not self.name.isidentifier():
+            raise CatalogError(f"invalid table name {self.name!r}")
+        if not self.columns:
+            raise CatalogError(f"table {self.name!r} must have at least one column")
+        seen = set()
+        for i, col in enumerate(self.columns):
+            lowered = col.name.lower()
+            if lowered in seen:
+                raise CatalogError(
+                    f"duplicate column {col.name!r} in table {self.name!r}"
+                )
+            seen.add(lowered)
+            self._index[lowered] = i
+
+    @classmethod
+    def of(cls, name: str, columns: Sequence[Column]) -> "TableSchema":
+        """Build a schema from any column sequence."""
+        return cls(name=name, columns=tuple(columns))
+
+    @property
+    def column_names(self) -> tuple[str, ...]:
+        """Column names in order."""
+        return tuple(c.name for c in self.columns)
+
+    def has_column(self, name: str) -> bool:
+        """Whether a column of that (case-insensitive) name exists."""
+        return name.lower() in self._index
+
+    def column_position(self, name: str) -> int:
+        """Ordinal of *name* in the row tuple.
+
+        Raises
+        ------
+        CatalogError
+            For an unknown column.
+        """
+        try:
+            return self._index[name.lower()]
+        except KeyError:
+            raise CatalogError(
+                f"no column {name!r} in table {self.name!r}"
+            ) from None
+
+    def column(self, name: str) -> Column:
+        """The :class:`Column` called *name*."""
+        return self.columns[self.column_position(name)]
+
+    def validate_row(self, values: Sequence[Any]) -> tuple:
+        """Coerce and validate one row for insertion.
+
+        Raises
+        ------
+        SqlTypeError
+            On arity mismatch, type mismatch or NULL in a NOT NULL column.
+        """
+        if len(values) != len(self.columns):
+            raise SqlTypeError(
+                f"table {self.name!r} expects {len(self.columns)} values, "
+                f"got {len(values)}"
+            )
+        row = []
+        for col, value in zip(self.columns, values):
+            if value is None and not col.nullable:
+                raise SqlTypeError(
+                    f"column {col.name!r} of table {self.name!r} is NOT NULL"
+                )
+            row.append(coerce_value(value, col.sql_type, col.name))
+        return tuple(row)

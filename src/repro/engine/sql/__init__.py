@@ -1,0 +1,5 @@
+"""SQL front-end: lexer, AST and recursive-descent parser."""
+
+from repro.engine.sql.parser import parse_statement, parse_statements
+
+__all__ = ["parse_statement", "parse_statements"]

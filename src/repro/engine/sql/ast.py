@@ -1,0 +1,354 @@
+"""Abstract syntax trees for SQL statements and expressions.
+
+Expression nodes are shared by the parser, the planner (which binds them to
+row layouts) and the evaluator.  Statement nodes are plain dataclasses the
+planner consumes.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Any, Optional
+
+# ---------------------------------------------------------------------------
+# Expressions
+# ---------------------------------------------------------------------------
+
+
+class Expr:
+    """Base class for expression nodes."""
+
+    __slots__ = ()
+
+
+@dataclass(frozen=True)
+class Literal(Expr):
+    """A constant value (number, string, boolean or NULL)."""
+
+    value: Any
+
+
+@dataclass(frozen=True)
+class ColumnRef(Expr):
+    """A (possibly qualified) column reference, e.g. ``p.retailprice``."""
+
+    name: str
+    qualifier: Optional[str] = None
+
+    def __str__(self) -> str:
+        return f"{self.qualifier}.{self.name}" if self.qualifier else self.name
+
+
+@dataclass(frozen=True)
+class Star(Expr):
+    """``*`` or ``alias.*`` in a select list."""
+
+    qualifier: Optional[str] = None
+
+
+@dataclass(frozen=True)
+class BinaryOp(Expr):
+    """Binary operation: arithmetic, comparison, AND/OR, ``||``."""
+
+    op: str
+    left: Expr
+    right: Expr
+
+
+@dataclass(frozen=True)
+class UnaryOp(Expr):
+    """Unary operation: ``NOT x`` or ``-x``."""
+
+    op: str
+    operand: Expr
+
+
+@dataclass(frozen=True)
+class FunctionCall(Expr):
+    """A scalar or aggregate function call.
+
+    ``distinct`` only applies to aggregates (``COUNT(DISTINCT x)``).
+    """
+
+    name: str
+    args: tuple[Expr, ...]
+    distinct: bool = False
+    star: bool = False  # COUNT(*)
+
+
+@dataclass(frozen=True)
+class IsNull(Expr):
+    """``x IS [NOT] NULL``."""
+
+    operand: Expr
+    negated: bool = False
+
+
+@dataclass(frozen=True)
+class InList(Expr):
+    """``x [NOT] IN (e1, e2, ...)``."""
+
+    operand: Expr
+    items: tuple[Expr, ...]
+    negated: bool = False
+
+
+@dataclass(frozen=True)
+class Between(Expr):
+    """``x [NOT] BETWEEN low AND high``."""
+
+    operand: Expr
+    low: Expr
+    high: Expr
+    negated: bool = False
+
+
+@dataclass(frozen=True)
+class Like(Expr):
+    """``x [NOT] LIKE pattern`` (pattern must be a literal)."""
+
+    operand: Expr
+    pattern: Expr
+    negated: bool = False
+
+
+@dataclass(frozen=True)
+class Case(Expr):
+    """``CASE WHEN cond THEN value ... [ELSE value] END``."""
+
+    whens: tuple[tuple[Expr, Expr], ...]
+    else_: Optional[Expr] = None
+
+
+@dataclass(frozen=True)
+class ScalarSubquery(Expr):
+    """A parenthesised SELECT used as a scalar value (may be correlated)."""
+
+    select: "Select"
+
+
+@dataclass(frozen=True)
+class ExistsSubquery(Expr):
+    """``[NOT] EXISTS (SELECT ...)``."""
+
+    select: "Select"
+    negated: bool = False
+
+
+@dataclass(frozen=True)
+class InSubquery(Expr):
+    """``x [NOT] IN (SELECT ...)``."""
+
+    operand: Expr
+    select: "Select"
+    negated: bool = False
+
+
+#: Aggregate function names recognised by the planner.
+AGGREGATE_FUNCTIONS = frozenset({"SUM", "COUNT", "AVG", "MIN", "MAX"})
+
+
+def contains_aggregate(expr: Expr) -> bool:
+    """Whether *expr* contains an aggregate function call (at this level --
+    subquery internals do not count)."""
+    if isinstance(expr, FunctionCall):
+        if expr.name.upper() in AGGREGATE_FUNCTIONS:
+            return True
+        return any(contains_aggregate(a) for a in expr.args)
+    if isinstance(expr, BinaryOp):
+        return contains_aggregate(expr.left) or contains_aggregate(expr.right)
+    if isinstance(expr, UnaryOp):
+        return contains_aggregate(expr.operand)
+    if isinstance(expr, IsNull):
+        return contains_aggregate(expr.operand)
+    if isinstance(expr, InList):
+        return contains_aggregate(expr.operand) or any(
+            contains_aggregate(i) for i in expr.items
+        )
+    if isinstance(expr, Between):
+        return any(
+            contains_aggregate(e) for e in (expr.operand, expr.low, expr.high)
+        )
+    if isinstance(expr, Like):
+        return contains_aggregate(expr.operand)
+    if isinstance(expr, Case):
+        parts = [e for pair in expr.whens for e in pair]
+        if expr.else_ is not None:
+            parts.append(expr.else_)
+        return any(contains_aggregate(p) for p in parts)
+    return False
+
+
+# ---------------------------------------------------------------------------
+# Statements
+# ---------------------------------------------------------------------------
+
+
+@dataclass(frozen=True)
+class SelectItem:
+    """One select-list entry: an expression with an optional alias."""
+
+    expr: Expr
+    alias: Optional[str] = None
+
+
+@dataclass(frozen=True)
+class TableRef:
+    """A base-table reference with an optional alias."""
+
+    name: str
+    alias: Optional[str] = None
+
+    @property
+    def binding(self) -> str:
+        """The name this table is referred to by in the query."""
+        return self.alias or self.name
+
+
+@dataclass(frozen=True)
+class DerivedTable:
+    """``FROM (SELECT ...) alias`` -- a subquery used as a table."""
+
+    select: object  # Select | Union
+    alias: str
+
+    @property
+    def binding(self) -> str:
+        """The name this derived table is referred to by."""
+        return self.alias
+
+
+@dataclass(frozen=True)
+class Join:
+    """An explicit ``A JOIN B ON cond`` (INNER or CROSS)."""
+
+    left: "FromItem"
+    right: object  # TableRef | DerivedTable
+    condition: Optional[Expr]  # None for CROSS JOIN
+    kind: str = "INNER"
+
+
+FromItem = "TableRef | Join"
+
+
+@dataclass(frozen=True)
+class OrderItem:
+    """One ORDER BY entry."""
+
+    expr: Expr
+    descending: bool = False
+
+
+@dataclass(frozen=True)
+class Select:
+    """A SELECT statement."""
+
+    items: tuple[SelectItem, ...]
+    from_items: tuple[object, ...] = ()  # TableRef | Join, comma-separated
+    where: Optional[Expr] = None
+    group_by: tuple[Expr, ...] = ()
+    having: Optional[Expr] = None
+    order_by: tuple[OrderItem, ...] = ()
+    limit: Optional[int] = None
+    offset: Optional[int] = None
+    distinct: bool = False
+
+
+@dataclass(frozen=True)
+class Union:
+    """``SELECT ... UNION [ALL] SELECT ...`` chains.
+
+    ``branches`` holds the member selects; ``all_flags[i]`` records whether
+    the joint between branch ``i`` and ``i+1`` was ``UNION ALL``.  A final
+    ORDER BY / LIMIT applies to the whole union.
+    """
+
+    branches: tuple[Select, ...]
+    all_flags: tuple[bool, ...]
+    order_by: tuple[OrderItem, ...] = ()
+    limit: Optional[int] = None
+    offset: Optional[int] = None
+
+    @property
+    def deduplicate(self) -> bool:
+        """True if any joint is a plain UNION (SQL dedups the whole result)."""
+        return any(not flag for flag in self.all_flags)
+
+
+@dataclass(frozen=True)
+class Insert:
+    """``INSERT INTO table [(cols)] VALUES (...), (...)``."""
+
+    table: str
+    columns: tuple[str, ...]
+    rows: tuple[tuple[Expr, ...], ...]
+
+
+@dataclass(frozen=True)
+class ColumnDef:
+    """One column definition inside CREATE TABLE."""
+
+    name: str
+    type_name: str
+    nullable: bool = True
+
+
+@dataclass(frozen=True)
+class CreateTable:
+    """``CREATE TABLE name (col type [NOT NULL], ...)``."""
+
+    name: str
+    columns: tuple[ColumnDef, ...]
+
+
+@dataclass(frozen=True)
+class CreateIndex:
+    """``CREATE INDEX name ON table (column)``."""
+
+    name: str
+    table: str
+    column: str
+
+
+@dataclass(frozen=True)
+class DropTable:
+    """``DROP TABLE name``."""
+
+    name: str
+
+
+@dataclass(frozen=True)
+class Update:
+    """``UPDATE table SET col = expr [, ...] [WHERE expr]``."""
+
+    table: str
+    assignments: tuple[tuple[str, Expr], ...]
+    where: Optional[Expr] = None
+
+
+@dataclass(frozen=True)
+class Delete:
+    """``DELETE FROM table [WHERE expr]``."""
+
+    table: str
+    where: Optional[Expr] = None
+
+
+@dataclass(frozen=True)
+class Explain:
+    """``EXPLAIN <select-or-union>``."""
+
+    statement: object  # Select | Union
+
+
+@dataclass(frozen=True)
+class Analyze:
+    """``ANALYZE [table]`` -- collect optimizer statistics."""
+
+    table: Optional[str] = None
+
+
+Statement = (
+    "Select | Union | Insert | CreateTable | CreateIndex | DropTable | "
+    "Update | Delete"
+)

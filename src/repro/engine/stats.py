@@ -1,0 +1,205 @@
+"""ANALYZE-style statistics and selectivity estimation.
+
+``analyze_table`` scans a table once and records, per column: row count,
+null count, distinct-value count, min/max, and an equi-depth histogram.
+``Selectivity`` turns simple predicates into fractions using those
+statistics -- the numbers the optimizer's cost model (and hence the PI's
+initial estimate) is built from.  Like any real optimizer, the estimates
+are deliberately *approximate*: that imprecision is what the progress
+tracker has to correct at run time.
+"""
+
+from __future__ import annotations
+
+import bisect
+from dataclasses import dataclass, field
+from typing import TYPE_CHECKING, Any
+
+from repro.engine.types import is_numeric, sort_key
+
+if TYPE_CHECKING:  # pragma: no cover
+    from repro.engine.catalog import Table
+
+#: Number of equi-depth histogram buckets per column.
+HISTOGRAM_BUCKETS = 20
+
+#: Default selectivity guesses when statistics cannot answer.
+DEFAULT_EQ_SELECTIVITY = 0.01
+DEFAULT_RANGE_SELECTIVITY = 0.33
+
+
+@dataclass
+class ColumnStats:
+    """Statistics for one column."""
+
+    null_count: int = 0
+    distinct_count: int = 0
+    min_value: Any = None
+    max_value: Any = None
+    #: Equi-depth bucket boundaries (sorted non-null sample values).
+    histogram: list = field(default_factory=list)
+    #: Correlation between value order and physical row order, in [-1, 1]
+    #: (PostgreSQL's ``pg_stats.correlation``).  |1| = perfectly clustered.
+    correlation: float = 0.0
+
+    def null_fraction(self, row_count: int) -> float:
+        """Fraction of NULLs."""
+        return self.null_count / row_count if row_count else 0.0
+
+
+@dataclass
+class TableStats:
+    """Statistics for one table."""
+
+    row_count: int
+    page_count: int
+    columns: dict[str, ColumnStats] = field(default_factory=dict)
+
+    def column(self, name: str) -> ColumnStats | None:
+        """Stats of one column, if collected."""
+        return self.columns.get(name.lower())
+
+
+def analyze_table(table: "Table") -> TableStats:
+    """Collect full statistics for *table* (a sequential scan)."""
+    schema = table.schema
+    row_count = table.heap.row_count
+    stats = TableStats(row_count=row_count, page_count=table.heap.page_count)
+
+    values: list[list] = [[] for _ in schema.columns]
+    nulls = [0] * len(schema.columns)
+    for _, row in table.heap.scan_rows():
+        for i, v in enumerate(row):
+            if v is None:
+                nulls[i] += 1
+            else:
+                values[i].append(v)
+
+    for i, col in enumerate(schema.columns):
+        in_order = values[i]
+        non_null = sorted(in_order, key=sort_key)
+        distinct = len(set(non_null))
+        cs = ColumnStats(
+            null_count=nulls[i],
+            distinct_count=distinct,
+            min_value=non_null[0] if non_null else None,
+            max_value=non_null[-1] if non_null else None,
+            histogram=_equi_depth(non_null, HISTOGRAM_BUCKETS),
+            correlation=_order_correlation(in_order),
+        )
+        stats.columns[col.name.lower()] = cs
+    table.stats = stats
+    return stats
+
+
+def _order_correlation(values_in_physical_order: list) -> float:
+    """Pearson correlation between value rank and physical position.
+
+    ``1.0`` means the column is perfectly clustered (values ascend with the
+    heap), ``-1.0`` perfectly descending, ``0.0`` uncorrelated.  Ties get
+    their average rank.
+    """
+    n = len(values_in_physical_order)
+    if n < 2:
+        return 0.0
+    order = sorted(range(n), key=lambda i: sort_key(values_in_physical_order[i]))
+    ranks = [0.0] * n
+    i = 0
+    while i < n:
+        j = i
+        while (
+            j + 1 < n
+            and sort_key(values_in_physical_order[order[j + 1]])
+            == sort_key(values_in_physical_order[order[i]])
+        ):
+            j += 1
+        avg_rank = (i + j) / 2.0
+        for k in range(i, j + 1):
+            ranks[order[k]] = avg_rank
+        i = j + 1
+    mean_pos = (n - 1) / 2.0
+    cov = var_pos = var_rank = 0.0
+    for pos in range(n):
+        dp = pos - mean_pos
+        dr = ranks[pos] - mean_pos
+        cov += dp * dr
+        var_pos += dp * dp
+        var_rank += dr * dr
+    if var_pos <= 0 or var_rank <= 0:
+        return 0.0
+    return cov / (var_pos * var_rank) ** 0.5
+
+
+def _equi_depth(sorted_values: list, buckets: int) -> list:
+    """Bucket boundaries: ``buckets + 1`` values splitting equal counts."""
+    n = len(sorted_values)
+    if n == 0:
+        return []
+    if n <= buckets:
+        return list(sorted_values)
+    bounds = [sorted_values[0]]
+    for b in range(1, buckets):
+        bounds.append(sorted_values[(b * n) // buckets])
+    bounds.append(sorted_values[-1])
+    return bounds
+
+
+class Selectivity:
+    """Predicate selectivity estimation from column statistics."""
+
+    def __init__(self, stats: TableStats | None) -> None:
+        self._stats = stats
+
+    def equality(self, column: str) -> float:
+        """Selectivity of ``col = constant``: ``1 / distinct``."""
+        cs = self._stats.column(column) if self._stats else None
+        if cs is None or cs.distinct_count == 0:
+            return DEFAULT_EQ_SELECTIVITY
+        non_null = 1.0 - cs.null_fraction(self._stats.row_count)
+        return max(non_null / cs.distinct_count, 1e-9)
+
+    def range_fraction(
+        self, column: str, low: Any = None, high: Any = None
+    ) -> float:
+        """Selectivity of ``low <= col <= high`` via the histogram."""
+        cs = self._stats.column(column) if self._stats else None
+        if cs is None or not cs.histogram:
+            return DEFAULT_RANGE_SELECTIVITY
+        hist = cs.histogram
+        lo_pos = 0.0 if low is None else _position(hist, low)
+        hi_pos = 1.0 if high is None else _position(hist, high)
+        frac = max(hi_pos - lo_pos, 0.0)
+        non_null = 1.0 - cs.null_fraction(self._stats.row_count)
+        return min(max(frac * non_null, 1e-9), 1.0)
+
+    def inequality(self, column: str, op: str, value: Any) -> float:
+        """Selectivity of ``col <op> value`` for <, <=, >, >=."""
+        if op in ("<", "<="):
+            return self.range_fraction(column, low=None, high=value)
+        if op in (">", ">="):
+            return self.range_fraction(column, low=value, high=None)
+        raise ValueError(f"not an inequality operator: {op!r}")
+
+    def distinct(self, column: str) -> int | None:
+        """Distinct count of a column, if known."""
+        cs = self._stats.column(column) if self._stats else None
+        return cs.distinct_count if cs else None
+
+
+def _position(histogram: list, value: Any) -> float:
+    """Fractional rank of *value* within the histogram bounds (0..1)."""
+    if not is_numeric(value) and not isinstance(value, str):
+        return 0.5
+    keys = [sort_key(v) for v in histogram]
+    idx = bisect.bisect_right(keys, sort_key(value))
+    if idx <= 0:
+        return 0.0
+    if idx >= len(keys):
+        return 1.0
+    # Linear interpolation inside the bucket when numeric.
+    prev, nxt = histogram[idx - 1], histogram[idx]
+    base = (idx - 1) / (len(keys) - 1)
+    span = 1.0 / (len(keys) - 1)
+    if is_numeric(value) and is_numeric(prev) and is_numeric(nxt) and nxt != prev:
+        return base + span * (value - prev) / (nxt - prev)
+    return base

@@ -1,0 +1,132 @@
+"""SQL value types and coercion rules.
+
+Values are plain Python objects: ``int``, ``float``, ``str``, ``bool`` and
+``None`` (SQL NULL).  This module centralises the type lattice, coercion on
+insert, and comparison semantics (including three-valued logic helpers used
+by the expression evaluator).
+"""
+
+from __future__ import annotations
+
+import enum
+from typing import Any
+
+from repro.engine.errors import SqlTypeError
+
+
+class SqlType(enum.Enum):
+    """Column types supported by the engine."""
+
+    INTEGER = "INTEGER"
+    FLOAT = "FLOAT"
+    TEXT = "TEXT"
+    BOOLEAN = "BOOLEAN"
+
+    @classmethod
+    def parse(cls, name: str) -> "SqlType":
+        """Resolve a type name (with common aliases) to a :class:`SqlType`."""
+        alias = name.strip().upper()
+        mapping = {
+            "INT": cls.INTEGER,
+            "INTEGER": cls.INTEGER,
+            "BIGINT": cls.INTEGER,
+            "SMALLINT": cls.INTEGER,
+            "FLOAT": cls.FLOAT,
+            "REAL": cls.FLOAT,
+            "DOUBLE": cls.FLOAT,
+            "DECIMAL": cls.FLOAT,
+            "NUMERIC": cls.FLOAT,
+            "TEXT": cls.TEXT,
+            "VARCHAR": cls.TEXT,
+            "CHAR": cls.TEXT,
+            "STRING": cls.TEXT,
+            "BOOLEAN": cls.BOOLEAN,
+            "BOOL": cls.BOOLEAN,
+        }
+        if alias not in mapping:
+            raise SqlTypeError(f"unknown SQL type {name!r}")
+        return mapping[alias]
+
+
+def coerce_value(value: Any, sql_type: SqlType, column: str = "?") -> Any:
+    """Coerce a Python value to *sql_type* for storage; ``None`` passes through.
+
+    Raises
+    ------
+    SqlTypeError
+        If the value cannot be represented in the column's type.
+    """
+    if value is None:
+        return None
+    try:
+        if sql_type is SqlType.INTEGER:
+            if isinstance(value, bool):
+                raise SqlTypeError(
+                    f"cannot store BOOLEAN in INTEGER column {column!r}"
+                )
+            if isinstance(value, float) and not value.is_integer():
+                raise SqlTypeError(
+                    f"cannot store non-integral {value!r} in INTEGER column {column!r}"
+                )
+            return int(value)
+        if sql_type is SqlType.FLOAT:
+            if isinstance(value, bool):
+                raise SqlTypeError(f"cannot store BOOLEAN in FLOAT column {column!r}")
+            return float(value)
+        if sql_type is SqlType.TEXT:
+            if not isinstance(value, str):
+                raise SqlTypeError(
+                    f"cannot store {type(value).__name__} in TEXT column {column!r}"
+                )
+            return value
+        if sql_type is SqlType.BOOLEAN:
+            if not isinstance(value, bool):
+                raise SqlTypeError(
+                    f"cannot store {type(value).__name__} in BOOLEAN column {column!r}"
+                )
+            return value
+    except (TypeError, ValueError) as exc:
+        raise SqlTypeError(
+            f"cannot store {value!r} in {sql_type.value} column {column!r}"
+        ) from exc
+    raise SqlTypeError(f"unhandled SQL type {sql_type}")  # pragma: no cover
+
+
+def is_numeric(value: Any) -> bool:
+    """Whether *value* participates in SQL arithmetic."""
+    return isinstance(value, (int, float)) and not isinstance(value, bool)
+
+
+def compare_values(left: Any, right: Any) -> int | None:
+    """SQL comparison: -1 / 0 / 1, or ``None`` when either side is NULL.
+
+    Numeric types compare cross-type; otherwise both sides must share a
+    type.
+
+    Raises
+    ------
+    SqlTypeError
+        On incomparable types (e.g. TEXT vs INTEGER).
+    """
+    if left is None or right is None:
+        return None
+    if is_numeric(left) and is_numeric(right):
+        return (left > right) - (left < right)
+    if isinstance(left, str) and isinstance(right, str):
+        return (left > right) - (left < right)
+    if isinstance(left, bool) and isinstance(right, bool):
+        return (left > right) - (left < right)
+    raise SqlTypeError(
+        f"cannot compare {type(left).__name__} with {type(right).__name__}"
+    )
+
+
+def sort_key(value: Any) -> tuple:
+    """Total-order sort key: NULLs first, then by type family, then value."""
+    if value is None:
+        return (0, 0)
+    if isinstance(value, bool):
+        return (1, value)
+    if is_numeric(value):
+        return (2, value)
+    return (3, value)

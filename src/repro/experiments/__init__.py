@@ -1,0 +1,23 @@
+"""Experiment drivers reproducing the paper's evaluation (Section 5).
+
+Each module runs one experiment end-to-end on the simulated RDBMS and
+returns structured results the benchmark suite renders as the paper's
+tables/figures:
+
+* :mod:`repro.experiments.harness` -- attaches single-/multi-query PIs to a
+  running simulation and records their estimates over time.
+* :mod:`repro.experiments.mcq` -- Multiple Concurrent Query experiment
+  (Figures 3 and 4).
+* :mod:`repro.experiments.naq` -- Non-empty Admission Queue experiment
+  (Figure 5).
+* :mod:`repro.experiments.scq` -- Stream Concurrent Query experiment
+  (Figures 6-10).
+* :mod:`repro.experiments.maintenance` -- scheduled-maintenance workload
+  management experiment (Figure 11).
+* :mod:`repro.experiments.tables` -- the Table 1 dataset summary.
+* :mod:`repro.experiments.reporting` -- plain-text table/series rendering.
+"""
+
+from repro.experiments.harness import PIHarness
+
+__all__ = ["PIHarness"]

@@ -1,0 +1,113 @@
+"""The Non-empty Admission Queue (NAQ) experiment (paper Section 5.2.2).
+
+Three queries with sizes ``N1 = 50, N2 = 10, N3 = 20`` are submitted at time
+0 under an admission policy allowing at most two concurrent queries.  Q1 and
+Q2 start; Q3 waits in the queue until Q2 finishes.
+
+Figure 5 compares three estimators for Q1's remaining time:
+
+* the single-query PI,
+* the multi-query PI that ignores the admission queue, and
+* the multi-query PI that considers the admission queue,
+
+showing that queue visibility "lets the PI see farther into the future":
+only the queue-aware estimate is accurate before Q2 finishes.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.core.multi_query import MultiQueryProgressIndicator
+from repro.experiments.harness import (
+    MULTI_QUERY,
+    MULTI_QUERY_NO_QUEUE,
+    SINGLE_QUERY,
+    PIHarness,
+)
+from repro.sim.rdbms import SimulatedRDBMS, make_synthetic_workload
+
+
+@dataclass(frozen=True)
+class NAQConfig:
+    """Parameters of the NAQ run (paper defaults: N = 50, 10, 20)."""
+
+    sizes: tuple[int, int, int] = (50, 10, 20)
+    #: Work units per unit of size.
+    cost_per_size: float = 5.0
+    processing_rate: float = 1.0
+    multiprogramming_limit: int = 2
+    sample_interval: float = 2.0
+
+
+@dataclass
+class NAQResult:
+    """Series for Q1, ready to render Figure 5."""
+
+    #: (time, estimate) per estimator for Q1.
+    estimates: dict[str, list[tuple[float, float]]]
+    #: Q1's actual finish time.
+    q1_finish: float
+    #: Q3's start time (= Q2's finish, the first vertical line in Fig. 5).
+    q3_start: float
+    #: Q3's finish time (the second vertical line in Fig. 5).
+    q3_finish: float
+
+    def error_at(self, estimator: str, time: float) -> float:
+        """Absolute estimation error for Q1 at *time*, seconds."""
+        series = self.estimates[estimator]
+        candidates = [(t, v) for t, v in series if t <= time]
+        if not candidates:
+            raise ValueError(f"no {estimator!r} estimate at or before {time}")
+        t, v = candidates[-1]
+        return abs(v - (self.q1_finish - t))
+
+    def mean_abs_error(self, estimator: str, until: float | None = None) -> float:
+        """Mean absolute error of an estimator over [0, until]."""
+        horizon = self.q1_finish if until is None else until
+        series = [(t, v) for t, v in self.estimates[estimator] if t <= horizon]
+        if not series:
+            raise ValueError(f"no estimates for {estimator!r}")
+        errs = [abs(v - (self.q1_finish - t)) for t, v in series]
+        return sum(errs) / len(errs)
+
+
+def run_naq(config: NAQConfig = NAQConfig()) -> NAQResult:
+    """Run the NAQ experiment and collect the Figure 5 series."""
+    costs = [n * config.cost_per_size for n in config.sizes]
+    jobs = make_synthetic_workload(costs)
+    rdbms = SimulatedRDBMS(
+        processing_rate=config.processing_rate,
+        multiprogramming_limit=config.multiprogramming_limit,
+    )
+    for job in jobs:
+        rdbms.submit(job)
+
+    harness = PIHarness(
+        rdbms,
+        interval=config.sample_interval,
+        multi_indicators={
+            MULTI_QUERY: MultiQueryProgressIndicator(consider_queue=True),
+            MULTI_QUERY_NO_QUEUE: MultiQueryProgressIndicator(consider_queue=False),
+        },
+    )
+    rdbms.run_to_completion()
+    del harness
+
+    q1 = rdbms.traces["Q1"]
+    q3 = rdbms.traces["Q3"]
+    assert q1.finished_at is not None and q3.finished_at is not None
+    assert q3.started_at is not None
+
+    estimates = {}
+    for name in (SINGLE_QUERY, MULTI_QUERY, MULTI_QUERY_NO_QUEUE):
+        series = q1.estimates.get(name)
+        estimates[name] = (
+            [(t, v) for t, v in series if t <= q1.finished_at] if series else []
+        )
+    return NAQResult(
+        estimates=estimates,
+        q1_finish=q1.finished_at,
+        q3_start=q3.started_at,
+        q3_finish=q3.finished_at,
+    )

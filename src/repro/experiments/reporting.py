@@ -1,0 +1,94 @@
+"""Plain-text rendering of experiment outputs.
+
+Benches print the paper-shaped rows and series through these helpers so the
+regenerated "figures" are readable in test logs.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, Sequence
+
+
+def format_table(
+    headers: Sequence[str],
+    rows: Iterable[Sequence[object]],
+    precision: int = 3,
+) -> str:
+    """Fixed-width table with right-aligned numeric cells."""
+    rendered_rows = []
+    for row in rows:
+        rendered = []
+        for cell in row:
+            if isinstance(cell, float):
+                rendered.append(f"{cell:.{precision}f}")
+            else:
+                rendered.append(str(cell))
+        rendered_rows.append(rendered)
+    widths = [len(h) for h in headers]
+    for row in rendered_rows:
+        for i, cell in enumerate(row):
+            widths[i] = max(widths[i], len(cell))
+    lines = [
+        "  ".join(h.rjust(widths[i]) for i, h in enumerate(headers)),
+        "  ".join("-" * w for w in widths),
+    ]
+    for row in rendered_rows:
+        lines.append("  ".join(cell.rjust(widths[i]) for i, cell in enumerate(row)))
+    return "\n".join(lines)
+
+
+def format_series(
+    title: str,
+    series: Sequence[tuple[float, float]],
+    max_points: int = 12,
+    precision: int = 1,
+) -> str:
+    """A (time, value) series, downsampled to at most *max_points* rows."""
+    if not series:
+        return f"{title}: (no data)"
+    step = max(len(series) // max_points, 1)
+    sampled = list(series[::step])
+    if sampled[-1] != series[-1]:
+        sampled.append(series[-1])
+    lines = [title]
+    for t, v in sampled:
+        lines.append(f"  t={t:>{8}.{precision}f}  value={v:.{precision}f}")
+    return "\n".join(lines)
+
+
+def write_csv(
+    path: str,
+    headers: Sequence[str],
+    rows: Iterable[Sequence[object]],
+) -> int:
+    """Write rows as CSV (for external plotting); returns the row count.
+
+    Values are rendered with ``repr``-free plain formatting; fields
+    containing commas or quotes are quoted per RFC 4180.
+    """
+    import csv
+
+    count = 0
+    with open(path, "w", newline="") as f:
+        writer = csv.writer(f)
+        writer.writerow(list(headers))
+        for row in rows:
+            writer.writerow(list(row))
+            count += 1
+    return count
+
+
+def sparkline(values: Sequence[float], width: int = 40) -> str:
+    """A crude one-line chart of *values* (useful in bench output)."""
+    if not values:
+        return ""
+    marks = " .:-=+*#%@"
+    lo = min(values)
+    hi = max(values)
+    span = hi - lo or 1.0
+    step = max(len(values) // width, 1)
+    out = []
+    for v in values[::step]:
+        idx = int((v - lo) / span * (len(marks) - 1))
+        out.append(marks[idx])
+    return "".join(out)

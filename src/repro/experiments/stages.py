@@ -1,0 +1,116 @@
+"""Paper Figures 1 and 2: the standard-case stage schedule.
+
+* **Figure 1** shows the execution of ``n = 4`` equal-priority queries as a
+  staircase of stages; at the end of stage ``i`` query ``Q_i`` finishes and
+  the survivors speed up.
+* **Figure 2** shows the same four queries with ``Q3`` blocked at time 0:
+  the remaining stages shrink, and the per-query work completed in each
+  stage is unchanged (the paper's key accounting device in Section 3.1).
+
+These are analytical figures; the experiment recomputes them from
+:func:`repro.core.standard_case.standard_case` and checks the blocking
+invariants, and the bench renders the schedules as ASCII Gantt rows.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.core.model import QuerySnapshot
+from repro.core.standard_case import StandardCaseResult, standard_case
+
+#: The illustrative workload: four equal-priority queries.  Costs are
+#: chosen so stage boundaries land at the paper's proportions.
+DEFAULT_COSTS = (10.0, 20.0, 30.0, 40.0)
+
+
+@dataclass
+class StageFigure:
+    """One rendered stage schedule."""
+
+    result: StandardCaseResult
+    blocked: tuple[str, ...] = ()
+
+    def stage_durations(self) -> list[float]:
+        """Durations ``t_1 .. t_n`` of the stages."""
+        return [s.duration for s in self.result.stages]
+
+    def render(self, width: int = 60) -> str:
+        """ASCII Gantt chart: one row per query, one column band per stage."""
+        total = self.result.quiescent_time
+        if total <= 0:
+            return "(empty schedule)"
+        lines = []
+        queries = sorted(
+            {qid for s in self.result.stages for qid in s.running_query_ids}
+        )
+        for qid in queries:
+            row = []
+            for stage in self.result.stages:
+                cols = max(int(round(stage.duration / total * width)), 1)
+                mark = "#" if qid in stage.running_query_ids else " "
+                row.append(mark * cols)
+            finish = self.result.remaining_times[qid]
+            lines.append(f"{qid:>4} |{''.join(row)}| finishes t={finish:g}")
+        marks = "stages: " + " ".join(
+            f"t{s.index}={s.duration:g}" for s in self.result.stages
+        )
+        lines.append(marks)
+        return "\n".join(lines)
+
+
+def figure1(costs: tuple[float, ...] = DEFAULT_COSTS,
+            processing_rate: float = 1.0) -> StageFigure:
+    """The Figure 1 schedule for *costs* (equal priorities)."""
+    queries = [QuerySnapshot(f"Q{i + 1}", c) for i, c in enumerate(costs)]
+    return StageFigure(result=standard_case(queries, processing_rate))
+
+
+def figure2(
+    costs: tuple[float, ...] = DEFAULT_COSTS,
+    blocked: str = "Q3",
+    processing_rate: float = 1.0,
+) -> StageFigure:
+    """The Figure 2 schedule: same queries with one blocked at time 0."""
+    queries = [
+        QuerySnapshot(f"Q{i + 1}", c)
+        for i, c in enumerate(costs)
+        if f"Q{i + 1}" != blocked
+    ]
+    if len(queries) == len(costs):
+        raise ValueError(f"blocked query {blocked!r} not in the workload")
+    return StageFigure(
+        result=standard_case(queries, processing_rate), blocked=(blocked,)
+    )
+
+
+@dataclass
+class BlockingComparison:
+    """Figure 1 vs Figure 2: the effect of blocking one query."""
+
+    baseline: StageFigure
+    blocked: StageFigure
+    victim: str
+
+    def speedups(self) -> dict[str, float]:
+        """Per-query reduction in remaining time from blocking the victim."""
+        out = {}
+        for qid, before in self.baseline.result.remaining_times.items():
+            if qid == self.victim:
+                continue
+            after = self.blocked.result.remaining_times[qid]
+            out[qid] = before - after
+        return out
+
+
+def compare_blocking(
+    costs: tuple[float, ...] = DEFAULT_COSTS,
+    victim: str = "Q3",
+    processing_rate: float = 1.0,
+) -> BlockingComparison:
+    """Build both figures and their per-query speed-ups."""
+    return BlockingComparison(
+        baseline=figure1(costs, processing_rate),
+        blocked=figure2(costs, victim, processing_rate),
+        victim=victim,
+    )

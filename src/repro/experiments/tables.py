@@ -1,0 +1,77 @@
+"""Paper Table 1: the test data set.
+
+The paper reports:
+
+    =============  =================  ==========
+    table          number of tuples   total size
+    lineitem       24M                3.02 GB
+    part_i (i>=1)  10 x N_i           1.4 x N_i KB
+    =============  =================  ==========
+
+We regenerate the same table at a configurable ``scale``.  Sizes are
+reported in pages (our storage unit); the *ratios* -- lineitem rows per
+part row, ``10 * N_i`` part sizing, ~30 matches per part tuple -- are the
+quantities the experiments depend on and are asserted by the bench.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.workload.tpcr import TpcrConfig, TpcrDataset, generate
+
+
+@dataclass(frozen=True)
+class Table1Row:
+    """One row of the reproduced Table 1."""
+
+    table: str
+    tuples: int
+    pages: int
+    paper_tuples: str
+    paper_size: str
+
+
+@dataclass
+class Table1Result:
+    """The reproduced test-data-set summary."""
+
+    rows: list[Table1Row]
+    dataset: TpcrDataset
+
+    def render(self) -> str:
+        """Plain-text table mirroring the paper's Table 1."""
+        header = (
+            f"{'table':<12} {'tuples':>10} {'pages':>8}   "
+            f"{'paper tuples':>14} {'paper size':>12}"
+        )
+        lines = [header, "-" * len(header)]
+        for r in self.rows:
+            lines.append(
+                f"{r.table:<12} {r.tuples:>10} {r.pages:>8}   "
+                f"{r.paper_tuples:>14} {r.paper_size:>12}"
+            )
+        return "\n".join(lines)
+
+
+def build_table1(
+    config: TpcrConfig = TpcrConfig(),
+    part_sizes: dict[int, int] | None = None,
+) -> Table1Result:
+    """Generate the dataset and summarise it as Table 1."""
+    sizes = part_sizes if part_sizes is not None else {1: 5, 2: 2, 3: 3}
+    dataset = generate(config, part_sizes=sizes)
+    rows: list[Table1Row] = []
+    for name, tuples, pages in dataset.table_summary():
+        if name == "lineitem":
+            rows.append(
+                Table1Row(name, tuples, pages, "24M", "3.02GB")
+            )
+        else:
+            n = dataset.part_sizes[name]
+            rows.append(
+                Table1Row(
+                    name, tuples, pages, f"10 x {n}", f"1.4 x {n} KB"
+                )
+            )
+    return Table1Result(rows=rows, dataset=dataset)

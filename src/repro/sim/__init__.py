@@ -1,0 +1,47 @@
+"""Discrete-event simulator of a multi-query RDBMS.
+
+The paper's prototype ran inside PostgreSQL on one machine; this package is
+the substrate substitution: a virtual-time RDBMS that
+
+* processes work at a configurable total rate ``C`` in U/s and divides it
+  among running queries proportionally to priority weights (the paper's
+  Assumptions 1 and 3, realised by :class:`repro.sim.scheduler.WeightedFairSharing`),
+* admits queries through a FIFO admission queue with a multiprogramming
+  limit (Section 2.3),
+* accepts Poisson or scripted arrival streams (Section 2.4 / the SCQ
+  experiment), and
+* exposes the workload-management actions of Section 3: abort, block,
+  unblock, priority changes and draining.
+
+Queries can be *synthetic* jobs (exact known costs -- Assumption 2 holds) or
+*engine-backed* jobs wrapping :mod:`repro.engine` executors, whose remaining
+cost is only an estimate that gets refined mid-flight.  Pluggable speed
+models deliberately violate the assumptions for the Section 4 experiments.
+"""
+
+from repro.sim.arrivals import ArrivalSchedule, poisson_arrival_times
+from repro.sim.jobs import EngineJob, Job, SyntheticJob
+from repro.sim.rdbms import QueryRecord, SimulatedRDBMS
+from repro.sim.scheduler import (
+    NoisyFairSharing,
+    SpeedModel,
+    ThrashingModel,
+    WeightedFairSharing,
+)
+from repro.sim.trace import QueryTrace, TraceSet
+
+__all__ = [
+    "ArrivalSchedule",
+    "EngineJob",
+    "Job",
+    "NoisyFairSharing",
+    "QueryRecord",
+    "QueryTrace",
+    "SimulatedRDBMS",
+    "SpeedModel",
+    "SyntheticJob",
+    "ThrashingModel",
+    "TraceSet",
+    "WeightedFairSharing",
+    "poisson_arrival_times",
+]

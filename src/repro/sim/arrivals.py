@@ -1,0 +1,86 @@
+"""Arrival processes for the simulated RDBMS.
+
+The SCQ experiment (paper Section 5.2.3) submits new queries "according to a
+Poisson process with parameter lambda"; this module generates such arrival
+times deterministically from a seed, plus scripted schedules for the NAQ and
+maintenance experiments.
+"""
+
+from __future__ import annotations
+
+import math
+import random
+from dataclasses import dataclass, field
+from typing import Callable, Iterator
+
+from repro.sim.jobs import Job
+
+
+def poisson_arrival_times(
+    rate: float, horizon: float, seed: int | random.Random = 0
+) -> list[float]:
+    """Arrival times of a Poisson process with *rate*, within ``[0, horizon]``.
+
+    Inter-arrival gaps are i.i.d. exponential with mean ``1 / rate``.  A rate
+    of zero yields no arrivals.
+    """
+    if rate < 0:
+        raise ValueError("rate must be >= 0")
+    if horizon < 0:
+        raise ValueError("horizon must be >= 0")
+    if rate == 0:
+        return []
+    rng = seed if isinstance(seed, random.Random) else random.Random(seed)
+    times: list[float] = []
+    t = 0.0
+    while True:
+        t += -math.log(1.0 - rng.random()) / rate
+        if t > horizon:
+            return times
+        times.append(t)
+
+
+@dataclass
+class ArrivalSchedule:
+    """An ordered list of ``(time, job factory)`` submissions.
+
+    Job factories defer job construction until submission time so that
+    schedules can be replayed across runs (engine executions, in particular,
+    cannot be reused once run).
+    """
+
+    entries: list[tuple[float, Callable[[], Job]]] = field(default_factory=list)
+
+    def add(self, time: float, factory: Callable[[], Job]) -> None:
+        """Schedule one submission at *time*."""
+        if time < 0:
+            raise ValueError("time must be >= 0")
+        self.entries.append((time, factory))
+
+    def add_poisson(
+        self,
+        rate: float,
+        horizon: float,
+        factory: Callable[[int], Job],
+        seed: int | random.Random = 0,
+    ) -> list[float]:
+        """Add Poisson arrivals on ``[0, horizon]``; *factory* gets an index.
+
+        Returns the generated arrival times (useful for feeding the PI's
+        online arrival-rate estimator with ground truth).
+        """
+        times = poisson_arrival_times(rate, horizon, seed)
+        for i, t in enumerate(times):
+            # Bind i by default-arg to avoid the late-binding closure trap.
+            self.entries.append((t, lambda i=i: factory(i)))
+        return times
+
+    def sorted_entries(self) -> list[tuple[float, Callable[[], Job]]]:
+        """Entries in submission order (stable for equal times)."""
+        return sorted(self.entries, key=lambda e: e[0])
+
+    def __len__(self) -> int:
+        return len(self.entries)
+
+    def __iter__(self) -> Iterator[tuple[float, Callable[[], Job]]]:
+        return iter(self.sorted_entries())

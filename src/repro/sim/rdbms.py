@@ -1,0 +1,458 @@
+"""The simulated multi-query RDBMS.
+
+:class:`SimulatedRDBMS` advances a virtual clock over a population of jobs:
+
+* running jobs progress simultaneously at the speeds dictated by the
+  :class:`~repro.sim.scheduler.SpeedModel` (weighted fair sharing by
+  default -- the paper's Assumptions 1+3),
+* an admission queue with a multiprogramming limit holds the overflow
+  (Section 2.3),
+* scripted arrival schedules submit new queries over time (Section 2.4),
+* periodic samplers fire so progress indicators can observe the system, and
+* the workload-management actions of Section 3 (abort / block / unblock /
+  priority change / drain) can be applied at any virtual time.
+
+Synthetic jobs finish at analytically exact instants.  Engine-backed jobs
+(whose completion cannot be predicted) advance in small work quanta; their
+recorded finish time is accurate to one quantum.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import Callable, Iterable, Literal, Sequence
+
+from repro.core.model import SystemSnapshot
+from repro.engine.errors import EngineError
+from repro.sim.arrivals import ArrivalSchedule
+from repro.sim.jobs import Job, SyntheticJob
+from repro.sim.scheduler import SpeedModel, WeightedFairSharing
+from repro.sim.trace import QueryTrace, TraceSet
+
+Status = Literal["queued", "running", "blocked", "finished", "aborted", "failed"]
+
+#: Numerical slack for event-time comparisons.
+_EPS = 1e-9
+
+
+@dataclass
+class QueryRecord:
+    """Lifecycle record of one submitted query."""
+
+    job: Job
+    status: Status
+    trace: QueryTrace
+    #: The runtime error message, for queries that fail mid-execution.
+    error: str | None = None
+
+    @property
+    def query_id(self) -> str:
+        """Identifier of the underlying job."""
+        return self.job.query_id
+
+
+class SimulatedRDBMS:
+    """A virtual-time RDBMS processing concurrent queries.
+
+    Parameters
+    ----------
+    processing_rate:
+        Total work rate ``C`` in U/s (Assumption 1).
+    multiprogramming_limit:
+        Maximum concurrent queries; ``None`` for unlimited.
+    speed_model:
+        How capacity is divided; defaults to weighted fair sharing.
+    quantum:
+        Time-slice upper bound (seconds) used when jobs with unpredictable
+        completion (engine jobs) are running.
+    """
+
+    def __init__(
+        self,
+        processing_rate: float = 1.0,
+        multiprogramming_limit: int | None = None,
+        speed_model: SpeedModel | None = None,
+        quantum: float = 0.25,
+    ) -> None:
+        if processing_rate <= 0:
+            raise ValueError("processing_rate must be > 0")
+        if multiprogramming_limit is not None and multiprogramming_limit < 1:
+            raise ValueError("multiprogramming_limit must be >= 1 or None")
+        if quantum <= 0:
+            raise ValueError("quantum must be > 0")
+        self.processing_rate = processing_rate
+        self.multiprogramming_limit = multiprogramming_limit
+        self.speed_model = speed_model or WeightedFairSharing()
+        self.quantum = quantum
+
+        self._clock = 0.0
+        self._running: list[Job] = []
+        self._queue: list[Job] = []
+        self._blocked: dict[str, Job] = {}
+        self._records: dict[str, QueryRecord] = {}
+        self._pending: list[tuple[float, Callable[[], Job]]] = []
+        self._pending_idx = 0
+        self._samplers: list[list] = []  # [interval, next_time, callback]
+        self._rejecting_arrivals = False
+        self.traces = TraceSet()
+        #: Called with (time, query_id) when a query finishes.
+        self.on_finish: list[Callable[[float, str], None]] = []
+        #: Called with (time, query_id) when a query is submitted.
+        self.on_arrival: list[Callable[[float, str], None]] = []
+
+    # ------------------------------------------------------------------
+    # Introspection
+    # ------------------------------------------------------------------
+
+    @property
+    def clock(self) -> float:
+        """Current virtual time, in seconds."""
+        return self._clock
+
+    @property
+    def running(self) -> tuple[Job, ...]:
+        """Jobs currently executing."""
+        return tuple(self._running)
+
+    @property
+    def queued(self) -> tuple[Job, ...]:
+        """Jobs in the admission queue, FIFO order."""
+        return tuple(self._queue)
+
+    @property
+    def blocked(self) -> tuple[Job, ...]:
+        """Jobs currently blocked by workload-management actions."""
+        return tuple(self._blocked.values())
+
+    def record(self, query_id: str) -> QueryRecord:
+        """Lifecycle record of *query_id*."""
+        try:
+            return self._records[query_id]
+        except KeyError:
+            raise KeyError(f"unknown query {query_id!r}") from None
+
+    def records(self) -> dict[str, QueryRecord]:
+        """All lifecycle records, keyed by query id."""
+        return dict(self._records)
+
+    def snapshot(self) -> SystemSnapshot:
+        """The system as a :class:`SystemSnapshot` for the PI algorithms.
+
+        Remaining costs are the jobs' own (possibly imprecise) estimates,
+        exactly what a real PI would read from executor counters.
+        """
+        return SystemSnapshot(
+            running=tuple(j.snapshot() for j in self._running),
+            queued=tuple(j.snapshot() for j in self._queue),
+            processing_rate=self.processing_rate,
+            multiprogramming_limit=self.multiprogramming_limit,
+            time=self._clock,
+        )
+
+    def current_speeds(self) -> dict[str, float]:
+        """Instantaneous per-query speeds, U/s."""
+        return self.speed_model.speeds(self._running, self.processing_rate)
+
+    # ------------------------------------------------------------------
+    # Workload submission
+    # ------------------------------------------------------------------
+
+    def submit(self, job: Job) -> QueryRecord:
+        """Submit *job* now; it runs immediately or joins the queue."""
+        if job.query_id in self._records:
+            raise ValueError(f"duplicate query id {job.query_id!r}")
+        if self._rejecting_arrivals:
+            raise RuntimeError("RDBMS is draining: new queries are rejected")
+        trace = self.traces.for_query(job.query_id)
+        trace.submitted_at = self._clock
+        record = QueryRecord(job=job, status="queued", trace=trace)
+        self._records[job.query_id] = record
+        self._queue.append(job)
+        for cb in self.on_arrival:
+            cb(self._clock, job.query_id)
+        self._admit()
+        return record
+
+    def schedule(self, arrivals: ArrivalSchedule) -> None:
+        """Register future submissions (processed as the clock reaches them)."""
+        merged = self._pending[self._pending_idx :] + arrivals.sorted_entries()
+        merged.sort(key=lambda e: e[0])
+        self._pending = merged
+        self._pending_idx = 0
+
+    def add_sampler(
+        self, interval: float, callback: Callable[["SimulatedRDBMS"], None],
+        start: float | None = None,
+    ) -> None:
+        """Invoke *callback(self)* every *interval* virtual seconds."""
+        if interval <= 0:
+            raise ValueError("interval must be > 0")
+        first = self._clock + interval if start is None else start
+        self._samplers.append([interval, first, callback])
+
+    # ------------------------------------------------------------------
+    # Workload-management actions (paper Section 3)
+    # ------------------------------------------------------------------
+
+    def abort(self, query_id: str, rollback_overhead: float = 0.0) -> None:
+        """Abort a query wherever it is (running, queued or blocked).
+
+        ``rollback_overhead`` models the non-negligible cost of aborting
+        (the paper's Section 3.3 future-work case): that much work is
+        injected as an internal rollback job that must be processed --
+        even while draining -- before the system is quiescent.
+        """
+        if rollback_overhead < 0:
+            raise ValueError("rollback_overhead must be >= 0")
+        record = self.record(query_id)
+        if record.status in ("finished", "aborted"):
+            raise ValueError(f"query {query_id!r} already {record.status}")
+        self._remove_everywhere(query_id)
+        record.status = "aborted"
+        record.trace.aborted_at = self._clock
+        if rollback_overhead > 0:
+            rollback = SyntheticJob(
+                f"__rollback_{query_id}",
+                rollback_overhead,
+                weight=record.job.weight,
+            )
+            self._submit_internal(rollback)
+        self._admit()
+
+    def _submit_internal(self, job: Job) -> QueryRecord:
+        """Submit system work (e.g. rollback) that bypasses drain rejection."""
+        if job.query_id in self._records:
+            raise ValueError(f"duplicate query id {job.query_id!r}")
+        trace = self.traces.for_query(job.query_id)
+        trace.submitted_at = self._clock
+        record = QueryRecord(job=job, status="queued", trace=trace)
+        self._records[job.query_id] = record
+        self._queue.append(job)
+        self._admit()
+        return record
+
+    def block(self, query_id: str, admit_replacement: bool = False) -> None:
+        """Suspend a running query (Section 3.1's victim action).
+
+        By default no queued query is admitted in its place -- the freed
+        capacity goes to the surviving queries, which is the entire point of
+        blocking a victim.
+        """
+        record = self.record(query_id)
+        if record.status != "running":
+            raise ValueError(f"query {query_id!r} is {record.status}, not running")
+        self._running = [j for j in self._running if j.query_id != query_id]
+        self._blocked[query_id] = record.job
+        record.status = "blocked"
+        if admit_replacement:
+            self._admit()
+
+    def unblock(self, query_id: str) -> None:
+        """Resume a blocked query (front of the admission queue)."""
+        record = self.record(query_id)
+        if record.status != "blocked":
+            raise ValueError(f"query {query_id!r} is {record.status}, not blocked")
+        job = self._blocked.pop(query_id)
+        self._queue.insert(0, job)
+        record.status = "queued"
+        self._admit()
+
+    def set_priority(self, query_id: str, priority: int, weight: float | None = None):
+        """Change a query's priority (and hence its scheduling weight)."""
+        record = self.record(query_id)
+        job = record.job
+        job.priority = priority
+        from repro.core.model import weight_for_priority
+
+        job.weight = weight_for_priority(priority) if weight is None else float(weight)
+        if job.weight <= 0:
+            raise ValueError("weight must be > 0")
+
+    def drain(self, rejecting: bool = True) -> None:
+        """Operation O1 of the maintenance problem: reject new arrivals."""
+        self._rejecting_arrivals = rejecting
+
+    @property
+    def draining(self) -> bool:
+        """Whether new arrivals are currently rejected."""
+        return self._rejecting_arrivals
+
+    # ------------------------------------------------------------------
+    # Time advancement
+    # ------------------------------------------------------------------
+
+    def run_until(self, target: float) -> None:
+        """Advance the virtual clock to *target* seconds."""
+        if target < self._clock - _EPS:
+            raise ValueError(f"cannot run backwards to {target} from {self._clock}")
+        while self._clock < target - _EPS:
+            self._step(target)
+
+    def run_to_completion(self, max_time: float = 1e9) -> None:
+        """Run until no runnable or pending work remains (blocked jobs stay).
+
+        Raises :class:`RuntimeError` if *max_time* is reached first.
+        """
+        while self._has_outstanding_work():
+            if self._clock >= max_time:
+                raise RuntimeError(f"simulation exceeded max_time={max_time}")
+            self._step(max_time)
+
+    def quiescent(self) -> bool:
+        """True when nothing is running, queued or pending."""
+        return not self._has_outstanding_work()
+
+    # ------------------------------------------------------------------
+    # Internals
+    # ------------------------------------------------------------------
+
+    def _has_outstanding_work(self) -> bool:
+        return bool(
+            self._running or self._queue or self._pending_idx < len(self._pending)
+        )
+
+    def _admit(self) -> None:
+        mpl = self.multiprogramming_limit
+        while self._queue and (mpl is None or len(self._running) < mpl):
+            job = self._queue.pop(0)
+            self._running.append(job)
+            record = self._records[job.query_id]
+            record.status = "running"
+            if record.trace.started_at is None:
+                record.trace.started_at = self._clock
+
+    def _next_pending_time(self) -> float:
+        if self._pending_idx < len(self._pending):
+            return self._pending[self._pending_idx][0]
+        return math.inf
+
+    def _next_sampler_time(self) -> float:
+        return min((s[1] for s in self._samplers), default=math.inf)
+
+    def _predictable_finish_dt(self, speeds: dict[str, float]) -> float:
+        """Exact time to the next synthetic-job completion, or inf."""
+        best = math.inf
+        for job in self._running:
+            if isinstance(job, SyntheticJob):
+                s = speeds.get(job.query_id, 0.0)
+                if s > 0:
+                    best = min(best, job.true_remaining_cost() / s)
+        return best
+
+    def _step(self, target: float) -> None:
+        """Advance by one event slice, not beyond *target*."""
+        speeds = self.speed_model.speeds(self._running, self.processing_rate)
+
+        dt = target - self._clock
+        dt = min(dt, self._next_pending_time() - self._clock)
+        dt = min(dt, self._next_sampler_time() - self._clock)
+        dt = min(dt, self._predictable_finish_dt(speeds))
+        has_unpredictable = any(
+            not isinstance(j, SyntheticJob) for j in self._running
+        )
+        if has_unpredictable:
+            dt = min(dt, self.quantum)
+        if dt is math.inf or dt > target - self._clock:
+            dt = target - self._clock
+        dt = max(dt, 0.0)
+
+        if not self._running and dt == 0.0 and self._next_pending_time() > self._clock:
+            # Idle with nothing due now: jump straight to the next event.
+            nxt = min(self._next_pending_time(), self._next_sampler_time(), target)
+            if nxt is math.inf:
+                self._clock = target
+                return
+            dt = nxt - self._clock
+
+        # Advance running jobs.  A job whose execution raises an engine
+        # error (e.g. a runtime division by zero in real SQL) fails in
+        # isolation: it leaves the system, everyone else keeps running.
+        finished: list[Job] = []
+        failed: list[tuple[Job, Exception]] = []
+        if dt > 0:
+            for job in list(self._running):
+                work = speeds.get(job.query_id, 0.0) * dt
+                try:
+                    if work > 0:
+                        job.advance(work)
+                    if job.finished:
+                        finished.append(job)
+                except EngineError as exc:
+                    failed.append((job, exc))
+        else:
+            finished = [j for j in self._running if j.finished]
+        self._clock += dt
+
+        for job, exc in failed:
+            self._running = [j for j in self._running if j.query_id != job.query_id]
+            record = self._records[job.query_id]
+            record.status = "failed"
+            record.error = str(exc)
+            record.trace.aborted_at = self._clock
+        if failed:
+            self._admit()
+
+        # Retire completions (deterministic order).
+        for job in sorted(finished, key=lambda j: j.query_id):
+            self._running = [j for j in self._running if j.query_id != job.query_id]
+            record = self._records[job.query_id]
+            record.status = "finished"
+            record.trace.finished_at = self._clock
+            record.trace.work.append(self._clock, job.completed_work)
+            for cb in self.on_finish:
+                cb(self._clock, job.query_id)
+        if finished:
+            self._admit()
+
+        # Process due arrivals.
+        while (
+            self._pending_idx < len(self._pending)
+            and self._pending[self._pending_idx][0] <= self._clock + _EPS
+        ):
+            _, factory = self._pending[self._pending_idx]
+            self._pending_idx += 1
+            if self._rejecting_arrivals:
+                continue
+            self.submit(factory())
+
+        # Fire due samplers (record traces first so callbacks see them).
+        due = [s for s in self._samplers if s[1] <= self._clock + _EPS]
+        if due:
+            self._record_trace_point()
+        for s in due:
+            while s[1] <= self._clock + _EPS:
+                s[1] += s[0]
+        for s in due:
+            s[2](self)
+
+    def _remove_everywhere(self, query_id: str) -> None:
+        self._running = [j for j in self._running if j.query_id != query_id]
+        self._queue = [j for j in self._queue if j.query_id != query_id]
+        self._blocked.pop(query_id, None)
+
+    def _record_trace_point(self) -> None:
+        speeds = self.current_speeds()
+        for job in self._running:
+            trace = self.traces.for_query(job.query_id)
+            trace.work.append(self._clock, job.completed_work)
+            trace.speed.append(self._clock, speeds.get(job.query_id, 0.0))
+
+
+def make_synthetic_workload(
+    costs: Sequence[float],
+    priorities: Iterable[int] | None = None,
+    prefix: str = "Q",
+    initial_done: Sequence[float] | None = None,
+) -> list[SyntheticJob]:
+    """Build synthetic jobs ``Q1..Qn`` from cost (and optional priority) lists."""
+    prios = list(priorities) if priorities is not None else [0] * len(costs)
+    if len(prios) != len(costs):
+        raise ValueError("priorities must match costs in length")
+    done = list(initial_done) if initial_done is not None else [0.0] * len(costs)
+    if len(done) != len(costs):
+        raise ValueError("initial_done must match costs in length")
+    return [
+        SyntheticJob(f"{prefix}{i + 1}", cost, priority=prios[i], initial_done=done[i])
+        for i, cost in enumerate(costs)
+    ]

@@ -1,0 +1,125 @@
+"""Speed models: how the simulated RDBMS divides capacity among queries.
+
+The default :class:`WeightedFairSharing` realises the paper's Assumptions
+1 and 3 exactly: a constant total rate ``C`` (U/s) split among running
+queries proportionally to their priority weights.
+
+The other models deliberately break the assumptions, for the Section 4
+"relaxing the assumptions" experiments:
+
+* :class:`NoisyFairSharing` gives each query a private efficiency factor
+  (some queries turn granted capacity into useful work less effectively --
+  think CPU-bound vs. I/O-bound mixes), optionally without renormalising, so
+  the total useful rate is no longer constant (violates Assumption 1) and
+  speeds are no longer exactly weight-proportional (violates Assumption 3).
+* :class:`ThrashingModel` reduces total throughput as concurrency grows
+  (buffer-pool contention), another Assumption 1 violation.
+"""
+
+from __future__ import annotations
+
+import abc
+import random
+from typing import Mapping, Sequence
+
+from repro.sim.jobs import Job
+
+
+class SpeedModel(abc.ABC):
+    """Maps the set of running jobs to per-job execution speeds."""
+
+    @abc.abstractmethod
+    def speeds(self, jobs: Sequence[Job], rate: float) -> dict[str, float]:
+        """Per-job speed in U/s given total nominal *rate* ``C``."""
+
+
+class WeightedFairSharing(SpeedModel):
+    """Assumptions 1+3: ``s_i = C * w_i / W`` with ``W`` the weight sum."""
+
+    def speeds(self, jobs: Sequence[Job], rate: float) -> dict[str, float]:
+        if not jobs:
+            return {}
+        total = sum(j.weight for j in jobs)
+        return {j.query_id: rate * j.weight / total for j in jobs}
+
+
+class NoisyFairSharing(SpeedModel):
+    """Fair sharing with per-query efficiency noise.
+
+    Parameters
+    ----------
+    noise:
+        Half-width of the uniform efficiency distribution: each query draws
+        a factor in ``[1 - noise, 1 + noise]`` the first time it is seen.
+    renormalize:
+        If ``True``, speeds are rescaled so the total useful rate is still
+        ``C`` (only Assumption 3 is violated).  If ``False``, the total rate
+        itself fluctuates (Assumption 1 is violated too).
+    seed:
+        RNG seed; per-query factors are stable across calls.
+    """
+
+    def __init__(self, noise: float = 0.2, renormalize: bool = False, seed: int = 0):
+        if not 0.0 <= noise < 1.0:
+            raise ValueError("noise must be in [0, 1)")
+        self._noise = noise
+        self._renormalize = renormalize
+        self._rng = random.Random(seed)
+        self._factors: dict[str, float] = {}
+
+    def _factor(self, query_id: str) -> float:
+        if query_id not in self._factors:
+            self._factors[query_id] = 1.0 + self._rng.uniform(-self._noise, self._noise)
+        return self._factors[query_id]
+
+    def factors(self) -> Mapping[str, float]:
+        """The per-query efficiency factors drawn so far."""
+        return dict(self._factors)
+
+    def speeds(self, jobs: Sequence[Job], rate: float) -> dict[str, float]:
+        if not jobs:
+            return {}
+        total = sum(j.weight for j in jobs)
+        raw = {
+            j.query_id: rate * j.weight / total * self._factor(j.query_id) for j in jobs
+        }
+        if self._renormalize:
+            scale = rate / sum(raw.values())
+            return {qid: s * scale for qid, s in raw.items()}
+        return raw
+
+
+class ThrashingModel(SpeedModel):
+    """Total throughput degrades as concurrency exceeds a knee.
+
+    Up to ``knee`` concurrent queries the system delivers the full rate
+    ``C``; beyond that every extra query costs ``degradation`` of the total
+    (floored at ``min_fraction * C``).  Speeds within the budget remain
+    weight-proportional.
+    """
+
+    def __init__(
+        self, knee: int = 4, degradation: float = 0.05, min_fraction: float = 0.25
+    ) -> None:
+        if knee < 1:
+            raise ValueError("knee must be >= 1")
+        if not 0.0 <= degradation < 1.0:
+            raise ValueError("degradation must be in [0, 1)")
+        if not 0.0 < min_fraction <= 1.0:
+            raise ValueError("min_fraction must be in (0, 1]")
+        self._knee = knee
+        self._degradation = degradation
+        self._min_fraction = min_fraction
+
+    def effective_rate(self, n_jobs: int, rate: float) -> float:
+        """Total useful rate with *n_jobs* concurrent queries."""
+        over = max(n_jobs - self._knee, 0)
+        fraction = max(1.0 - self._degradation * over, self._min_fraction)
+        return rate * fraction
+
+    def speeds(self, jobs: Sequence[Job], rate: float) -> dict[str, float]:
+        if not jobs:
+            return {}
+        effective = self.effective_rate(len(jobs), rate)
+        total = sum(j.weight for j in jobs)
+        return {j.query_id: effective * j.weight / total for j in jobs}

@@ -1,0 +1,92 @@
+"""Trace recording: the time series the experiments and figures plot.
+
+Each query accumulates a :class:`QueryTrace` -- its completed-work curve,
+observed speed samples and per-estimator remaining-time estimates -- and a
+:class:`TraceSet` holds them per run.  Figures 3-5 and 10 of the paper are
+direct renderings of these series.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.core.metrics import StepSeries
+
+
+@dataclass
+class QueryTrace:
+    """All recorded series for one query."""
+
+    query_id: str
+    #: Time the query was submitted to the RDBMS.
+    submitted_at: float = 0.0
+    #: Time the query started running (left the admission queue).
+    started_at: float | None = None
+    #: Time the query finished, or None if aborted / still running.
+    finished_at: float | None = None
+    #: Time the query was aborted, if it was.
+    aborted_at: float | None = None
+    #: Cumulative completed work (U's) over time.
+    work: StepSeries = field(default_factory=StepSeries)
+    #: Observed execution speed (U/s) over time.
+    speed: StepSeries = field(default_factory=StepSeries)
+    #: Remaining-time estimates per estimator name, (time, seconds) series.
+    estimates: dict[str, StepSeries] = field(default_factory=dict)
+
+    def record_estimate(self, estimator: str, time: float, seconds: float) -> None:
+        """Append one remaining-time estimate from *estimator*."""
+        self.estimates.setdefault(estimator, StepSeries()).append(time, seconds)
+
+    def actual_remaining(self, time: float) -> float:
+        """Ground-truth remaining execution time at *time*.
+
+        Only defined for queries that finished; raises otherwise.
+        """
+        if self.finished_at is None:
+            raise ValueError(f"query {self.query_id!r} did not finish")
+        return max(self.finished_at - time, 0.0)
+
+    @property
+    def response_time(self) -> float | None:
+        """Submission-to-finish latency, if the query finished."""
+        if self.finished_at is None:
+            return None
+        return self.finished_at - self.submitted_at
+
+    @property
+    def queue_wait(self) -> float | None:
+        """Time spent in the admission queue, if the query ever started."""
+        if self.started_at is None:
+            return None
+        return self.started_at - self.submitted_at
+
+
+@dataclass
+class TraceSet:
+    """Traces for every query in one simulated run."""
+
+    queries: dict[str, QueryTrace] = field(default_factory=dict)
+
+    def for_query(self, query_id: str) -> QueryTrace:
+        """Get (or create) the trace of *query_id*."""
+        if query_id not in self.queries:
+            self.queries[query_id] = QueryTrace(query_id=query_id)
+        return self.queries[query_id]
+
+    def __contains__(self, query_id: str) -> bool:
+        return query_id in self.queries
+
+    def __getitem__(self, query_id: str) -> QueryTrace:
+        return self.queries[query_id]
+
+    def finished_queries(self) -> list[QueryTrace]:
+        """Traces of queries that ran to completion, by finish time."""
+        done = [t for t in self.queries.values() if t.finished_at is not None]
+        return sorted(done, key=lambda t: t.finished_at)
+
+    def last_finishing(self) -> QueryTrace:
+        """The query that finished last (paper Section 5.2.3)."""
+        done = self.finished_queries()
+        if not done:
+            raise ValueError("no query finished")
+        return done[-1]

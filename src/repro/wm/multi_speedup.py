@@ -1,0 +1,91 @@
+"""The multiple-query speed-up problem (paper Section 3.2).
+
+Block a single victim ``Q_m`` to minimise the *total response time* of all
+other queries.  With queries sorted ascending by ``c/w`` and ``t_j`` / ``W_j``
+the standard-case stage durations / suffix weights, blocking ``Q_m``
+shortens stage ``j <= m`` by ``dt_j = t_j * w_m / W_j`` and each shortened
+stage benefits the ``n - j`` queries still running, so the aggregate
+response-time improvement is
+
+    ``R_m = sum_{j=1..m} (n - j) * t_j * w_m / W_j``
+
+and the optimal victim maximises ``R_m`` (O(n log n) via prefix sums).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Sequence
+
+from repro.core.model import QuerySnapshot
+
+
+@dataclass(frozen=True)
+class MultiSpeedupChoice:
+    """Result of victim selection for the multiple-query speed-up problem."""
+
+    victim: str
+    #: Predicted total response-time improvement across all other queries.
+    improvement: float
+    #: Per-candidate improvements ``R_m`` (query id -> seconds), for audits.
+    all_improvements: dict[str, float]
+
+
+def improvement_of_blocking(
+    queries: Sequence[QuerySnapshot],
+    victim_id: str,
+    processing_rate: float,
+) -> float:
+    """Total response-time improvement ``R_m`` from blocking *victim_id*."""
+    choice = choose_victim_for_all(queries, processing_rate)
+    try:
+        return choice.all_improvements[victim_id]
+    except KeyError:
+        raise ValueError(f"victim {victim_id!r} not among the queries") from None
+
+
+def choose_victim_for_all(
+    queries: Sequence[QuerySnapshot],
+    processing_rate: float,
+) -> MultiSpeedupChoice:
+    """Pick the victim whose blocking most improves everyone else.
+
+    Raises
+    ------
+    ValueError
+        With fewer than two queries (there must be someone left to benefit).
+    """
+    if processing_rate <= 0:
+        raise ValueError("processing_rate must be > 0")
+    n = len(queries)
+    if n < 2:
+        raise ValueError("need at least two queries")
+
+    ordered = sorted(queries, key=lambda q: (q.remaining_cost / q.weight, q.query_id))
+    suffix = [0.0] * (n + 1)
+    for k in range(n - 1, -1, -1):
+        suffix[k] = suffix[k + 1] + ordered[k].weight
+    durations = []
+    prev_ratio = 0.0
+    for k, q in enumerate(ordered):
+        ratio = q.remaining_cost / q.weight
+        durations.append((ratio - prev_ratio) * suffix[k] / processing_rate)
+        prev_ratio = ratio
+
+    # prefix[m] = sum_{j=0..m-1} (n - (j+1)) * t_j / W_j   (0-based stages)
+    prefix = [0.0] * (n + 1)
+    for j in range(n):
+        weight_share = durations[j] / suffix[j] if suffix[j] > 0 else 0.0
+        prefix[j + 1] = prefix[j] + (n - (j + 1)) * weight_share
+
+    improvements = {
+        q.query_id: q.weight * prefix[m + 1] for m, q in enumerate(ordered)
+    }
+    victim = max(
+        improvements, key=lambda qid: (improvements[qid], qid)
+    )
+    return MultiSpeedupChoice(
+        victim=victim,
+        improvement=improvements[victim],
+        all_improvements=improvements,
+    )

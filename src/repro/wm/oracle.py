@@ -1,0 +1,129 @@
+"""Exact maintenance planning: the paper's "theoretical limitation".
+
+Figure 11 includes a line computed "using the exact information that comes
+from the actual run-to-completion execution" of the queries: the optimal set
+of aborts.  Finding it is a 0/1 knapsack (NP-hard in general); for the
+experiment sizes (``n = 10``) exhaustive subset enumeration is exact and
+instant.  For larger inputs a scaled dynamic program provides the optimum to
+a configurable work resolution.
+"""
+
+from __future__ import annotations
+
+from itertools import combinations
+from typing import Sequence
+
+from repro.core.model import QuerySnapshot
+from repro.wm.maintenance import LostWorkCase, MaintenancePlan
+
+#: Largest n for which exhaustive enumeration is used.
+_ENUMERATION_LIMIT = 20
+
+
+def exact_maintenance_plan(
+    queries: Sequence[QuerySnapshot],
+    deadline: float,
+    processing_rate: float,
+    case: LostWorkCase = LostWorkCase.TOTAL_COST,
+    resolution: int = 10_000,
+) -> MaintenancePlan:
+    """Minimise lost work subject to draining by *deadline* -- exactly.
+
+    Chooses the abort set ``A`` minimising ``sum_{i in A} loss_i`` subject to
+    ``sum_{i not in A} c_i <= C * t``.  Uses exhaustive enumeration for
+    ``n <= 20``, otherwise a dynamic program on work scaled to *resolution*
+    buckets (optimal to within one bucket of capacity).
+
+    Raises
+    ------
+    ValueError
+        If even aborting everything cannot meet the deadline (impossible,
+        since aborting all queries leaves zero work -- only raised for a
+        negative deadline) or on invalid inputs.
+    """
+    if deadline < 0:
+        raise ValueError("deadline must be >= 0")
+    if processing_rate <= 0:
+        raise ValueError("processing_rate must be > 0")
+
+    queries = list(queries)
+    capacity = deadline * processing_rate
+    total_work = sum(q.total_cost for q in queries)
+
+    if len(queries) <= _ENUMERATION_LIMIT:
+        keep = _best_keep_set_enumerated(queries, capacity, case)
+    else:
+        keep = _best_keep_set_dp(queries, capacity, case, resolution)
+
+    keep_ids = {q.query_id for q in keep}
+    aborted = [q for q in queries if q.query_id not in keep_ids]
+    lost = sum(case.loss_of(q) for q in aborted)
+    drain = sum(q.remaining_cost for q in keep) / processing_rate
+    return MaintenancePlan(
+        aborts=tuple(q.query_id for q in aborted),
+        projected_quiescent_time=drain,
+        lost_work=lost,
+        total_work=total_work,
+        deadline=deadline,
+        case=case,
+    )
+
+
+def _best_keep_set_enumerated(
+    queries: list[QuerySnapshot], capacity: float, case: LostWorkCase
+) -> list[QuerySnapshot]:
+    """Exhaustive search: the keep-set with maximal kept value within capacity."""
+    slack = 1e-9 * max(capacity, 1.0)
+    best: list[QuerySnapshot] = []
+    best_value = -1.0
+    n = len(queries)
+    for r in range(n, -1, -1):
+        for combo in combinations(queries, r):
+            if sum(q.remaining_cost for q in combo) <= capacity + slack:
+                value = sum(case.loss_of(q) for q in combo)
+                if value > best_value:
+                    best_value = value
+                    best = list(combo)
+    return best
+
+
+def _best_keep_set_dp(
+    queries: list[QuerySnapshot],
+    capacity: float,
+    case: LostWorkCase,
+    resolution: int,
+) -> list[QuerySnapshot]:
+    """Scaled 0/1-knapsack DP: weights are remaining costs in buckets."""
+    if resolution < 1:
+        raise ValueError("resolution must be >= 1")
+    if capacity <= 0:
+        return [q for q in queries if q.remaining_cost == 0]
+    scale = resolution / capacity
+    weights = [min(int(q.remaining_cost * scale + 0.999999), resolution + 1)
+               for q in queries]
+    values = [case.loss_of(q) for q in queries]
+
+    # dp[w] = best kept value using work budget w; choice for reconstruction.
+    neg = float("-inf")
+    dp = [0.0] + [0.0] * resolution
+    take: list[list[bool]] = []
+    for i, (wt, val) in enumerate(zip(weights, values)):
+        row = [False] * (resolution + 1)
+        if wt <= resolution:
+            for w in range(resolution, wt - 1, -1):
+                cand = dp[w - wt] + val
+                if cand > dp[w]:
+                    dp[w] = cand
+                    row[w] = True
+        take.append(row)
+
+    # Reconstruct from the full budget.
+    keep: list[QuerySnapshot] = []
+    w = resolution
+    for i in range(len(queries) - 1, -1, -1):
+        if take[i][w]:
+            keep.append(queries[i])
+            w -= weights[i]
+    keep.reverse()
+    del neg
+    return keep

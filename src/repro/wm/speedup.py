@@ -1,0 +1,230 @@
+"""The single-query speed-up problem (paper Section 3.1).
+
+To speed up a target query ``Q_i``, block ``h >= 1`` victim queries.  The
+paper derives, for queries sorted ascending by ``c/w`` (so ``Q_i`` finishes
+``i``-th in the standard case), the *benefit* of blocking ``Q_m`` -- the
+amount by which the target's remaining time shrinks:
+
+* for a victim that would finish **before** the target (``m < i``):
+  ``T_m = c_m / C`` -- blocking it saves exactly its remaining work;
+* for a victim that would finish **after** the target (``m > i``):
+  ``T_m = w_m * sum_{j=1..i} t_j / W_j`` where ``t_j`` is the stage-``j``
+  duration and ``W_j`` the weight of the queries running in stage ``j`` --
+  maximised by the victim with the largest weight.
+
+The optimal single victim is the better of the two set-wise candidates, and
+benefits are additive across victims, so a greedy pass yields the optimal
+``h`` victims.  The equal-priority special case admits an ``O(n)`` shortcut
+(any later-finishing query; else the largest remaining cost).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Sequence
+
+from repro.core.model import QuerySnapshot
+from repro.core.standard_case import standard_case
+
+
+@dataclass(frozen=True)
+class SpeedupChoice:
+    """Result of victim selection for the single-query speed-up problem."""
+
+    target: str
+    victims: tuple[str, ...]
+    #: Predicted reduction of the target's remaining time, seconds.
+    benefit: float
+    #: Target's remaining time in the standard case (no blocking), seconds.
+    baseline_remaining: float
+    #: Predicted remaining time after blocking the victims, seconds.
+    predicted_remaining: float
+
+
+def _benefit_of(
+    ordered: Sequence[QuerySnapshot],
+    stage_durations: Sequence[float],
+    suffix_weights: Sequence[float],
+    target_idx: int,
+    victim_idx: int,
+    processing_rate: float,
+) -> float:
+    """Benefit ``T_m`` of blocking ``ordered[victim_idx]`` for the target."""
+    if victim_idx < target_idx:
+        return ordered[victim_idx].remaining_cost / processing_rate
+    # Victim outlives the target: shortening spread over stages 1..i.
+    w_m = ordered[victim_idx].weight
+    return w_m * sum(
+        stage_durations[j] / suffix_weights[j] for j in range(target_idx + 1)
+    )
+
+
+def choose_victim(
+    queries: Sequence[QuerySnapshot],
+    target_id: str,
+    processing_rate: float,
+) -> SpeedupChoice:
+    """Pick the single optimal victim to block for *target_id*.
+
+    Implements the three-step algorithm of Section 3.1 (O(n log n)).
+
+    Raises
+    ------
+    ValueError
+        If the target is unknown, or there is no other query to block.
+    """
+    return choose_victims(queries, target_id, processing_rate, h=1)
+
+
+def choose_victims(
+    queries: Sequence[QuerySnapshot],
+    target_id: str,
+    processing_rate: float,
+    h: int = 1,
+) -> SpeedupChoice:
+    """Greedily pick the optimal *h* victims to block for *target_id*.
+
+    Benefits of blocking are additive (paper Section 3.1), so the greedy
+    procedure -- pick the best victim, remove it, repeat -- returns the
+    optimal ``h``-victim set.  Each round re-solves victim selection on the
+    reduced query set, exactly as the paper describes.
+    """
+    if processing_rate <= 0:
+        raise ValueError("processing_rate must be > 0")
+    if h < 1:
+        raise ValueError("h must be >= 1")
+    ids = [q.query_id for q in queries]
+    if target_id not in ids:
+        raise ValueError(f"target {target_id!r} not among the queries")
+    if len(queries) - 1 < h:
+        raise ValueError(f"cannot block h={h} victims out of {len(queries) - 1} others")
+
+    baseline = standard_case(
+        queries, processing_rate, include_stages=False
+    ).remaining_times[target_id]
+
+    remaining = list(queries)
+    victims: list[str] = []
+    total_benefit = 0.0
+    for _ in range(h):
+        victim_id, benefit = _best_single_victim(remaining, target_id, processing_rate)
+        victims.append(victim_id)
+        total_benefit += benefit
+        remaining = [q for q in remaining if q.query_id != victim_id]
+
+    survivors = [q for q in queries if q.query_id not in victims]
+    predicted = standard_case(
+        survivors, processing_rate, include_stages=False
+    ).remaining_times[target_id]
+    return SpeedupChoice(
+        target=target_id,
+        victims=tuple(victims),
+        benefit=total_benefit,
+        baseline_remaining=baseline,
+        predicted_remaining=predicted,
+    )
+
+
+def _best_single_victim(
+    queries: Sequence[QuerySnapshot], target_id: str, processing_rate: float
+) -> tuple[str, float]:
+    """One round of the three-step victim choice; returns (victim, benefit)."""
+    ordered = sorted(
+        queries, key=lambda q: (q.remaining_cost / q.weight, q.query_id)
+    )
+    target_idx = next(
+        k for k, q in enumerate(ordered) if q.query_id == target_id
+    )
+
+    n = len(ordered)
+    # Suffix weight sums W_j and stage durations t_j of the standard case.
+    suffix = [0.0] * (n + 1)
+    for k in range(n - 1, -1, -1):
+        suffix[k] = suffix[k + 1] + ordered[k].weight
+    durations = []
+    prev_ratio = 0.0
+    for k, q in enumerate(ordered):
+        ratio = q.remaining_cost / q.weight
+        durations.append((ratio - prev_ratio) * suffix[k] / processing_rate)
+        prev_ratio = ratio
+
+    best_id: str | None = None
+    best_benefit = -1.0
+
+    # Step 1 -- candidates that outlive the target (set S2): max weight wins.
+    later = [k for k in range(target_idx + 1, n)]
+    if later:
+        k2 = max(later, key=lambda k: (ordered[k].weight, ordered[k].query_id))
+        b2 = _benefit_of(ordered, durations, suffix, target_idx, k2, processing_rate)
+        best_id, best_benefit = ordered[k2].query_id, b2
+
+    # Step 2 -- candidates that finish before the target (set S1): max cost.
+    earlier = [k for k in range(target_idx)]
+    if earlier:
+        k1 = max(
+            earlier, key=lambda k: (ordered[k].remaining_cost, ordered[k].query_id)
+        )
+        b1 = _benefit_of(ordered, durations, suffix, target_idx, k1, processing_rate)
+        if b1 > best_benefit:
+            best_id, best_benefit = ordered[k1].query_id, b1
+
+    # Step 3 -- the better of the two.
+    if best_id is None:
+        raise ValueError("no candidate victim exists")
+    return best_id, best_benefit
+
+
+def choose_victim_equal_priority(
+    queries: Sequence[QuerySnapshot],
+    target_id: str,
+    processing_rate: float,
+) -> SpeedupChoice:
+    """The O(n) special case: all queries share one priority.
+
+    Paper Section 3.1: scan once; any query with remaining cost at least the
+    target's is optimal, otherwise the largest remaining cost wins.
+
+    Raises
+    ------
+    ValueError
+        If the queries do not in fact share a single weight.
+    """
+    if processing_rate <= 0:
+        raise ValueError("processing_rate must be > 0")
+    weights = {q.weight for q in queries}
+    if len(weights) > 1:
+        raise ValueError("queries do not all share one priority/weight")
+    target = next((q for q in queries if q.query_id == target_id), None)
+    if target is None:
+        raise ValueError(f"target {target_id!r} not among the queries")
+    others = [q for q in queries if q.query_id != target_id]
+    if not others:
+        raise ValueError("no candidate victim exists")
+
+    victim: QuerySnapshot | None = None
+    largest: QuerySnapshot = others[0]
+    for q in others:
+        if q.remaining_cost > largest.remaining_cost or (
+            q.remaining_cost == largest.remaining_cost
+            and q.query_id < largest.query_id
+        ):
+            largest = q
+        if q.remaining_cost >= target.remaining_cost:
+            victim = q if victim is None else victim
+    if victim is None:
+        victim = largest
+
+    baseline = standard_case(
+        queries, processing_rate, include_stages=False
+    ).remaining_times[target_id]
+    survivors = [q for q in queries if q.query_id != victim.query_id]
+    predicted = standard_case(
+        survivors, processing_rate, include_stages=False
+    ).remaining_times[target_id]
+    return SpeedupChoice(
+        target=target_id,
+        victims=(victim.query_id,),
+        benefit=baseline - predicted,
+        baseline_remaining=baseline,
+        predicted_remaining=predicted,
+    )

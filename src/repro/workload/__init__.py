@@ -1,0 +1,18 @@
+"""Workload generation: data, query templates and experiment workloads.
+
+* :mod:`repro.workload.zipf` -- the Zipf(a) size distribution all the
+  paper's experiments draw query costs from.
+* :mod:`repro.workload.tpcr` -- synthetic TPC-R-style ``lineitem`` /
+  ``part_i`` data matching paper Table 1 (scaled).
+* :mod:`repro.workload.queries` -- the paper's correlated-subquery template
+  ``Q_i`` and friends, as SQL against :mod:`repro.engine`.
+* :mod:`repro.workload.suite` -- builders for the MCQ / NAQ / SCQ /
+  maintenance experiment workloads.
+"""
+
+from repro.workload.zipf import ZipfSampler, zipf_probabilities
+
+__all__ = [
+    "ZipfSampler",
+    "zipf_probabilities",
+]

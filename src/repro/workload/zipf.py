@@ -1,0 +1,106 @@
+"""Zipfian size distributions (paper Sections 5.2 and 5.3).
+
+Every experiment in the paper draws the part-table sizes ``N_i`` from a
+Zipf distribution: rank ``k`` (of ``K`` possible sizes) has probability
+proportional to ``1 / k^a``.  The MCQ experiment uses ``a = 1.2``; the SCQ
+and maintenance experiments use ``a = 2.2``.
+
+The maintenance experiment additionally relies on the paper's observation
+that the queries *running* at a random inspection time are size-biased:
+``P(N = m) ∝ (1/m^a) * m = 1/m^(a-1)`` -- i.e. Zipf with parameter ``a - 1``.
+:meth:`ZipfSampler.size_biased` provides that variant directly.
+"""
+
+from __future__ import annotations
+
+import bisect
+import itertools
+import random
+from typing import Sequence
+
+
+def zipf_probabilities(a: float, ranks: int) -> list[float]:
+    """Normalised Zipf(a) probabilities for ranks ``1..ranks``.
+
+    Raises
+    ------
+    ValueError
+        For a non-positive number of ranks.  (Any real ``a`` is allowed;
+        ``a <= 0`` simply biases towards larger ranks.)
+    """
+    if ranks < 1:
+        raise ValueError("ranks must be >= 1")
+    weights = [1.0 / (k**a) for k in range(1, ranks + 1)]
+    total = sum(weights)
+    return [w / total for w in weights]
+
+
+class ZipfSampler:
+    """Seeded sampler of Zipf-distributed values over a rank->value mapping.
+
+    Parameters
+    ----------
+    a:
+        Zipf exponent.
+    values:
+        The value attached to each rank; rank 1 (most probable) maps to
+        ``values[0]``.  For the paper's workloads these are the candidate
+        part-table sizes ``N``, typically ``1..K``.
+    seed:
+        Seed or shared :class:`random.Random`.
+    """
+
+    def __init__(
+        self,
+        a: float,
+        values: Sequence[float],
+        seed: int | random.Random = 0,
+    ) -> None:
+        if not values:
+            raise ValueError("values must be non-empty")
+        self.a = a
+        self.values = list(values)
+        probs = zipf_probabilities(a, len(self.values))
+        self._cdf = list(itertools.accumulate(probs))
+        self._cdf[-1] = 1.0  # guard against float drift
+        self._rng = seed if isinstance(seed, random.Random) else random.Random(seed)
+
+    @classmethod
+    def over_range(
+        cls, a: float, max_rank: int, seed: int | random.Random = 0
+    ) -> "ZipfSampler":
+        """Sampler over the integer sizes ``1..max_rank``."""
+        return cls(a, list(range(1, max_rank + 1)), seed)
+
+    def probabilities(self) -> list[float]:
+        """Per-rank probabilities, in ``values`` order."""
+        probs = [self._cdf[0]]
+        probs.extend(
+            self._cdf[k] - self._cdf[k - 1] for k in range(1, len(self._cdf))
+        )
+        return probs
+
+    def sample(self) -> float:
+        """Draw one value."""
+        u = self._rng.random()
+        idx = bisect.bisect_left(self._cdf, u)
+        return self.values[min(idx, len(self.values) - 1)]
+
+    def sample_many(self, n: int) -> list[float]:
+        """Draw *n* values."""
+        if n < 0:
+            raise ValueError("n must be >= 0")
+        return [self.sample() for _ in range(n)]
+
+    def size_biased(self) -> "ZipfSampler":
+        """The size-biased variant: Zipf with exponent ``a - 1``.
+
+        This is the distribution of the sizes of queries *observed running*
+        at a random time (paper Section 5.3.1): larger queries run longer
+        and are proportionally more likely to be caught in flight.
+        """
+        return ZipfSampler(self.a - 1.0, self.values, self._rng)
+
+    def mean(self) -> float:
+        """Expected value of one draw."""
+        return sum(p * v for p, v in zip(self.probabilities(), self.values))

@@ -1,0 +1,159 @@
+"""Tests for workload forecasts and online estimators."""
+
+import math
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.forecast import (
+    NO_FORECAST,
+    AdaptiveForecaster,
+    OnlineArrivalRateEstimator,
+    OnlineMeanEstimator,
+    WorkloadForecast,
+)
+
+
+class TestWorkloadForecast:
+    def test_mean_interarrival(self):
+        f = WorkloadForecast(arrival_rate=0.1, average_cost=5.0)
+        assert f.mean_interarrival == pytest.approx(10.0)
+
+    def test_idle_interarrival_is_inf(self):
+        assert math.isinf(NO_FORECAST.mean_interarrival)
+
+    def test_scaled(self):
+        f = WorkloadForecast(arrival_rate=0.1, average_cost=5.0)
+        assert f.scaled(3.0).arrival_rate == pytest.approx(0.3)
+        assert f.scaled(0.0).arrival_rate == 0.0
+        with pytest.raises(ValueError):
+            f.scaled(-1.0)
+
+    @pytest.mark.parametrize(
+        "kwargs",
+        [
+            {"arrival_rate": -0.1, "average_cost": 1.0},
+            {"arrival_rate": 0.1, "average_cost": -1.0},
+            {"arrival_rate": 0.1, "average_cost": 1.0, "average_weight": 0.0},
+        ],
+    )
+    def test_validation(self, kwargs):
+        with pytest.raises(ValueError):
+            WorkloadForecast(**kwargs)
+
+
+class TestArrivalRateEstimator:
+    def test_none_until_two_observations(self):
+        e = OnlineArrivalRateEstimator()
+        assert e.rate() is None
+        e.observe(0.0)
+        assert e.rate() is None
+
+    def test_uniform_arrivals(self):
+        e = OnlineArrivalRateEstimator()
+        for i in range(11):
+            e.observe(i * 5.0)
+        assert e.rate() == pytest.approx(0.2)
+
+    def test_window_tracks_recent_rate(self):
+        e = OnlineArrivalRateEstimator(window=10)
+        t = 0.0
+        for _ in range(20):  # slow phase: one per 100s
+            t += 100.0
+            e.observe(t)
+        for _ in range(20):  # fast phase: one per 1s
+            t += 1.0
+            e.observe(t)
+        assert e.rate() == pytest.approx(1.0, rel=0.05)
+
+    def test_rejects_decreasing_times(self):
+        e = OnlineArrivalRateEstimator()
+        e.observe(10.0)
+        with pytest.raises(ValueError):
+            e.observe(9.0)
+
+    def test_simultaneous_arrivals_give_none(self):
+        e = OnlineArrivalRateEstimator()
+        e.observe(1.0)
+        e.observe(1.0)
+        assert e.rate() is None
+
+    def test_window_validation(self):
+        with pytest.raises(ValueError):
+            OnlineArrivalRateEstimator(window=1)
+
+
+class TestMeanEstimator:
+    def test_plain_mean(self):
+        e = OnlineMeanEstimator()
+        assert e.mean() is None
+        for v in (1.0, 2.0, 3.0):
+            e.observe(v)
+        assert e.mean() == pytest.approx(2.0)
+        assert e.count == 3
+
+    def test_decayed_mean_tracks_shift(self):
+        e = OnlineMeanEstimator(decay=0.5)
+        for _ in range(20):
+            e.observe(100.0)
+        for _ in range(10):
+            e.observe(1.0)
+        assert e.mean() == pytest.approx(1.0, abs=0.5)
+
+    def test_decay_validation(self):
+        with pytest.raises(ValueError):
+            OnlineMeanEstimator(decay=1.0)
+        with pytest.raises(ValueError):
+            OnlineMeanEstimator(decay=0.0)
+
+    @given(st.lists(st.floats(min_value=-1e6, max_value=1e6), min_size=1))
+    @settings(max_examples=60)
+    def test_matches_arithmetic_mean(self, values):
+        e = OnlineMeanEstimator()
+        for v in values:
+            e.observe(v)
+        assert e.mean() == pytest.approx(sum(values) / len(values), rel=1e-9, abs=1e-6)
+
+
+class TestAdaptiveForecaster:
+    def _prior(self, rate=0.1, cost=10.0):
+        return WorkloadForecast(arrival_rate=rate, average_cost=cost)
+
+    def test_no_observations_returns_prior(self):
+        f = AdaptiveForecaster(self._prior())
+        assert f.current() == self._prior()
+
+    def test_converges_to_observed_rate(self):
+        f = AdaptiveForecaster(
+            self._prior(rate=0.5), prior_strength=5.0, rate_window=300
+        )
+        for i in range(200):
+            f.observe_arrival(i * 10.0, cost=20.0)  # true rate 0.1
+        current = f.current()
+        assert current.arrival_rate == pytest.approx(0.1, rel=0.2)
+        assert current.average_cost == pytest.approx(20.0, rel=0.1)
+
+    def test_prior_strength_zero_means_pure_observation(self):
+        f = AdaptiveForecaster(self._prior(rate=9.0), prior_strength=0.0)
+        f.observe_arrival(0.0, cost=3.0)
+        f.observe_arrival(2.0, cost=5.0)
+        current = f.current()
+        assert current.arrival_rate == pytest.approx(0.5)
+        assert current.average_cost == pytest.approx(4.0)
+
+    def test_blend_moves_monotonically_with_evidence(self):
+        f = AdaptiveForecaster(self._prior(rate=1.0), prior_strength=10.0)
+        rates = [f.current().arrival_rate]
+        for i in range(30):
+            f.observe_arrival(i * 100.0, cost=10.0)  # true rate 0.01
+            rates.append(f.current().arrival_rate)
+        assert rates[-1] < rates[1] < rates[0] + 1e-12
+
+    def test_negative_prior_strength_rejected(self):
+        with pytest.raises(ValueError):
+            AdaptiveForecaster(self._prior(), prior_strength=-1.0)
+
+    def test_prior_property(self):
+        prior = self._prior()
+        assert AdaptiveForecaster(prior).prior is prior

@@ -1,0 +1,119 @@
+"""Tests for metrics and time-series helpers."""
+
+import math
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.metrics import (
+    StepSeries,
+    mean,
+    mean_finite,
+    relative_error,
+    uniform_grid,
+)
+
+
+class TestRelativeError:
+    def test_exact(self):
+        assert relative_error(10.0, 10.0) == 0.0
+
+    def test_overestimate(self):
+        assert relative_error(30.0, 10.0) == pytest.approx(2.0)
+
+    def test_underestimate(self):
+        assert relative_error(5.0, 10.0) == pytest.approx(0.5)
+
+    def test_zero_actual_rejected(self):
+        with pytest.raises(ValueError):
+            relative_error(1.0, 0.0)
+
+    def test_nonfinite_estimate_is_inf(self):
+        assert math.isinf(relative_error(float("inf"), 10.0))
+        assert math.isinf(relative_error(float("nan"), 10.0))
+
+    @given(
+        est=st.floats(min_value=0, max_value=1e9),
+        actual=st.floats(min_value=1e-6, max_value=1e9),
+    )
+    @settings(max_examples=60)
+    def test_symmetric_in_absolute_deviation(self, est, actual):
+        up = relative_error(actual + est, actual)
+        down = relative_error(max(actual - est, 0), actual)
+        if actual - est >= 0:
+            assert up == pytest.approx(down, rel=1e-9, abs=1e-12)
+
+
+class TestMeans:
+    def test_mean(self):
+        assert mean([1, 2, 3]) == 2.0
+        with pytest.raises(ValueError):
+            mean([])
+
+    def test_mean_finite_drops(self):
+        assert mean_finite([1.0, float("inf"), 3.0]) == 2.0
+
+    def test_mean_finite_caps(self):
+        assert mean_finite([1.0, float("inf")], cap=5.0) == 3.0
+
+    def test_mean_finite_empty(self):
+        with pytest.raises(ValueError):
+            mean_finite([float("nan")])
+
+
+class TestStepSeries:
+    def test_last_observation_carried_forward(self):
+        s = StepSeries([(0.0, 1.0), (10.0, 2.0)])
+        assert s.at(0.0) == 1.0
+        assert s.at(9.99) == 1.0
+        assert s.at(10.0) == 2.0
+        assert s.at(100.0) == 2.0
+
+    def test_before_first_raises(self):
+        s = StepSeries([(5.0, 1.0)])
+        with pytest.raises(ValueError):
+            s.at(4.9)
+
+    def test_empty_series_raises(self):
+        s = StepSeries()
+        with pytest.raises(ValueError):
+            s.at(0.0)
+        with pytest.raises(ValueError):
+            s.first_time()
+        with pytest.raises(ValueError):
+            s.last_time()
+
+    def test_duplicate_time_overwrites(self):
+        s = StepSeries([(1.0, 1.0), (1.0, 9.0)])
+        assert len(s) == 1
+        assert s.at(1.0) == 9.0
+
+    def test_non_decreasing_enforced(self):
+        s = StepSeries([(2.0, 1.0)])
+        with pytest.raises(ValueError):
+            s.append(1.0, 5.0)
+
+    def test_sample(self):
+        s = StepSeries([(0.0, 0.0), (2.0, 2.0), (4.0, 4.0)])
+        assert s.sample([0.5, 2.5, 4.5]) == [0.0, 2.0, 4.0]
+
+    def test_iteration_and_accessors(self):
+        pts = [(0.0, 1.0), (1.0, 2.0)]
+        s = StepSeries(pts)
+        assert list(s) == pts
+        assert s.times == [0.0, 1.0]
+        assert s.values == [1.0, 2.0]
+        assert s.first_time() == 0.0
+        assert s.last_time() == 1.0
+
+
+class TestUniformGrid:
+    def test_grid(self):
+        assert uniform_grid(0.0, 10.0, 3) == [0.0, 5.0, 10.0]
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            uniform_grid(0.0, 1.0, 1)
+        with pytest.raises(ValueError):
+            uniform_grid(1.0, 0.0, 3)

@@ -1,0 +1,244 @@
+"""Tests for the Section 2.2 standard-case stage algorithm."""
+
+import math
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.model import QuerySnapshot
+from repro.core.standard_case import remaining_time_of, standard_case
+
+
+def q(qid, cost, weight=1.0, done=0.0):
+    return QuerySnapshot(qid, cost, completed_work=done, weight=weight)
+
+
+class TestBasics:
+    def test_empty(self):
+        result = standard_case([], 1.0)
+        assert result.remaining_times == {}
+        assert result.finish_order == ()
+        assert result.quiescent_time == 0.0
+
+    def test_single_query(self):
+        result = standard_case([q("a", 30)], 2.0)
+        assert result.remaining_times["a"] == pytest.approx(15.0)
+        assert result.finish_order == ("a",)
+
+    def test_two_equal_queries_share_capacity(self):
+        result = standard_case([q("a", 10), q("b", 10)], 1.0)
+        # Both run at C/2 and finish together at 20s.
+        assert result.remaining_times["a"] == pytest.approx(20.0)
+        assert result.remaining_times["b"] == pytest.approx(20.0)
+
+    def test_paper_figure1_example(self):
+        # Four equal-priority queries; finish order follows remaining cost.
+        result = standard_case(
+            [q("Q1", 10), q("Q2", 20), q("Q3", 30), q("Q4", 40)], 1.0
+        )
+        assert result.finish_order == ("Q1", "Q2", "Q3", "Q4")
+        assert result.remaining_times == pytest.approx(
+            {"Q1": 40.0, "Q2": 70.0, "Q3": 90.0, "Q4": 100.0}
+        )
+        assert [s.duration for s in result.stages] == pytest.approx(
+            [40.0, 30.0, 20.0, 10.0]
+        )
+
+    def test_weighted_speeds(self):
+        # Weight-2 query runs twice as fast as weight-1.
+        result = standard_case([q("fast", 10, weight=2.0), q("slow", 10)], 3.0)
+        # Stage 1: fast at 2 U/s, slow at 1 U/s; fast finishes at t=5.
+        assert result.remaining_times["fast"] == pytest.approx(5.0)
+        # Slow then has 5 left, alone at 3 U/s: 5 + 5/3.
+        assert result.remaining_times["slow"] == pytest.approx(5 + 5 / 3)
+
+    def test_zero_cost_query_finishes_immediately(self):
+        result = standard_case([q("empty", 0), q("busy", 10)], 1.0)
+        assert result.remaining_times["empty"] == 0.0
+        assert result.remaining_times["busy"] == pytest.approx(10.0)
+        assert result.finish_order[0] == "empty"
+
+    def test_stage_speeds_sum_to_rate(self):
+        result = standard_case([q("a", 5), q("b", 15), q("c", 40)], 4.0)
+        for stage in result.stages:
+            assert sum(stage.speeds.values()) == pytest.approx(4.0)
+
+    def test_stage_work_done(self):
+        result = standard_case([q("a", 10), q("b", 20)], 1.0)
+        s1 = result.stages[0]
+        # During stage 1 both complete 10 U's.
+        assert s1.work_done("a") == pytest.approx(10.0)
+        assert s1.work_done("b") == pytest.approx(10.0)
+        assert s1.work_done("missing") == 0.0
+
+    def test_remaining_time_of(self):
+        queries = [q("a", 10), q("b", 20)]
+        assert remaining_time_of(queries, 1.0, "b") == pytest.approx(30.0)
+        with pytest.raises(KeyError):
+            remaining_time_of(queries, 1.0, "zzz")
+
+    def test_invalid_rate(self):
+        with pytest.raises(ValueError):
+            standard_case([q("a", 1)], 0.0)
+        with pytest.raises(ValueError):
+            standard_case([q("a", 1)], -2.0)
+
+    def test_deterministic_tie_break(self):
+        result = standard_case([q("b", 10), q("a", 10)], 1.0)
+        assert result.finish_order == ("a", "b")
+
+
+@st.composite
+def query_sets(draw, max_n=8):
+    n = draw(st.integers(min_value=1, max_value=max_n))
+    costs = draw(
+        st.lists(
+            st.floats(min_value=0.1, max_value=1e4),
+            min_size=n,
+            max_size=n,
+        )
+    )
+    weights = draw(
+        st.lists(
+            st.floats(min_value=0.1, max_value=16.0),
+            min_size=n,
+            max_size=n,
+        )
+    )
+    return [q(f"q{i}", c, w) for i, (c, w) in enumerate(zip(costs, weights))]
+
+
+class TestProperties:
+    @given(queries=query_sets(), rate=st.floats(min_value=0.1, max_value=100.0))
+    @settings(max_examples=120)
+    def test_total_time_conserves_work(self, queries, rate):
+        """The system drains exactly when total work / C has elapsed."""
+        result = standard_case(queries, rate)
+        total_work = sum(qq.remaining_cost for qq in queries)
+        assert result.quiescent_time == pytest.approx(total_work / rate, rel=1e-6)
+
+    @given(queries=query_sets())
+    @settings(max_examples=120)
+    def test_finish_order_matches_cost_weight_ratio(self, queries):
+        result = standard_case(queries, 1.0)
+        ratios = [
+            next(qq for qq in queries if qq.query_id == qid).remaining_cost
+            / next(qq for qq in queries if qq.query_id == qid).weight
+            for qid in result.finish_order
+        ]
+        assert ratios == sorted(ratios)
+
+    @given(queries=query_sets())
+    @settings(max_examples=120)
+    def test_remaining_times_nonnegative_and_ordered(self, queries):
+        result = standard_case(queries, 2.0)
+        times = [result.remaining_times[qid] for qid in result.finish_order]
+        assert all(t >= 0 for t in times)
+        assert times == sorted(times)
+
+    @given(queries=query_sets())
+    @settings(max_examples=120)
+    def test_stage_work_adds_up_per_query(self, queries):
+        """Summing each query's per-stage work reproduces its cost."""
+        result = standard_case(queries, 1.5)
+        for qq in queries:
+            done = sum(s.work_done(qq.query_id) for s in result.stages)
+            assert done == pytest.approx(qq.remaining_cost, rel=1e-6, abs=1e-6)
+
+    @given(queries=query_sets(), factor=st.floats(min_value=0.5, max_value=4.0))
+    @settings(max_examples=60)
+    def test_rate_scaling(self, queries, factor):
+        """Doubling C halves every remaining time."""
+        base = standard_case(queries, 1.0)
+        scaled = standard_case(queries, factor)
+        for qid, t in base.remaining_times.items():
+            assert scaled.remaining_times[qid] * factor == pytest.approx(
+                t, rel=1e-6, abs=1e-9
+            )
+
+    @given(queries=query_sets(max_n=6))
+    @settings(max_examples=60)
+    def test_blocking_invariant(self, queries):
+        """Removing a query never delays anyone (work-conserving sharing)."""
+        if len(queries) < 2:
+            return
+        base = standard_case(queries, 1.0)
+        removed = queries[0]
+        rest = queries[1:]
+        after = standard_case(rest, 1.0)
+        for qq in rest:
+            assert (
+                after.remaining_times[qq.query_id]
+                <= base.remaining_times[qq.query_id] + 1e-6
+            )
+
+    @given(queries=query_sets(max_n=6))
+    @settings(max_examples=60)
+    def test_blocked_savings_bounded_by_victim_remaining_time(self, queries):
+        """Paper Section 3.1: blocking Q_m saves at most r_m for any query."""
+        if len(queries) < 2:
+            return
+        base = standard_case(queries, 1.0)
+        victim = queries[0]
+        r_victim = base.remaining_times[victim.query_id]
+        after = standard_case(queries[1:], 1.0)
+        for qq in queries[1:]:
+            saving = base.remaining_times[qq.query_id] - after.remaining_times[qq.query_id]
+            assert saving <= r_victim + 1e-6
+
+
+class TestStageFreeFastPath:
+    @given(queries=query_sets(), rate=st.floats(min_value=0.1, max_value=50.0))
+    @settings(max_examples=80)
+    def test_matches_full_computation(self, queries, rate):
+        """include_stages=False gives identical times, order, drain."""
+        full = standard_case(queries, rate, include_stages=True)
+        fast = standard_case(queries, rate, include_stages=False)
+        assert fast.stages == ()
+        assert fast.finish_order == full.finish_order
+        assert fast.quiescent_time == pytest.approx(full.quiescent_time)
+        for qid, t in full.remaining_times.items():
+            assert fast.remaining_times[qid] == pytest.approx(t)
+
+    def test_empty_fast_path(self):
+        result = standard_case([], 1.0, include_stages=False)
+        assert result.quiescent_time == 0.0
+
+
+class TestAgainstNaiveSimulation:
+    def _naive(self, queries, rate, dt=0.001):
+        """Tiny-step Euler simulation of weighted fair sharing."""
+        remaining = {qq.query_id: qq.remaining_cost for qq in queries}
+        weights = {qq.query_id: qq.weight for qq in queries}
+        finish = {}
+        t = 0.0
+        active = {k for k, v in remaining.items() if v > 0}
+        for k in list(remaining):
+            if remaining[k] <= 0:
+                finish[k] = 0.0
+        while active:
+            total_w = sum(weights[k] for k in active)
+            for k in list(active):
+                remaining[k] -= rate * weights[k] / total_w * dt
+            t += dt
+            for k in list(active):
+                if remaining[k] <= 0:
+                    finish[k] = t
+                    active.discard(k)
+        return finish
+
+    @pytest.mark.parametrize(
+        "costs,weights",
+        [
+            ([3.0, 5.0], [1.0, 1.0]),
+            ([2.0, 4.0, 8.0], [1.0, 2.0, 1.0]),
+            ([1.0, 1.0, 1.0, 9.0], [4.0, 1.0, 2.0, 1.0]),
+        ],
+    )
+    def test_matches_euler_simulation(self, costs, weights):
+        queries = [q(f"q{i}", c, w) for i, (c, w) in enumerate(zip(costs, weights))]
+        analytic = standard_case(queries, 1.0).remaining_times
+        simulated = self._naive(queries, 1.0)
+        for qid in analytic:
+            assert analytic[qid] == pytest.approx(simulated[qid], abs=0.05)

@@ -1,0 +1,62 @@
+"""Tests for the SQL lexer."""
+
+import pytest
+
+from repro.engine.errors import ParseError
+from repro.engine.sql.lexer import TokenType, tokenize
+
+
+def kinds(sql):
+    return [(t.type, t.value) for t in tokenize(sql)[:-1]]
+
+
+class TestTokenize:
+    def test_keywords_case_insensitive(self):
+        assert kinds("select FROM Where")[0] == (TokenType.KEYWORD, "SELECT")
+        assert kinds("select FROM Where")[2] == (TokenType.KEYWORD, "WHERE")
+
+    def test_identifiers_keep_case(self):
+        assert kinds("Part_1")[0] == (TokenType.IDENT, "Part_1")
+
+    def test_numbers(self):
+        assert kinds("42")[0] == (TokenType.NUMBER, "42")
+        assert kinds("3.14")[0] == (TokenType.NUMBER, "3.14")
+        assert kinds("1e5")[0] == (TokenType.NUMBER, "1e5")
+        assert kinds("2.5E-3")[0] == (TokenType.NUMBER, "2.5E-3")
+        assert kinds(".5")[0] == (TokenType.NUMBER, ".5")
+
+    def test_string_with_escape(self):
+        toks = kinds("'it''s'")
+        assert toks[0] == (TokenType.STRING, "it's")
+
+    def test_unterminated_string(self):
+        with pytest.raises(ParseError):
+            tokenize("'oops")
+
+    def test_operators(self):
+        ops = [v for t, v in kinds("a <> b <= c >= d != e || f")]
+        assert "<>" in ops and "<=" in ops and ">=" in ops
+        assert "!=" in ops and "||" in ops
+
+    def test_comments_skipped(self):
+        toks = kinds("select -- comment here\n 1")
+        assert len(toks) == 2
+
+    def test_punctuation(self):
+        toks = kinds("(a, b);")
+        values = [v for _, v in toks]
+        assert values == ["(", "a", ",", "b", ")", ";"]
+
+    def test_unexpected_character(self):
+        with pytest.raises(ParseError) as err:
+            tokenize("select @")
+        assert err.value.position == 7
+
+    def test_eof_token_always_present(self):
+        assert tokenize("")[-1].type is TokenType.EOF
+        assert tokenize("select")[-1].type is TokenType.EOF
+
+    def test_positions_recorded(self):
+        toks = tokenize("ab cd")
+        assert toks[0].position == 0
+        assert toks[1].position == 3

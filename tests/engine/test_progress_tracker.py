@@ -1,0 +1,89 @@
+"""Direct unit tests for the ProgressTracker refinement logic."""
+
+import pytest
+
+from repro.engine.catalog import Catalog
+from repro.engine.operators.base import WorkAccount
+from repro.engine.operators.scans import SeqScan
+from repro.engine.operators.transforms import Filter
+from repro.engine.progress import ProgressTracker, find_driver_scan
+from repro.engine.schema import Column, TableSchema
+from repro.engine.types import SqlType
+
+
+def make_scan(rows=100, page_capacity=10):
+    catalog = Catalog(page_capacity=page_capacity)
+    schema = TableSchema.of("t", [Column("k", SqlType.INTEGER)])
+    table = catalog.create_table(schema)
+    for i in range(rows):
+        table.insert((i,))
+    account = WorkAccount()
+    return SeqScan(table, "t", account), account
+
+
+class TestDriverDiscovery:
+    def test_finds_scan_through_wrappers(self):
+        scan, _ = make_scan()
+        wrapped = Filter(scan, lambda env: True)
+        assert find_driver_scan(wrapped) is scan
+
+    def test_none_without_scan(self):
+        from repro.engine.operators.transforms import SingleRow
+
+        assert find_driver_scan(SingleRow(WorkAccount())) is None
+
+
+class TestTracker:
+    def test_initial_estimate(self):
+        scan, account = make_scan()
+        tracker = ProgressTracker(scan, account, optimizer_estimate=42.0)
+        assert tracker.estimated_remaining_cost() == 42.0
+        assert tracker.completed_fraction() == 0.0
+
+    def test_extrapolation_converges_on_uniform_work(self):
+        scan, account = make_scan(rows=100, page_capacity=10)
+        tracker = ProgressTracker(scan, account, optimizer_estimate=5.0)
+        it = scan.rows()
+        for _ in range(60):  # 6 pages
+            next(it)
+        # True total is 10 pages; the optimizer lowballed at 5.
+        assert tracker.estimated_total_cost() == pytest.approx(10.0, rel=0.2)
+
+    def test_estimate_floor_is_work_done(self):
+        scan, account = make_scan(rows=100, page_capacity=10)
+        tracker = ProgressTracker(scan, account, optimizer_estimate=1.0)
+        list(scan.rows())
+        assert tracker.estimated_total_cost() >= tracker.work_done
+
+    def test_mark_finished_zeroes_remaining(self):
+        scan, account = make_scan()
+        tracker = ProgressTracker(scan, account, optimizer_estimate=100.0)
+        tracker.mark_finished()
+        assert tracker.estimated_remaining_cost() == 0.0
+        assert tracker.completed_fraction() == 1.0 or account.total == 0
+
+    def test_no_driver_uses_optimizer_estimate(self):
+        from repro.engine.operators.transforms import SingleRow
+
+        account = WorkAccount()
+        tracker = ProgressTracker(SingleRow(account), account, 7.0)
+        assert tracker.driver_fraction() is None
+        assert tracker.estimated_remaining_cost() == 7.0
+
+    def test_validation(self):
+        scan, account = make_scan()
+        with pytest.raises(ValueError):
+            ProgressTracker(scan, account, optimizer_estimate=-1.0)
+        with pytest.raises(ValueError):
+            ProgressTracker(scan, account, 1.0, blend_until=0.0)
+        with pytest.raises(ValueError):
+            ProgressTracker(scan, account, 1.0, blend_until=1.5)
+
+    def test_blend_weights_early_fraction(self):
+        scan, account = make_scan(rows=100, page_capacity=10)
+        tracker = ProgressTracker(
+            scan, account, optimizer_estimate=100.0, blend_until=0.5
+        )
+        it = scan.rows()
+        next(it)  # tiny fraction: optimizer estimate dominates
+        assert tracker.estimated_total_cost() > 50.0

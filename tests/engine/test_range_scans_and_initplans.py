@@ -1,0 +1,144 @@
+"""Tests for range index scans and uncorrelated-subquery init-plans."""
+
+import pytest
+
+from repro.engine import Database
+from repro.engine.operators.scans import RangeIndexScan, SeqScan
+
+
+@pytest.fixture()
+def db():
+    d = Database(page_capacity=10)
+    d.execute("CREATE TABLE t (k INT, v FLOAT)")
+    d.insert_rows("t", [(i, float(i % 7)) for i in range(1000)])
+    d.execute("CREATE INDEX t_k ON t (k)")
+    d.analyze()
+    return d
+
+
+def scan_kind(db, sql):
+    plan = db.explain(sql)
+    for line in plan.splitlines():
+        if "Scan" in line:
+            return line.strip().split(" ")[0]
+    raise AssertionError(f"no scan in plan:\n{plan}")
+
+
+class TestRangeIndexScan:
+    def test_narrow_range_uses_index(self, db):
+        assert scan_kind(db, "SELECT k FROM t WHERE k > 990") == "RangeIndexScan"
+        assert scan_kind(db, "SELECT k FROM t WHERE k BETWEEN 5 AND 9") == (
+            "RangeIndexScan"
+        )
+
+    def test_results_match_seq_scan(self, db):
+        plain = Database(page_capacity=10)
+        plain.execute("CREATE TABLE t (k INT, v FLOAT)")
+        plain.insert_rows("t", [(i, float(i % 7)) for i in range(1000)])
+        for sql in (
+            "SELECT count(*) FROM t WHERE k >= 990",
+            "SELECT count(*) FROM t WHERE k BETWEEN 100 AND 110",
+            "SELECT count(*) FROM t WHERE k < 5",
+            "SELECT count(*) FROM t WHERE k > 5 AND k <= 7",
+            "SELECT count(*) FROM t WHERE 10 > k",  # literal on the left
+        ):
+            assert db.query(sql) == plain.query(sql), sql
+
+    def test_combined_bounds_intersect(self, db):
+        rows = db.query("SELECT k FROM t WHERE k >= 5 AND k < 8 ORDER BY k")
+        assert rows == [(5,), (6,), (7,)]
+
+    def test_empty_range(self, db):
+        assert db.query("SELECT count(*) FROM t WHERE k > 10 AND k < 10") == [(0,)]
+
+    def test_narrow_range_is_cheap(self, db):
+        ex = db.prepare("SELECT count(*) FROM t WHERE k BETWEEN 10 AND 19")
+        ex.run_to_completion()
+        seq_pages = db.catalog.table("t").heap.page_count
+        assert ex.work_done < seq_pages / 5
+        # Estimate matches actual exactly for a clustered key.
+        assert ex.root.est_cost == pytest.approx(ex.work_done, rel=0.3)
+
+    def test_unindexed_column_stays_seq(self, db):
+        assert scan_kind(db, "SELECT k FROM t WHERE v > 6") == "SeqScan"
+
+    def test_negated_between_not_indexed(self, db):
+        assert scan_kind(db, "SELECT k FROM t WHERE k NOT BETWEEN 1 AND 2") == (
+            "SeqScan"
+        )
+
+    def test_null_bound_not_indexed(self, db):
+        assert scan_kind(db, "SELECT k FROM t WHERE k > NULL") == "SeqScan"
+
+    def test_remaining_conjuncts_still_filter(self, db):
+        rows = db.query(
+            "SELECT k FROM t WHERE k BETWEEN 0 AND 13 AND v = 3 ORDER BY k"
+        )
+        assert rows == [(3,), (10,)]
+
+    def test_operator_direct(self, db):
+        table = db.catalog.table("t")
+        index = table.index_on("k")
+        from repro.engine.operators.base import WorkAccount
+
+        account = WorkAccount()
+        scan = RangeIndexScan(
+            table, "t", index, account, low=lambda env: 997, high=None
+        )
+        rows = list(scan.rows())
+        assert [r[0] for r in rows] == [997, 998, 999]
+        assert account.total >= index.height()
+
+
+class TestInitPlans:
+    def test_uncorrelated_subquery_runs_once(self, db):
+        ex = db.prepare("SELECT k FROM t WHERE v > (SELECT avg(v) FROM t)")
+        ex.run_to_completion()
+        pages = db.catalog.table("t").heap.page_count
+        # Two sequential scans, not one per row.
+        assert ex.work_done == pytest.approx(2 * pages)
+
+    def test_uncorrelated_estimate_not_multiplied(self, db):
+        est = db.estimated_cost("SELECT k FROM t WHERE v > (SELECT avg(v) FROM t)")
+        pages = db.catalog.table("t").heap.page_count
+        assert est == pytest.approx(2 * pages)
+
+    def test_correlated_subquery_still_per_row(self, db):
+        db.execute("CREATE TABLE s (k INT, w FLOAT)")
+        db.insert_rows("s", [(i, float(i)) for i in range(100)])
+        db.execute("CREATE INDEX s_k ON s (k)")
+        db.analyze()
+        ex = db.prepare(
+            "SELECT k FROM t WHERE v > (SELECT w FROM s WHERE s.k = t.k % 100)"
+        )
+        ex.run_to_completion()
+        pages = db.catalog.table("t").heap.page_count
+        assert ex.work_done > 3 * pages  # per-row probes dominate
+
+    def test_results_unchanged_by_caching(self, db):
+        rows = db.query("SELECT count(*) FROM t WHERE v > (SELECT avg(v) FROM t)")
+        # avg(v) of i%7 over 0..999 ~= 2.997; v in {3,4,5,6} qualifies.
+        assert rows[0][0] == sum(1 for i in range(1000) if (i % 7) > 2.997)
+
+    def test_mixed_nesting(self, db):
+        """A correlated subquery containing an uncorrelated one."""
+        db.execute("CREATE TABLE s (k INT, w FLOAT)")
+        db.insert_rows("s", [(i % 10, float(i)) for i in range(50)])
+        db.analyze()
+        rows = db.query(
+            "SELECT count(*) FROM t WHERE k < 10 AND v >= "
+            "(SELECT min(w) FROM s WHERE s.k = t.k)"
+        )
+        assert rows[0][0] >= 0  # runs without error; exact value checked below
+        import statistics
+
+        mins = {}
+        for i in range(50):
+            mins.setdefault(i % 10, []).append(float(i))
+        expected = 0
+        for k in range(10):
+            v = float(k % 7)
+            m = min(mins[k])
+            if v >= m:
+                expected += 1
+        assert rows[0][0] == expected

@@ -1,0 +1,145 @@
+"""Tests for ANALYZE statistics, selectivity and the cost model."""
+
+import pytest
+
+from repro.engine import Database
+from repro.engine import cost as costmodel
+from repro.engine.index import BTreeIndex
+from repro.engine.stats import Selectivity, analyze_table
+
+
+@pytest.fixture()
+def analyzed():
+    db = Database(page_capacity=10)
+    db.execute("CREATE TABLE t (k INT, v FLOAT, tag TEXT)")
+    rows = [(i, float(i % 10), "even" if i % 2 == 0 else "odd") for i in range(200)]
+    rows.append((None, None, None))
+    db.insert_rows("t", rows)
+    table = db.catalog.table("t")
+    stats = analyze_table(table)
+    return db, table, stats
+
+
+class TestAnalyze:
+    def test_row_and_page_counts(self, analyzed):
+        _, table, stats = analyzed
+        assert stats.row_count == 201
+        assert stats.page_count == table.heap.page_count
+
+    def test_column_stats(self, analyzed):
+        _, _, stats = analyzed
+        k = stats.column("k")
+        assert k.null_count == 1
+        assert k.distinct_count == 200
+        assert k.min_value == 0 and k.max_value == 199
+        v = stats.column("v")
+        assert v.distinct_count == 10
+        tag = stats.column("TAG")  # case-insensitive
+        assert tag.distinct_count == 2
+
+    def test_histogram_bounds(self, analyzed):
+        _, _, stats = analyzed
+        hist = stats.column("k").histogram
+        assert hist[0] == 0 and hist[-1] == 199
+        assert hist == sorted(hist)
+
+    def test_correlation_detects_clustering(self, analyzed):
+        _, _, stats = analyzed
+        # k ascends with the heap: near-perfect correlation.
+        assert stats.column("k").correlation > 0.99
+        # v cycles 0..9: essentially uncorrelated with position.
+        assert abs(stats.column("v").correlation) < 0.2
+
+    def test_analyze_marks_table(self, analyzed):
+        _, table, stats = analyzed
+        assert table.stats is stats
+
+    def test_insert_invalidates_stats(self, analyzed):
+        _, table, _ = analyzed
+        table.insert((999, 1.0, "x"))
+        assert table.stats is None
+
+
+class TestSelectivity:
+    def test_equality(self, analyzed):
+        _, _, stats = analyzed
+        sel = Selectivity(stats)
+        assert sel.equality("k") == pytest.approx(1 / 200, rel=0.05)
+        assert sel.equality("tag") == pytest.approx(0.5, rel=0.05)
+
+    def test_inequality_via_histogram(self, analyzed):
+        _, _, stats = analyzed
+        sel = Selectivity(stats)
+        assert sel.inequality("k", "<", 100) == pytest.approx(0.5, abs=0.1)
+        assert sel.inequality("k", ">", 150) == pytest.approx(0.25, abs=0.1)
+
+    def test_range_fraction(self, analyzed):
+        _, _, stats = analyzed
+        sel = Selectivity(stats)
+        assert sel.range_fraction("k", 50, 150) == pytest.approx(0.5, abs=0.1)
+        assert sel.range_fraction("k", None, None) == pytest.approx(1.0, abs=0.05)
+
+    def test_defaults_without_stats(self):
+        sel = Selectivity(None)
+        assert 0 < sel.equality("x") < 1
+        assert 0 < sel.range_fraction("x", 1, 2) <= 1
+
+    def test_bad_operator(self, analyzed):
+        _, _, stats = analyzed
+        with pytest.raises(ValueError):
+            Selectivity(stats).inequality("k", "=", 1)
+
+
+class TestCostModel:
+    def test_seq_scan(self):
+        est = costmodel.seq_scan(10, 500)
+        assert est.cost == 10.0 and est.rows == 500.0
+
+    def test_index_probe_unclustered_costs_more(self):
+        idx = BTreeIndex("i", "t", "c")
+        clustered = costmodel.index_probe(
+            idx, 1000, 0.03, page_count=100, rows_per_page=10, correlation=1.0
+        )
+        unclustered = costmodel.index_probe(
+            idx, 1000, 0.03, page_count=100, rows_per_page=10, correlation=0.0
+        )
+        assert clustered.cost < unclustered.cost
+        assert clustered.rows == unclustered.rows == pytest.approx(30.0)
+
+    def test_expected_heap_pages_bounds(self):
+        pages = costmodel.expected_heap_pages(30, 100, 10, correlation=0.0)
+        assert 3 <= pages <= 30
+        assert costmodel.expected_heap_pages(0, 100, 10, 0.0) == 0.0
+        assert costmodel.expected_heap_pages(5, 1, 10, 0.0) == pytest.approx(1.0)
+
+    def test_filter_and_limit(self):
+        base = costmodel.Estimate(10.0, 100.0)
+        assert costmodel.filter_rows(base, 0.25).rows == 25.0
+        assert costmodel.limit(base, 5, 0).rows == 5.0
+        assert costmodel.limit(base, None, 40).rows == 60.0
+
+    def test_subquery_filter_dominated_by_per_row_cost(self):
+        base = costmodel.Estimate(5.0, 50.0)
+        est = costmodel.subquery_filter(base, 31.0, 0.33)
+        assert est.cost == pytest.approx(5 + 50 * 31)
+
+    def test_joins_and_sort(self):
+        left = costmodel.Estimate(10.0, 100.0)
+        right = costmodel.Estimate(20.0, 50.0)
+        hj = costmodel.hash_join(left, right, 1 / 100, 50)
+        assert hj.rows == pytest.approx(50.0)
+        assert hj.cost > 30.0
+        nl = costmodel.nested_loop_join(left, costmodel.materialize(right, 50), 1.0)
+        assert nl.rows == 5000.0
+        srt = costmodel.sort(left, 50)
+        assert srt.cost == pytest.approx(10.0 + 2 * 2)
+
+    def test_aggregate(self):
+        base = costmodel.Estimate(10.0, 100.0)
+        assert costmodel.aggregate(base, None).rows == 1.0
+        assert costmodel.aggregate(base, 7.0).rows == 7.0
+        assert costmodel.aggregate(base, 1e9).rows == 100.0
+
+    def test_negative_estimate_rejected(self):
+        with pytest.raises(ValueError):
+            costmodel.Estimate(-1.0, 0.0)

@@ -1,0 +1,118 @@
+"""Tests for heap storage and the simulated B-tree index."""
+
+import pytest
+
+from repro.engine.errors import ExecutionError
+from repro.engine.index import BTreeIndex
+from repro.engine.storage import RID, HeapFile, Page
+
+
+class TestPage:
+    def test_capacity(self):
+        p = Page(2)
+        p.append((1,))
+        p.append((2,))
+        assert p.full
+        with pytest.raises(ExecutionError):
+            p.append((3,))
+
+    def test_bad_capacity(self):
+        with pytest.raises(ValueError):
+            Page(0)
+
+
+class TestHeapFile:
+    def test_append_and_fetch(self):
+        h = HeapFile(page_capacity=2)
+        rids = [h.append((i,)) for i in range(5)]
+        assert h.row_count == 5
+        assert h.page_count == 3
+        assert rids[0] == RID(0, 0)
+        assert rids[2] == RID(1, 0)
+        assert h.fetch(rids[4]) == (4,)
+
+    def test_scan_rows_in_order(self):
+        h = HeapFile(page_capacity=3)
+        for i in range(7):
+            h.append((i,))
+        rows = [row for _, row in h.scan_rows()]
+        assert rows == [(i,) for i in range(7)]
+
+    def test_scan_pages(self):
+        h = HeapFile(page_capacity=3)
+        for i in range(7):
+            h.append((i,))
+        pages = list(h.scan_pages())
+        assert [n for n, _ in pages] == [0, 1, 2]
+        assert len(pages[2][1]) == 1
+
+    def test_dangling_fetch(self):
+        h = HeapFile()
+        with pytest.raises(ExecutionError):
+            h.fetch(RID(0, 0))
+        h.append((1,))
+        with pytest.raises(ExecutionError):
+            h.fetch(RID(0, 5))
+
+    def test_bad_capacity(self):
+        with pytest.raises(ValueError):
+            HeapFile(page_capacity=0)
+
+
+class TestBTreeIndex:
+    def _index(self, n=1000, per_key=1):
+        idx = BTreeIndex("i", "t", "c", fanout=4, leaf_capacity=8)
+        for k in range(n):
+            for j in range(per_key):
+                idx.insert(k, RID(k // 10, j))
+        return idx
+
+    def test_search(self):
+        idx = self._index(100, per_key=3)
+        assert len(idx.search(5)) == 3
+        assert idx.search(1000) == []
+        assert idx.search(None) == []
+
+    def test_null_keys_not_indexed(self):
+        idx = BTreeIndex("i", "t", "c")
+        idx.insert(None, RID(0, 0))
+        assert idx.entry_count == 0
+
+    def test_height_grows_with_keys(self):
+        small = self._index(5)
+        big = self._index(5000)
+        assert small.height() < big.height()
+        assert small.height() >= 1
+
+    def test_lookup_cost(self):
+        idx = self._index(1000)
+        base = idx.lookup_cost(1)
+        assert base == idx.height()
+        assert idx.lookup_cost(100) > base
+
+    def test_search_range(self):
+        idx = self._index(20)
+        keys = [k for k, _ in idx.search_range(5, 8)]
+        assert keys == [5, 6, 7, 8]
+        keys = [k for k, _ in idx.search_range(5, 8, low_inclusive=False,
+                                               high_inclusive=False)]
+        assert keys == [6, 7]
+        assert [k for k, _ in idx.search_range(18, None)] == [18, 19]
+
+    def test_min_max(self):
+        idx = self._index(10)
+        assert idx.min_key() == 0
+        assert idx.max_key() == 9
+        empty = BTreeIndex("i", "t", "c")
+        assert empty.min_key() is None
+
+    def test_unhashable_probe(self):
+        idx = self._index(10)
+        with pytest.raises(ExecutionError):
+            idx.search([1, 2])
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            BTreeIndex("i", "t", "c", fanout=1)
+        with pytest.raises(ValueError):
+            BTreeIndex("i", "t", "c", leaf_capacity=0)

@@ -1,0 +1,142 @@
+"""Tests for SQL types, coercion and schemas."""
+
+import pytest
+
+from repro.engine.errors import CatalogError, SqlTypeError
+from repro.engine.schema import Column, TableSchema
+from repro.engine.types import (
+    SqlType,
+    coerce_value,
+    compare_values,
+    is_numeric,
+    sort_key,
+)
+
+
+class TestSqlType:
+    @pytest.mark.parametrize(
+        "name,expected",
+        [
+            ("int", SqlType.INTEGER),
+            ("BIGINT", SqlType.INTEGER),
+            ("varchar", SqlType.TEXT),
+            ("double", SqlType.FLOAT),
+            ("NUMERIC", SqlType.FLOAT),
+            ("bool", SqlType.BOOLEAN),
+        ],
+    )
+    def test_aliases(self, name, expected):
+        assert SqlType.parse(name) is expected
+
+    def test_unknown_type(self):
+        with pytest.raises(SqlTypeError):
+            SqlType.parse("BLOB")
+
+
+class TestCoercion:
+    def test_none_passes(self):
+        assert coerce_value(None, SqlType.INTEGER) is None
+
+    def test_integer(self):
+        assert coerce_value(3.0, SqlType.INTEGER) == 3
+        with pytest.raises(SqlTypeError):
+            coerce_value(3.5, SqlType.INTEGER)
+        with pytest.raises(SqlTypeError):
+            coerce_value(True, SqlType.INTEGER)
+        with pytest.raises(SqlTypeError):
+            coerce_value("x", SqlType.INTEGER)
+
+    def test_float(self):
+        assert coerce_value(3, SqlType.FLOAT) == 3.0
+        assert isinstance(coerce_value(3, SqlType.FLOAT), float)
+        with pytest.raises(SqlTypeError):
+            coerce_value(True, SqlType.FLOAT)
+
+    def test_text(self):
+        assert coerce_value("hi", SqlType.TEXT) == "hi"
+        with pytest.raises(SqlTypeError):
+            coerce_value(1, SqlType.TEXT)
+
+    def test_boolean(self):
+        assert coerce_value(True, SqlType.BOOLEAN) is True
+        with pytest.raises(SqlTypeError):
+            coerce_value(1, SqlType.BOOLEAN)
+
+
+class TestComparisons:
+    def test_null_propagates(self):
+        assert compare_values(None, 1) is None
+        assert compare_values(1, None) is None
+
+    def test_numeric_cross_type(self):
+        assert compare_values(1, 1.0) == 0
+        assert compare_values(1, 2.5) == -1
+
+    def test_strings(self):
+        assert compare_values("a", "b") == -1
+
+    def test_incomparable(self):
+        with pytest.raises(SqlTypeError):
+            compare_values("a", 1)
+        with pytest.raises(SqlTypeError):
+            compare_values(True, 1)
+
+    def test_is_numeric(self):
+        assert is_numeric(1) and is_numeric(2.5)
+        assert not is_numeric(True)
+        assert not is_numeric("1")
+
+    def test_sort_key_total_order(self):
+        values = [3, None, "b", 1.5, True, "a", None, False]
+        ordered = sorted(values, key=sort_key)
+        assert ordered[:2] == [None, None]  # NULLs first
+
+
+class TestSchema:
+    def _schema(self):
+        return TableSchema.of(
+            "t",
+            [
+                Column("a", SqlType.INTEGER, nullable=False),
+                Column("b", SqlType.TEXT),
+            ],
+        )
+
+    def test_positions_case_insensitive(self):
+        s = self._schema()
+        assert s.column_position("A") == 0
+        assert s.column("B").sql_type is SqlType.TEXT
+        assert s.has_column("a") and not s.has_column("zz")
+
+    def test_unknown_column(self):
+        with pytest.raises(CatalogError):
+            self._schema().column_position("zz")
+
+    def test_validate_row(self):
+        s = self._schema()
+        assert s.validate_row([1, "x"]) == (1, "x")
+        assert s.validate_row([2, None]) == (2, None)
+
+    def test_not_null_enforced(self):
+        with pytest.raises(SqlTypeError):
+            self._schema().validate_row([None, "x"])
+
+    def test_arity_enforced(self):
+        with pytest.raises(SqlTypeError):
+            self._schema().validate_row([1])
+
+    def test_duplicate_columns_rejected(self):
+        with pytest.raises(CatalogError):
+            TableSchema.of(
+                "t", [Column("a", SqlType.INTEGER), Column("A", SqlType.TEXT)]
+            )
+
+    def test_empty_schema_rejected(self):
+        with pytest.raises(CatalogError):
+            TableSchema.of("t", [])
+
+    def test_bad_names_rejected(self):
+        with pytest.raises(CatalogError):
+            Column("not valid", SqlType.INTEGER)
+        with pytest.raises(CatalogError):
+            TableSchema.of("1bad", [Column("a", SqlType.INTEGER)])

@@ -1,0 +1,106 @@
+"""Tests for the engine-backed MCQ experiment (prototype fidelity)."""
+
+import pytest
+
+from repro.experiments.engine_mode import (
+    EngineMCQConfig,
+    build_database,
+    run_engine_maintenance,
+    run_engine_mcq,
+)
+
+FAST = EngineMCQConfig(
+    n_queries=4, max_size=8, scale=1 / 8000, processing_rate=10.0,
+    sample_interval=1.0, seed=5,
+)
+
+
+class TestBuildDatabase:
+    def test_builds_part_tables(self):
+        db, sizes = build_database(FAST)
+        assert len(sizes) == FAST.n_queries
+        for i in range(1, FAST.n_queries + 1):
+            assert db.catalog.has_table(f"part_{i}")
+        assert db.catalog.table("lineitem").index_on("partkey") is not None
+
+    def test_deterministic(self):
+        _, a = build_database(FAST)
+        _, b = build_database(FAST)
+        assert a == b
+
+
+class TestRunEngineMCQ:
+    @pytest.fixture(scope="class")
+    def result(self):
+        return run_engine_mcq(FAST)
+
+    def test_estimates_recorded(self, result):
+        assert result.estimates.get("multi-query")
+        assert result.estimates.get("single-query")
+
+    def test_focus_has_largest_initial_cost(self, result):
+        # The focus query is picked by largest remaining cost after the
+        # head-start, so it has one of the larger initial costs.
+        focus_cost = result.initial_costs[result.focus_query]
+        assert focus_cost >= max(result.initial_costs.values()) * 0.3
+
+    def test_optimizer_estimates_imperfect_but_sane(self, result):
+        """The whole point of engine mode: estimates have real error."""
+        errors = [
+            result.cost_estimation_error(qid) for qid in result.initial_costs
+        ]
+        assert all(e < 1.0 for e in errors)
+        assert any(e > 0.001 for e in errors)
+
+    def test_multi_query_beats_single(self, result):
+        assert result.mean_relative_error("multi-query") < (
+            result.mean_relative_error("single-query")
+        )
+
+    def test_missing_estimator_raises(self, result):
+        with pytest.raises(ValueError):
+            result.mean_relative_error("bogus")
+
+
+class TestQueryMix:
+    def test_mixed_query_shapes_run(self):
+        config = EngineMCQConfig(
+            n_queries=4, max_size=8, scale=1 / 8000, processing_rate=10.0,
+            sample_interval=1.0, seed=5, query_mix=True,
+        )
+        result = run_engine_mcq(config)
+        assert result.estimates["multi-query"]
+        # All queries completed with positive true work.
+        assert all(w > 0 for w in result.final_works.values())
+
+    def test_headline_survives_query_mix(self):
+        result = run_engine_mcq(EngineMCQConfig(query_mix=True))
+        assert result.mean_relative_error("multi-query") < (
+            result.mean_relative_error("single-query")
+        )
+
+
+class TestEngineMaintenance:
+    @pytest.fixture(scope="class")
+    def result(self):
+        return run_engine_maintenance(FAST, deadline_fraction=0.5)
+
+    def test_all_methods_reported(self, result):
+        assert set(result.fractions) == {
+            "no PI", "single-query PI", "multi-query PI"
+        }
+        for uw in result.fractions.values():
+            assert 0.0 <= uw <= 1.0
+
+    def test_true_costs_positive(self, result):
+        assert len(result.true_costs) == FAST.n_queries
+        assert all(c > 0 for c in result.true_costs.values())
+
+    def test_deterministic(self):
+        a = run_engine_maintenance(FAST, deadline_fraction=0.5)
+        b = run_engine_maintenance(FAST, deadline_fraction=0.5)
+        assert a.fractions == b.fractions
+
+    def test_generous_deadline_no_pi_loses_nothing(self):
+        result = run_engine_maintenance(FAST, deadline_fraction=1.5)
+        assert result.fractions["no PI"] == pytest.approx(0.0)

@@ -1,0 +1,124 @@
+"""Tests for the scheduled-maintenance experiment (Figure 11)."""
+
+import random
+
+import pytest
+
+from repro.experiments.maintenance import (
+    MULTI_PI,
+    NO_PI,
+    SINGLE_PI,
+    THEORETICAL,
+    MaintenanceConfig,
+    per_run_extremes,
+    run_maintenance_sweep,
+    run_one,
+    reduction_vs,
+    sample_running_queries,
+    t_finish_of,
+)
+
+FAST = MaintenanceConfig(runs=8)
+
+
+class TestSampling:
+    def test_sample_shape(self):
+        queries = sample_running_queries(FAST, random.Random(0))
+        assert len(queries) == FAST.n_queries
+        for q in queries:
+            assert q.total_cost > 0
+            assert 0 <= q.completed_work <= q.total_cost
+
+    def test_deterministic(self):
+        a = sample_running_queries(FAST, random.Random(5))
+        b = sample_running_queries(FAST, random.Random(5))
+        assert [(q.remaining_cost, q.completed_work) for q in a] == [
+            (q.remaining_cost, q.completed_work) for q in b
+        ]
+
+    def test_t_finish(self):
+        queries = sample_running_queries(FAST, random.Random(1))
+        assert t_finish_of(queries, 2.0) == pytest.approx(
+            sum(q.remaining_cost for q in queries) / 2.0
+        )
+
+
+class TestRunOne:
+    def test_methods_bounded(self):
+        rng = random.Random(3)
+        queries = sample_running_queries(FAST, rng)
+        deadline = 0.5 * t_finish_of(queries, 1.0)
+        for method in (NO_PI, SINGLE_PI, MULTI_PI, THEORETICAL):
+            frac = run_one(queries, deadline, FAST, method)
+            assert 0.0 <= frac <= 1.0
+
+    def test_theoretical_lower_bounds_multi(self):
+        rng = random.Random(4)
+        queries = sample_running_queries(FAST, rng)
+        for f in (0.2, 0.5, 0.8):
+            deadline = f * t_finish_of(queries, 1.0)
+            limit = run_one(queries, deadline, FAST, THEORETICAL)
+            multi = run_one(queries, deadline, FAST, MULTI_PI)
+            assert limit <= multi + 1e-9
+
+
+class TestSweep:
+    @pytest.fixture(scope="class")
+    def sweep(self):
+        return run_maintenance_sweep(FAST)
+
+    def test_figure11_no_pi_and_multi_lose_nothing_at_t_finish(self, sweep):
+        assert sweep.at(NO_PI, 1.0) == pytest.approx(0.0, abs=1e-9)
+        assert sweep.at(MULTI_PI, 1.0) == pytest.approx(0.0, abs=1e-9)
+
+    def test_figure11_single_pi_overaborts_at_t_finish(self, sweep):
+        """The paper reports 67% of work needlessly lost."""
+        assert sweep.at(SINGLE_PI, 1.0) > 0.3
+
+    def test_figure11_multi_best_of_the_three_methods(self, sweep):
+        for f in sweep.fractions:
+            assert sweep.at(MULTI_PI, f) <= sweep.at(NO_PI, f) + 1e-9
+            assert sweep.at(MULTI_PI, f) <= sweep.at(SINGLE_PI, f) + 1e-9
+
+    def test_figure11_multi_tracks_theoretical_limit(self, sweep):
+        for f in sweep.fractions:
+            gap = sweep.at(MULTI_PI, f) - sweep.at(THEORETICAL, f)
+            # Paper: 3%-12% above the limit on average, worst case 60%.
+            assert -1e-9 <= gap <= 0.25
+
+    def test_figure11_curves_decrease_with_deadline(self, sweep):
+        for method in (NO_PI, MULTI_PI, THEORETICAL):
+            curve = sweep.curve(method)
+            assert all(b <= a + 1e-9 for a, b in zip(curve, curve[1:]))
+
+    def test_figure11_multi_reduces_vs_no_pi_in_paper_band(self, sweep):
+        """Paper: 18%-44% reduction vs the no-PI method for t < t_finish."""
+        reductions = reduction_vs(sweep, MULTI_PI, NO_PI)
+        interior = [
+            r for f, r in zip(sweep.fractions, reductions) if f < 1.0
+        ]
+        assert all(r > 0.05 for r in interior)
+        assert any(r > 0.15 for r in interior)
+
+    def test_reduction_vs_zero_baseline(self, sweep):
+        reductions = reduction_vs(sweep, MULTI_PI, NO_PI)
+        # At t = t_finish the baseline loses nothing: reduction reported 0.
+        assert reductions[-1] == 0.0
+
+
+class TestPerRunExtremes:
+    def test_extremes_bounded_and_sane(self):
+        stats = per_run_extremes(MaintenanceConfig(runs=4), baseline=NO_PI)
+        assert 0.0 <= stats.best_reduction <= 1.0
+        assert stats.worst_increase >= 0.0
+        assert 0.0 <= stats.win_rate <= 1.0
+
+    def test_multi_wins_most_points(self):
+        stats = per_run_extremes(MaintenanceConfig(runs=6), baseline=SINGLE_PI)
+        assert stats.win_rate > 0.6
+        assert stats.best_reduction > 0.2
+
+    def test_deterministic(self):
+        a = per_run_extremes(MaintenanceConfig(runs=3))
+        b = per_run_extremes(MaintenanceConfig(runs=3))
+        assert a == b

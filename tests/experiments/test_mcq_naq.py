@@ -1,0 +1,101 @@
+"""Tests for the MCQ (Fig 3/4) and NAQ (Fig 5) experiments."""
+
+import pytest
+
+from repro.experiments.harness import MULTI_QUERY, MULTI_QUERY_NO_QUEUE, SINGLE_QUERY
+from repro.experiments.mcq import MCQConfig, run_mcq
+from repro.experiments.naq import NAQConfig, run_naq
+
+
+class TestMCQ:
+    @pytest.fixture(scope="class")
+    def result(self):
+        return run_mcq(MCQConfig(seed=3))
+
+    def test_all_queries_finish(self, result):
+        assert len(result.finish_times) == 10
+
+    def test_focus_is_last_finishing(self, result):
+        assert result.finish_time == max(result.finish_times.values())
+
+    def test_multi_query_estimate_tracks_actual(self, result):
+        """Figure 3: the multi-query estimate stays near the dashed line."""
+        assert result.mean_abs_error(MULTI_QUERY) <= 0.05 * result.finish_time
+
+    def test_single_query_overestimates_initially(self, result):
+        """Figure 3: the single-query estimate starts far too high."""
+        assert result.initial_overestimate_factor(SINGLE_QUERY) > 1.5
+        assert result.initial_overestimate_factor(MULTI_QUERY) == pytest.approx(
+            1.0, abs=0.1
+        )
+
+    def test_multi_beats_single(self, result):
+        assert result.mean_abs_error(MULTI_QUERY) < result.mean_abs_error(SINGLE_QUERY)
+
+    def test_speed_rises_as_others_finish(self, result):
+        """Figure 4: speed increases several-fold over the run."""
+        assert result.speedup_factor() > 2.0
+        speeds = [v for _, v in result.speed]
+        # Monotone non-decreasing (fair sharing; queries only leave).
+        assert all(b >= a - 1e-9 for a, b in zip(speeds, speeds[1:]))
+
+    def test_actual_series_decreases_linearly(self, result):
+        values = [v for _, v in result.actual]
+        assert all(b <= a for a, b in zip(values, values[1:]))
+
+    def test_different_seeds_give_different_runs(self):
+        r1 = run_mcq(MCQConfig(seed=1))
+        r2 = run_mcq(MCQConfig(seed=2))
+        assert r1.finish_time != r2.finish_time
+
+    def test_errors_on_missing_estimator(self):
+        result = run_mcq(MCQConfig(seed=4))
+        with pytest.raises(KeyError):
+            result.mean_abs_error("nonexistent")
+
+
+class TestNAQ:
+    @pytest.fixture(scope="class")
+    def result(self):
+        return run_naq(NAQConfig())
+
+    def test_timeline_matches_paper_structure(self, result):
+        """Q2 finishes -> Q3 starts -> Q3 finishes -> Q1 finishes."""
+        assert result.q3_start < result.q3_finish < result.q1_finish
+
+    def test_paper_default_timeline_values(self, result):
+        # N=(50,10,20), cost 5/size, C=1: Q2 at 100, Q3 at 300, Q1 at 400.
+        assert result.q3_start == pytest.approx(100.0)
+        assert result.q3_finish == pytest.approx(300.0)
+        assert result.q1_finish == pytest.approx(400.0)
+
+    def test_queue_aware_estimate_is_exact(self, result):
+        assert result.mean_abs_error(MULTI_QUERY) == pytest.approx(0.0, abs=1e-6)
+
+    def test_queue_blind_underestimates_before_q3_starts(self, result):
+        series = result.estimates[MULTI_QUERY_NO_QUEUE]
+        before = [(t, v) for t, v in series if t < result.q3_start]
+        assert before, "expected estimates before Q3 started"
+        for t, v in before:
+            assert v < result.q1_finish - t
+
+    def test_single_overestimates_before_q2_finishes(self, result):
+        series = result.estimates[SINGLE_QUERY]
+        before = [(t, v) for t, v in series if t < result.q3_start]
+        assert before
+        for t, v in before:
+            assert v > result.q1_finish - t
+
+    def test_queue_aware_beats_both_before_q3_starts(self, result):
+        horizon = result.q3_start - 1e-9
+        aware = result.mean_abs_error(MULTI_QUERY, until=horizon)
+        blind = result.mean_abs_error(MULTI_QUERY_NO_QUEUE, until=horizon)
+        single = result.mean_abs_error(SINGLE_QUERY, until=horizon)
+        assert aware < blind
+        assert aware < single
+
+    def test_all_estimators_converge_at_the_end(self, result):
+        """After Q3 finishes, everyone sees Q1 alone: errors vanish."""
+        for name in (SINGLE_QUERY, MULTI_QUERY, MULTI_QUERY_NO_QUEUE):
+            err = result.error_at(name, result.q1_finish - 2.0)
+            assert err < 25.0

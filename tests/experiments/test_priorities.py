@@ -1,0 +1,48 @@
+"""Tests for the mixed-priority extension experiment."""
+
+import math
+
+import pytest
+
+from repro.experiments.priorities import (
+    PriorityMCQConfig,
+    run_priority_mcq,
+    sweep_priority_spread,
+)
+
+FAST = PriorityMCQConfig(runs=4, seed=17)
+
+
+class TestRunPriorityMCQ:
+    def test_multi_exact_under_weighted_sharing(self):
+        errors = run_priority_mcq(FAST)
+        assert errors.multi_avg == pytest.approx(0.0, abs=1e-9)
+        assert errors.multi_low_priority == pytest.approx(0.0, abs=1e-9)
+
+    def test_single_has_error(self):
+        errors = run_priority_mcq(FAST)
+        assert errors.single_avg > 0.05
+
+    def test_deterministic(self):
+        a = run_priority_mcq(FAST)
+        b = run_priority_mcq(FAST)
+        assert a.single_avg == b.single_avg
+
+    def test_equal_priority_special_case(self):
+        config = PriorityMCQConfig(runs=4, priorities=(1,), seed=3)
+        errors = run_priority_mcq(config)
+        assert errors.multi_avg == pytest.approx(0.0, abs=1e-9)
+        assert not math.isnan(errors.single_low_priority)
+
+
+class TestSweep:
+    def test_labels_and_order(self):
+        sweep = sweep_priority_spread(FAST, ((0,), (0, 2)))
+        assert [label for label, _ in sweep] == ["0", "0/2"]
+
+    def test_spread_hurts_single_query_low_priority(self):
+        sweep = sweep_priority_spread(FAST, ((0,), (0, 3)))
+        flat = dict(sweep)
+        assert (
+            flat["0/3"].single_low_priority > flat["0"].single_low_priority
+        )

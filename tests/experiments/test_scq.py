@@ -1,0 +1,160 @@
+"""Tests for the SCQ experiment (Figures 6-10)."""
+
+import math
+
+import pytest
+
+from repro.experiments.scq import (
+    SCQConfig,
+    calibrated_cost_per_size,
+    evaluate_run,
+    mean_arrival_cost,
+    run_adaptive_trace,
+    run_lambda_sensitivity,
+    run_scq_sweep,
+    simulate_scq_run,
+)
+from repro.core.forecast import WorkloadForecast
+
+FAST = SCQConfig(runs=6)
+
+
+class TestCalibration:
+    def test_saturation_point(self):
+        cfg = SCQConfig()
+        c_bar = mean_arrival_cost(cfg)
+        assert cfg.saturation_lambda * c_bar == pytest.approx(
+            cfg.processing_rate, rel=1e-9
+        )
+
+    def test_explicit_cost_per_size_respected(self):
+        cfg = SCQConfig(cost_per_size=3.0)
+        assert calibrated_cost_per_size(cfg) == 3.0
+
+
+class TestSingleRun:
+    def test_deterministic(self):
+        a = simulate_scq_run(FAST, 0.03, seed=5)
+        b = simulate_scq_run(FAST, 0.03, seed=5)
+        assert a.actual_finish == b.actual_finish
+        assert a.arrival_times == b.arrival_times
+
+    def test_all_initial_queries_finish(self):
+        run = simulate_scq_run(FAST, 0.05, seed=1)
+        assert len(run.actual_finish) == 10
+        assert all(t > 0 for t in run.actual_finish.values())
+
+    def test_no_arrivals_at_lambda_zero(self):
+        run = simulate_scq_run(FAST, 0.0, seed=1)
+        assert run.arrival_times == []
+
+    def test_arrivals_slow_down_finishes(self):
+        quiet = simulate_scq_run(FAST, 0.0, seed=2)
+        busy = simulate_scq_run(FAST, 0.05, seed=2)
+        assert max(busy.actual_finish.values()) >= max(quiet.actual_finish.values())
+
+    def test_last_finishing(self):
+        run = simulate_scq_run(FAST, 0.0, seed=3)
+        last = run.last_finishing
+        assert run.actual_finish[last] == max(run.actual_finish.values())
+
+
+class TestEvaluation:
+    def test_exact_forecast_perfect_at_lambda_zero(self):
+        run = simulate_scq_run(FAST, 0.0, seed=4)
+        errors = evaluate_run(run, None)
+        assert errors.multi_avg() == pytest.approx(0.0, abs=1e-6)
+        assert errors.single_avg() > 0.0
+
+    def test_errors_finite(self):
+        run = simulate_scq_run(FAST, 0.05, seed=4)
+        c_bar = mean_arrival_cost(FAST)
+        errors = evaluate_run(run, WorkloadForecast(0.05, c_bar))
+        for err in list(errors.single.values()) + list(errors.multi.values()):
+            assert math.isfinite(err)
+
+
+class TestSweep:
+    @pytest.fixture(scope="class")
+    def sweep(self):
+        return run_scq_sweep(FAST, lambdas=(0.0, 0.03, 0.06, 0.15))
+
+    def test_figure6_multi_beats_single_when_stable(self, sweep):
+        for p in sweep.points:
+            if p.lam <= 0.06:
+                assert p.multi_last < p.single_last
+
+    def test_figure7_multi_beats_single_on_average_when_stable(self, sweep):
+        for p in sweep.points:
+            if p.lam <= 0.06:
+                assert p.multi_avg < p.single_avg
+
+    def test_single_error_decreases_with_lambda_when_stable(self, sweep):
+        stable = [p for p in sweep.points if p.lam <= 0.06]
+        lasts = [p.single_last for p in stable]
+        assert lasts == sorted(lasts, reverse=True)
+
+    def test_multi_error_increases_with_lambda(self, sweep):
+        stable = [p for p in sweep.points if p.lam <= 0.15]
+        multis = [p.multi_last for p in stable]
+        assert multis[0] <= multis[-1]
+
+    def test_last_finisher_error_at_least_average(self, sweep):
+        """The last finishing query gets the largest, most random influence."""
+        for p in sweep.points:
+            assert p.single_last >= p.single_avg - 1e-9
+
+    def test_as_rows(self, sweep):
+        rows = sweep.as_rows()
+        assert len(rows) == 4
+        assert all(len(r) == 5 for r in rows)
+
+
+class TestLambdaSensitivity:
+    @pytest.fixture(scope="class")
+    def sens(self):
+        return run_lambda_sensitivity(
+            FAST, true_lambda=0.03, lambda_primes=(0.0, 0.03, 0.05, 0.15)
+        )
+
+    def test_figure8_single_error_constant_across_lambda_prime(self, sens):
+        singles = [p.single_last for p in sens.points]
+        assert max(singles) - min(singles) < 1e-9
+
+    def test_figure8_error_monotone_beyond_true_lambda(self, sens):
+        """Paper Fig 8: 'the bigger the difference between lambda' and
+        lambda, the more inaccurate the multi-query estimate' -- the curve
+        rises monotonically for lambda' above the truth."""
+        by_lp = {p.lam: p.multi_last for p in sens.points}
+        assert by_lp[0.03] <= by_lp[0.05] <= by_lp[0.15]
+        # Near-or-below-truth guesses stay accurate.
+        assert by_lp[0.0] < 1.0 and by_lp[0.03] < 1.0
+
+    def test_figure9_multi_beats_single_for_moderate_error(self, sens):
+        """Even a somewhat wrong lambda' beats no explicit model."""
+        for p in sens.points:
+            if p.lam <= 0.05:
+                assert p.multi_avg < p.single_avg
+
+    def test_error_grows_with_lambda_prime_deviation(self, sens):
+        by_lp = {p.lam: p.multi_avg for p in sens.points}
+        assert by_lp[0.03] <= by_lp[0.05] <= by_lp[0.15]
+
+
+class TestAdaptiveTrace:
+    @pytest.fixture(scope="class")
+    def trace(self):
+        return run_adaptive_trace(
+            SCQConfig(runs=1, seed=42),
+            true_lambda=0.03,
+            lambda_primes=(0.04, 0.05),
+        )
+
+    def test_figure10_series_nonempty(self, trace):
+        for lp in (0.04, 0.05):
+            assert len(trace.series[lp]) >= 3
+
+    def test_figure10_error_shrinks_towards_completion(self, trace):
+        for lp in (0.04, 0.05):
+            assert trace.final_error(lp) <= trace.initial_error(lp) + 0.05
+            assert trace.final_error(lp) < 0.3

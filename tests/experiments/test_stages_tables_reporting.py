@@ -1,0 +1,95 @@
+"""Tests for the Fig 1/2 stage figures, Table 1 builder and reporting."""
+
+import pytest
+
+from repro.experiments.reporting import format_series, format_table, sparkline
+from repro.experiments.stages import compare_blocking, figure1, figure2
+from repro.experiments.tables import build_table1
+from repro.workload.tpcr import TpcrConfig
+
+
+class TestFigure1:
+    def test_default_schedule(self):
+        fig = figure1()
+        assert fig.result.finish_order == ("Q1", "Q2", "Q3", "Q4")
+        assert fig.stage_durations() == pytest.approx([40.0, 30.0, 20.0, 10.0])
+
+    def test_render_contains_all_queries(self):
+        text = figure1().render()
+        for qid in ("Q1", "Q2", "Q3", "Q4"):
+            assert qid in text
+        assert "stages:" in text
+
+    def test_custom_rate(self):
+        fig = figure1(processing_rate=2.0)
+        assert fig.result.quiescent_time == pytest.approx(50.0)
+
+
+class TestFigure2:
+    def test_blocked_query_absent(self):
+        fig = figure2(blocked="Q3")
+        assert "Q3" not in fig.result.remaining_times
+        assert fig.blocked == ("Q3",)
+
+    def test_unknown_blocked_query(self):
+        with pytest.raises(ValueError):
+            figure2(blocked="Q9")
+
+    def test_comparison_speedups(self):
+        cmp = compare_blocking(victim="Q3")
+        ups = cmp.speedups()
+        assert set(ups) == {"Q1", "Q2", "Q4"}
+        assert ups["Q4"] == pytest.approx(30.0)
+        # Bounded by the victim's remaining time.
+        r_victim = cmp.baseline.result.remaining_times["Q3"]
+        assert all(v <= r_victim for v in ups.values())
+
+
+class TestTable1:
+    def test_rows_match_config(self):
+        result = build_table1(TpcrConfig(scale=1 / 4000), part_sizes={1: 4})
+        rows = {r.table: r for r in result.rows}
+        assert rows["lineitem"].tuples == 6000
+        assert rows["part_1"].tuples == 40
+        assert rows["part_1"].paper_tuples == "10 x 4"
+
+    def test_render(self):
+        result = build_table1(TpcrConfig(scale=1 / 4000), part_sizes={1: 4})
+        text = result.render()
+        assert "lineitem" in text and "24M" in text
+
+
+class TestReporting:
+    def test_format_table_alignment(self):
+        text = format_table(["a", "bb"], [(1, 2.5), (30, 4.125)])
+        lines = text.splitlines()
+        assert len(lines) == 4
+        assert "4.125" in text
+
+    def test_format_series_downsamples(self):
+        series = [(float(i), float(i * 2)) for i in range(100)]
+        text = format_series("title", series, max_points=5)
+        assert text.startswith("title")
+        assert len(text.splitlines()) <= 12
+        # last point always included
+        assert "198.0" in text
+
+    def test_format_series_empty(self):
+        assert "(no data)" in format_series("x", [])
+
+    def test_write_csv(self, tmp_path):
+        from repro.experiments.reporting import write_csv
+
+        path = tmp_path / "out.csv"
+        n = write_csv(str(path), ["a", "b"], [(1, "x,y"), (2.5, 'q"z')])
+        assert n == 2
+        text = path.read_text()
+        assert text.splitlines()[0] == "a,b"
+        assert '"x,y"' in text  # comma field quoted
+
+    def test_sparkline(self):
+        line = sparkline([0.0, 0.5, 1.0])
+        assert len(line) == 3
+        assert line[0] == " " and line[-1] == "@"
+        assert sparkline([]) == ""
+        assert len(set(sparkline([5.0, 5.0, 5.0]))) == 1

@@ -1,0 +1,77 @@
+"""Tests for arrival processes."""
+
+import random
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.sim.arrivals import ArrivalSchedule, poisson_arrival_times
+from repro.sim.jobs import SyntheticJob
+
+
+class TestPoisson:
+    def test_deterministic_under_seed(self):
+        a = poisson_arrival_times(0.1, 1000.0, seed=5)
+        b = poisson_arrival_times(0.1, 1000.0, seed=5)
+        assert a == b
+
+    def test_zero_rate_empty(self):
+        assert poisson_arrival_times(0.0, 100.0) == []
+
+    def test_times_sorted_within_horizon(self):
+        times = poisson_arrival_times(0.5, 200.0, seed=1)
+        assert times == sorted(times)
+        assert all(0 < t <= 200.0 for t in times)
+
+    def test_mean_rate_approximately_correct(self):
+        times = poisson_arrival_times(0.2, 50_000.0, seed=2)
+        assert len(times) / 50_000.0 == pytest.approx(0.2, rel=0.05)
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            poisson_arrival_times(-1.0, 10.0)
+        with pytest.raises(ValueError):
+            poisson_arrival_times(1.0, -10.0)
+
+    @given(rate=st.floats(min_value=0.01, max_value=2.0), seed=st.integers(0, 100))
+    @settings(max_examples=30)
+    def test_interarrivals_positive(self, rate, seed):
+        times = poisson_arrival_times(rate, 100.0, seed=seed)
+        gaps = [b - a for a, b in zip(times, times[1:])]
+        assert all(g > 0 for g in gaps)
+
+    def test_shared_rng(self):
+        rng = random.Random(7)
+        first = poisson_arrival_times(0.1, 100.0, seed=rng)
+        second = poisson_arrival_times(0.1, 100.0, seed=rng)
+        assert first != second  # rng state advanced
+
+
+class TestArrivalSchedule:
+    def test_sorted_entries(self):
+        s = ArrivalSchedule()
+        s.add(5.0, lambda: SyntheticJob("b", 1))
+        s.add(1.0, lambda: SyntheticJob("a", 1))
+        assert [t for t, _ in s.sorted_entries()] == [1.0, 5.0]
+        assert len(s) == 2
+
+    def test_negative_time_rejected(self):
+        s = ArrivalSchedule()
+        with pytest.raises(ValueError):
+            s.add(-1.0, lambda: SyntheticJob("a", 1))
+
+    def test_add_poisson_binds_index(self):
+        s = ArrivalSchedule()
+        times = s.add_poisson(
+            0.5, 50.0, lambda i: SyntheticJob(f"job{i}", 1.0), seed=3
+        )
+        assert len(times) == len(s)
+        jobs = [factory() for _, factory in s.sorted_entries()]
+        assert len({j.query_id for j in jobs}) == len(jobs)
+
+    def test_iteration_yields_sorted(self):
+        s = ArrivalSchedule()
+        s.add(2.0, lambda: SyntheticJob("x", 1))
+        s.add(1.0, lambda: SyntheticJob("y", 1))
+        assert [t for t, _ in s] == [1.0, 2.0]

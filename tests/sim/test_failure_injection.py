@@ -1,0 +1,69 @@
+"""Failure injection: a query that errors mid-run fails in isolation."""
+
+import pytest
+
+from repro.engine import Database
+from repro.sim.jobs import EngineJob, SyntheticJob
+from repro.sim.rdbms import SimulatedRDBMS
+
+
+@pytest.fixture()
+def db():
+    d = Database(page_capacity=5)
+    d.execute("CREATE TABLE t (k INT, v FLOAT)")
+    d.insert_rows("t", [(i, float(i)) for i in range(100)])
+    d.analyze()
+    return d
+
+
+def poisoned_job(db, query_id):
+    """A query that divides by zero once it reaches row k = 50."""
+    sql = "SELECT 100.0 / (50 - k) FROM t WHERE k >= 0"
+    return EngineJob(query_id, db.prepare(sql))
+
+
+class TestRuntimeFailures:
+    def test_failure_isolated_from_other_queries(self, db):
+        rdbms = SimulatedRDBMS(processing_rate=5.0, quantum=0.25)
+        rdbms.submit(poisoned_job(db, "bad"))
+        rdbms.submit(SyntheticJob("good", 30.0))
+        rdbms.run_to_completion(max_time=1e6)
+        assert rdbms.record("bad").status == "failed"
+        assert "zero" in rdbms.record("bad").error
+        assert rdbms.record("good").status == "finished"
+
+    def test_failed_query_frees_capacity(self, db):
+        rdbms = SimulatedRDBMS(processing_rate=10.0, quantum=0.25)
+        rdbms.submit(poisoned_job(db, "bad"))
+        rdbms.submit(SyntheticJob("good", 100.0))
+        rdbms.run_to_completion(max_time=1e6)
+        # 'good' sped up after the failure: it finished well before the
+        # time 100/(10/2) = 20s it would need at a permanent half share.
+        assert rdbms.traces["good"].finished_at < 16.0
+
+    def test_failure_frees_mpl_slot(self, db):
+        rdbms = SimulatedRDBMS(
+            processing_rate=10.0, quantum=0.25, multiprogramming_limit=1
+        )
+        rdbms.submit(poisoned_job(db, "bad"))
+        rdbms.submit(SyntheticJob("waiting", 5.0))
+        assert rdbms.record("waiting").status == "queued"
+        rdbms.run_to_completion(max_time=1e6)
+        assert rdbms.record("waiting").status == "finished"
+
+    def test_failed_query_records_abort_time(self, db):
+        rdbms = SimulatedRDBMS(processing_rate=5.0, quantum=0.25)
+        rdbms.submit(poisoned_job(db, "bad"))
+        rdbms.run_to_completion(max_time=1e6)
+        assert rdbms.traces["bad"].aborted_at is not None
+        assert rdbms.traces["bad"].finished_at is None
+
+    def test_snapshot_excludes_failed_queries(self, db):
+        rdbms = SimulatedRDBMS(processing_rate=5.0, quantum=0.25)
+        rdbms.submit(poisoned_job(db, "bad"))
+        rdbms.submit(SyntheticJob("good", 500.0))
+        # Run long enough for the failure to occur.
+        rdbms.run_until(30.0)
+        assert rdbms.record("bad").status == "failed"
+        ids = {q.query_id for q in rdbms.snapshot().running}
+        assert ids == {"good"}

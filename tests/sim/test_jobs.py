@@ -1,0 +1,83 @@
+"""Tests for job abstractions."""
+
+import pytest
+
+from repro.sim.jobs import CostNoiseJob, SyntheticJob
+
+
+class TestSyntheticJob:
+    def test_lifecycle(self):
+        j = SyntheticJob("a", 10)
+        assert not j.finished
+        assert j.estimated_remaining_cost() == 10
+        consumed = j.advance(4)
+        assert consumed == 4
+        assert j.completed_work == 4
+        assert j.estimated_remaining_cost() == 6
+        consumed = j.advance(100)
+        assert consumed == pytest.approx(6)
+        assert j.finished
+
+    def test_initial_done(self):
+        j = SyntheticJob("a", 10, initial_done=7)
+        assert j.completed_work == 7
+        assert j.estimated_remaining_cost() == 3
+
+    def test_true_remaining_matches_estimate(self):
+        j = SyntheticJob("a", 10, initial_done=2)
+        assert j.true_remaining_cost() == j.estimated_remaining_cost()
+
+    def test_priority_sets_weight(self):
+        assert SyntheticJob("a", 1, priority=2).weight == 4.0
+        assert SyntheticJob("a", 1, priority=2, weight=9.0).weight == 9.0
+
+    def test_snapshot(self):
+        j = SyntheticJob("a", 10, priority=1, initial_done=4)
+        s = j.snapshot()
+        assert s.query_id == "a"
+        assert s.remaining_cost == 6
+        assert s.completed_work == 4
+        assert s.weight == 2.0
+        assert s.priority == 1
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            SyntheticJob("a", -1)
+        with pytest.raises(ValueError):
+            SyntheticJob("a", 10, initial_done=11)
+        with pytest.raises(ValueError):
+            SyntheticJob("a", 1, weight=0)
+        j = SyntheticJob("a", 1)
+        with pytest.raises(ValueError):
+            j.advance(-1)
+
+    def test_zero_cost_is_finished(self):
+        assert SyntheticJob("a", 0).finished
+
+
+class TestCostNoiseJob:
+    def test_estimate_scaled_execution_untouched(self):
+        inner = SyntheticJob("a", 10)
+        noisy = CostNoiseJob(inner, error_factor=2.0)
+        assert noisy.estimated_remaining_cost() == 20.0
+        noisy.advance(5)
+        assert inner.completed_work == 5
+        assert noisy.completed_work == 5
+        assert noisy.estimated_remaining_cost() == 10.0
+        assert not noisy.finished
+        noisy.advance(5)
+        assert noisy.finished
+
+    def test_inner_accessor(self):
+        inner = SyntheticJob("a", 10)
+        assert CostNoiseJob(inner, 1.5).inner is inner
+
+    def test_identity_preserved(self):
+        inner = SyntheticJob("a", 10, priority=1)
+        noisy = CostNoiseJob(inner, 0.5)
+        assert noisy.query_id == "a"
+        assert noisy.weight == inner.weight
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            CostNoiseJob(SyntheticJob("a", 1), 0.0)

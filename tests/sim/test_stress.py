@@ -1,0 +1,84 @@
+"""Stress and conservation tests for the simulator at scale."""
+
+import random
+
+import pytest
+
+from repro.sim.arrivals import ArrivalSchedule
+from repro.sim.jobs import SyntheticJob
+from repro.sim.rdbms import SimulatedRDBMS
+
+
+class TestScale:
+    def test_two_hundred_queries_with_stream(self):
+        """200 initial queries + 100 Poisson arrivals, MPL 16: everything
+        finishes, work is conserved, traces are complete."""
+        rng = random.Random(99)
+        rdbms = SimulatedRDBMS(processing_rate=10.0, multiprogramming_limit=16)
+        total_work = 0.0
+        for i in range(200):
+            cost = rng.uniform(1, 50)
+            total_work += cost
+            rdbms.submit(SyntheticJob(f"Q{i}", cost))
+        schedule = ArrivalSchedule()
+        times = schedule.add_poisson(
+            1.0,
+            100.0,
+            lambda k: SyntheticJob(f"A{k}", 5.0),
+            seed=rng,
+        )
+        arrival_work = 5.0 * len(times)
+        rdbms.schedule(schedule)
+        rdbms.run_to_completion()
+
+        records = rdbms.records()
+        assert len(records) == 200 + len(times)
+        assert all(r.status == "finished" for r in records.values())
+        assert rdbms.clock == pytest.approx(
+            (total_work + arrival_work) / 10.0, rel=1e-6
+        )
+
+    def test_mpl_never_exceeded_during_run(self):
+        rng = random.Random(5)
+        rdbms = SimulatedRDBMS(processing_rate=5.0, multiprogramming_limit=3)
+        observed = []
+        rdbms.add_sampler(0.5, lambda r: observed.append(len(r.running)))
+        for i in range(30):
+            rdbms.submit(SyntheticJob(f"Q{i}", rng.uniform(1, 10)))
+        rdbms.run_to_completion()
+        assert observed
+        assert max(observed) <= 3
+
+    def test_interleaved_actions_under_load(self):
+        """Aborts, blocks and priority changes mid-run stay consistent."""
+        rng = random.Random(13)
+        rdbms = SimulatedRDBMS(processing_rate=10.0)
+        for i in range(50):
+            rdbms.submit(SyntheticJob(f"Q{i}", rng.uniform(5, 100)))
+        rdbms.run_until(1.0)
+        rdbms.abort("Q0")
+        rdbms.block("Q1")
+        rdbms.set_priority("Q2", 3)
+        rdbms.run_until(2.0)
+        rdbms.unblock("Q1")
+        rdbms.abort("Q3", rollback_overhead=4.0)
+        rdbms.run_to_completion()
+        statuses = {qid: r.status for qid, r in rdbms.records().items()}
+        assert statuses["Q0"] == "aborted"
+        assert statuses["Q1"] == "finished"
+        assert statuses["Q3"] == "aborted"
+        assert statuses["__rollback_Q3"] == "finished"
+        others = [
+            s for qid, s in statuses.items() if qid not in ("Q0", "Q3")
+        ]
+        assert all(s == "finished" for s in others)
+
+    def test_high_priority_finishes_disproportionately_early(self):
+        rdbms = SimulatedRDBMS(processing_rate=1.0)
+        rdbms.submit(SyntheticJob("vip", 100, priority=3))   # weight 8
+        for i in range(8):
+            rdbms.submit(SyntheticJob(f"bg{i}", 100, priority=0))
+        rdbms.run_to_completion()
+        vip = rdbms.traces["vip"].finished_at
+        background = [rdbms.traces[f"bg{i}"].finished_at for i in range(8)]
+        assert vip < min(background) / 2

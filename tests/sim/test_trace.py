@@ -1,0 +1,59 @@
+"""Tests for trace recording."""
+
+import pytest
+
+from repro.sim.trace import QueryTrace, TraceSet
+
+
+class TestQueryTrace:
+    def test_actual_remaining(self):
+        t = QueryTrace("a", finished_at=100.0)
+        assert t.actual_remaining(40.0) == 60.0
+        assert t.actual_remaining(150.0) == 0.0
+
+    def test_actual_remaining_requires_finish(self):
+        t = QueryTrace("a")
+        with pytest.raises(ValueError):
+            t.actual_remaining(0.0)
+
+    def test_response_time_and_queue_wait(self):
+        t = QueryTrace("a", submitted_at=5.0, started_at=8.0, finished_at=20.0)
+        assert t.response_time == 15.0
+        assert t.queue_wait == 3.0
+
+    def test_unfinished_response_time_none(self):
+        assert QueryTrace("a").response_time is None
+        assert QueryTrace("a").queue_wait is None
+
+    def test_record_estimate(self):
+        t = QueryTrace("a")
+        t.record_estimate("multi-query", 1.0, 10.0)
+        t.record_estimate("multi-query", 2.0, 9.0)
+        assert list(t.estimates["multi-query"]) == [(1.0, 10.0), (2.0, 9.0)]
+
+
+class TestTraceSet:
+    def test_for_query_creates(self):
+        ts = TraceSet()
+        assert "a" not in ts
+        trace = ts.for_query("a")
+        assert "a" in ts
+        assert ts["a"] is trace
+
+    def test_finished_queries_sorted(self):
+        ts = TraceSet()
+        ts.for_query("a").finished_at = 30.0
+        ts.for_query("b").finished_at = 10.0
+        ts.for_query("c")  # unfinished
+        done = ts.finished_queries()
+        assert [t.query_id for t in done] == ["b", "a"]
+
+    def test_last_finishing(self):
+        ts = TraceSet()
+        ts.for_query("a").finished_at = 30.0
+        ts.for_query("b").finished_at = 10.0
+        assert ts.last_finishing().query_id == "a"
+
+    def test_last_finishing_empty_raises(self):
+        with pytest.raises(ValueError):
+            TraceSet().last_finishing()

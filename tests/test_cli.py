@@ -1,0 +1,101 @@
+"""Tests for the command-line interface."""
+
+import pytest
+
+from repro.cli import build_parser, main
+
+
+class TestParser:
+    def test_requires_command(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args([])
+
+    def test_unknown_command(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["frobnicate"])
+
+    def test_experiment_choices(self):
+        args = build_parser().parse_args(["experiment", "mcq"])
+        assert args.name == "mcq"
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["experiment", "bogus"])
+
+
+class TestDemo:
+    def test_demo_output(self, capsys):
+        assert main(["demo"]) == 0
+        out = capsys.readouterr().out
+        assert "single-query PI estimate" in out
+        assert "multi-query  PI estimate" in out
+        assert "actual completion" in out
+
+
+class TestSql:
+    def test_select(self, capsys):
+        code = main(["sql", "SELECT count(*) FROM part_1", "--scale", "0.0001"])
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "(1 rows)" in out
+
+    def test_explain(self, capsys):
+        code = main(
+            ["sql", "--explain", "SELECT * FROM part_1 WHERE partkey = 3",
+             "--scale", "0.0001"]
+        )
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "estimated cost" in out
+
+    def test_dml_row_count(self, capsys):
+        code = main(
+            ["sql", "DELETE FROM part_1 WHERE partkey > 0", "--scale", "0.0001"]
+        )
+        assert code == 0
+        assert "rows affected" in capsys.readouterr().out
+
+    def test_ddl_ok(self, capsys):
+        code = main(["sql", "CREATE TABLE z (a INT)", "--scale", "0.0001"])
+        assert code == 0
+        assert "ok" in capsys.readouterr().out
+
+    def test_bad_sql_reports_error(self, capsys):
+        code = main(["sql", "SELEC oops", "--scale", "0.0001"])
+        assert code == 1
+        assert "error:" in capsys.readouterr().err
+
+
+class TestExperiments:
+    def test_table1(self, capsys):
+        assert main(["experiment", "table1"]) == 0
+        assert "lineitem" in capsys.readouterr().out
+
+    def test_mcq(self, capsys):
+        assert main(["experiment", "mcq", "--seed", "3"]) == 0
+        out = capsys.readouterr().out
+        assert "multi-query" in out and "single-query" in out
+
+    def test_naq(self, capsys):
+        assert main(["experiment", "naq"]) == 0
+        assert "Q3 starts" in capsys.readouterr().out
+
+    def test_scq_small(self, capsys):
+        assert main(["experiment", "scq", "--runs", "2"]) == 0
+        assert "lambda" in capsys.readouterr().out
+
+    def test_maintenance_small(self, capsys):
+        assert main(["experiment", "maintenance", "--runs", "2"]) == 0
+        assert "t/t_finish" in capsys.readouterr().out
+
+    def test_csv_export(self, capsys, tmp_path):
+        out = tmp_path / "data.csv"
+        assert main(["experiment", "table1", "--csv", str(out)]) == 0
+        lines = out.read_text().splitlines()
+        assert lines[0] == "table,tuples,pages"
+        assert any(line.startswith("lineitem") for line in lines)
+
+    def test_csv_export_sweep(self, tmp_path, capsys):
+        out = tmp_path / "m.csv"
+        assert main(
+            ["experiment", "maintenance", "--runs", "2", "--csv", str(out)]
+        ) == 0
+        assert out.read_text().count("\n") >= 5

@@ -1,0 +1,63 @@
+"""Quality gate: every public item in the library carries a docstring."""
+
+import importlib
+import inspect
+import pkgutil
+
+import pytest
+
+import repro
+
+
+def walk_modules():
+    yield repro
+    for info in pkgutil.walk_packages(repro.__path__, prefix="repro."):
+        if info.name.endswith("__main__"):
+            continue
+        yield importlib.import_module(info.name)
+
+
+MODULES = list(walk_modules())
+
+
+@pytest.mark.parametrize("module", MODULES, ids=lambda m: m.__name__)
+def test_module_docstring(module):
+    assert module.__doc__ and module.__doc__.strip(), module.__name__
+
+
+@pytest.mark.parametrize("module", MODULES, ids=lambda m: m.__name__)
+def test_public_classes_and_functions_documented(module):
+    missing = []
+    for name, obj in vars(module).items():
+        if name.startswith("_"):
+            continue
+        if not (inspect.isclass(obj) or inspect.isfunction(obj)):
+            continue
+        if getattr(obj, "__module__", None) != module.__name__:
+            continue  # re-export; documented at its home
+        if not (obj.__doc__ and obj.__doc__.strip()):
+            missing.append(name)
+        if inspect.isclass(obj):
+            for meth_name, meth in vars(obj).items():
+                if meth_name.startswith("_"):
+                    continue
+                if not inspect.isfunction(meth) and not isinstance(
+                    meth, property
+                ):
+                    continue
+                target = meth.fget if isinstance(meth, property) else meth
+                if target is None:
+                    continue
+                if target.__doc__ and target.__doc__.strip():
+                    continue
+                # Overrides inherit their contract from a documented base.
+                inherited = any(
+                    (
+                        base_member := getattr(base, meth_name, None)
+                    ) is not None
+                    and (getattr(base_member, "__doc__", None) or "").strip()
+                    for base in obj.__mro__[1:]
+                )
+                if not inherited:
+                    missing.append(f"{name}.{meth_name}")
+    assert not missing, f"{module.__name__}: undocumented public items {missing}"

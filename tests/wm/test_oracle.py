@@ -1,0 +1,125 @@
+"""Tests for the exact maintenance oracle (the theoretical limit)."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.model import QuerySnapshot
+from repro.wm.maintenance import LostWorkCase, plan_maintenance, quiescent_time
+from repro.wm.oracle import exact_maintenance_plan
+
+
+def q(qid, remaining, done=0.0):
+    return QuerySnapshot(qid, remaining, completed_work=done)
+
+
+@st.composite
+def workloads(draw, max_n=9):
+    n = draw(st.integers(min_value=1, max_value=max_n))
+    items = draw(
+        st.lists(
+            st.tuples(
+                st.floats(min_value=0.1, max_value=100.0),
+                st.floats(min_value=0.0, max_value=100.0),
+            ),
+            min_size=n,
+            max_size=n,
+        )
+    )
+    return [q(f"q{i}", c, d) for i, (c, d) in enumerate(items)]
+
+
+class TestExactPlan:
+    def test_trivial_no_abort(self):
+        plan = exact_maintenance_plan([q("a", 10)], 10.0, 1.0)
+        assert plan.aborts == ()
+        assert plan.lost_work == 0.0
+
+    def test_beats_greedy_on_adversarial_case(self):
+        # Greedy by ratio can be suboptimal on knapsack instances.
+        queries = [
+            q("a", 6, done=5),   # ratio (5+6)/6 = 1.83
+            q("b", 5, done=5),   # ratio 2.0
+            q("c", 5, done=6),   # ratio 2.2
+        ]
+        # Deadline allows keeping 10 U of work: optimum keeps b+c
+        # (lost = a = 11); greedy aborts a first (by ratio), then needs
+        # nothing else: same here -- construct stricter capacity 6:
+        deadline = 6.0
+        exact = exact_maintenance_plan(queries, deadline, 1.0, LostWorkCase.TOTAL_COST)
+        greedy = plan_maintenance(queries, deadline, 1.0, LostWorkCase.TOTAL_COST)
+        assert exact.meets_deadline and greedy.meets_deadline
+        assert exact.lost_work <= greedy.lost_work + 1e-9
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            exact_maintenance_plan([], -1.0, 1.0)
+        with pytest.raises(ValueError):
+            exact_maintenance_plan([], 1.0, 0.0)
+
+    @given(
+        queries=workloads(),
+        frac=st.floats(min_value=0.0, max_value=1.0),
+        case=st.sampled_from(list(LostWorkCase)),
+    )
+    @settings(max_examples=60, deadline=None)
+    def test_exact_meets_deadline_and_lower_bounds_greedy(self, queries, frac, case):
+        deadline = frac * quiescent_time(queries, 1.0)
+        exact = exact_maintenance_plan(queries, deadline, 1.0, case)
+        greedy = plan_maintenance(queries, deadline, 1.0, case)
+        assert exact.meets_deadline
+        assert exact.lost_work <= greedy.lost_work + 1e-6
+
+    @given(queries=workloads(max_n=6), frac=st.floats(min_value=0.0, max_value=1.0))
+    @settings(max_examples=40, deadline=None)
+    def test_exact_is_truly_optimal_vs_enumeration(self, queries, frac):
+        """Independent subset enumeration confirms optimality."""
+        from itertools import combinations
+
+        deadline = frac * quiescent_time(queries, 1.0)
+        capacity = deadline  # rate 1.0
+        case = LostWorkCase.TOTAL_COST
+        best = float("inf")
+        ids = list(range(len(queries)))
+        for r in range(len(queries) + 1):
+            for combo in combinations(ids, r):
+                kept = [queries[i] for i in ids if i not in combo]
+                if sum(x.remaining_cost for x in kept) <= capacity + 1e-9:
+                    lost = sum(case.loss_of(queries[i]) for i in combo)
+                    best = min(best, lost)
+        exact = exact_maintenance_plan(queries, deadline, 1.0, case)
+        assert exact.lost_work == pytest.approx(best, rel=1e-9, abs=1e-6)
+
+
+class TestDPFallback:
+    def test_large_n_uses_dp_and_respects_deadline(self):
+        queries = [q(f"q{i}", (i % 7) + 1.0, done=(i % 3) * 2.0) for i in range(30)]
+        deadline = 0.4 * quiescent_time(queries, 1.0)
+        plan = exact_maintenance_plan(queries, deadline, 1.0, resolution=2000)
+        assert plan.meets_deadline
+
+    def test_dp_close_to_enumeration_on_boundary_size(self):
+        queries = [q(f"q{i}", (i % 5) + 1.5, done=i * 1.0) for i in range(12)]
+        deadline = 0.5 * quiescent_time(queries, 1.0)
+        exact = exact_maintenance_plan(queries, deadline, 1.0)
+        from repro.wm.oracle import _best_keep_set_dp
+
+        keep = _best_keep_set_dp(
+            list(queries), deadline * 1.0, LostWorkCase.TOTAL_COST, 5000
+        )
+        kept_ids = {x.query_id for x in keep}
+        lost_dp = sum(
+            LostWorkCase.TOTAL_COST.loss_of(x)
+            for x in queries
+            if x.query_id not in kept_ids
+        )
+        # DP is optimal to one capacity bucket.
+        assert lost_dp <= exact.lost_work * 1.05 + 1e-6
+        assert sum(x.remaining_cost for x in keep) <= deadline + 1e-9
+
+    def test_dp_zero_capacity(self):
+        queries = [q("a", 5), q("done", 0, done=3)]
+        plan = exact_maintenance_plan(
+            queries, 0.0, 1.0, resolution=100
+        )
+        assert "a" in plan.aborts

@@ -1,0 +1,117 @@
+"""Tests for executable maintenance policies (Section 5.3 mechanics)."""
+
+import pytest
+
+from repro.core.model import QuerySnapshot
+from repro.sim.jobs import SyntheticJob
+from repro.sim.rdbms import SimulatedRDBMS
+from repro.wm.maintenance import LostWorkCase
+from repro.wm.policies import (
+    decide_multi_pi,
+    decide_no_pi,
+    decide_single_pi,
+    execute_policy,
+)
+
+
+def q(qid, remaining, done=0.0):
+    return QuerySnapshot(qid, remaining, completed_work=done)
+
+
+class TestDecisions:
+    def test_no_pi_never_aborts(self):
+        assert decide_no_pi([q("a", 100)], 1.0, 1.0) == ()
+
+    def test_single_pi_overaborts_under_concurrency(self):
+        """Ten queries, deadline = drain time: everything could finish, but
+        the single-query PI believes each query needs ``n * c_i / C`` and
+        needlessly kills the biggest ones (the paper's Figure 11 effect)."""
+        queries = [q(f"q{i}", 10.0 + i) for i in range(10)]
+        t_finish = sum(x.remaining_cost for x in queries)  # C = 1
+        aborts = decide_single_pi(queries, t_finish, 1.0)
+        assert len(aborts) > 0
+        # Victims are the largest remaining costs first.
+        assert aborts[0] == "q9"
+
+    def test_single_pi_kills_largest_first(self):
+        # c = (10, 100): with both running each sees C/2; 100/(0.5) = 200 > 110.
+        queries = [q("small", 10), q("big", 100)]
+        aborts = decide_single_pi(queries, deadline=110.0, processing_rate=1.0)
+        assert aborts == ("big",)
+
+    def test_single_pi_stops_when_all_fit(self):
+        queries = [q("a", 10), q("b", 12)]
+        # Each sees C/2 = 0.5: worst estimate 24 <= 30.
+        assert decide_single_pi(queries, 30.0, 1.0) == ()
+
+    def test_multi_pi_uses_greedy_plan(self):
+        queries = [q("a", 10, done=50), q("b", 10, done=0)]
+        aborts = decide_multi_pi(
+            queries, deadline=10.0, processing_rate=1.0,
+            case=LostWorkCase.TOTAL_COST,
+        )
+        assert aborts == ("b",)
+
+
+class TestExecutePolicy:
+    def _rdbms(self, costs, done=None):
+        db = SimulatedRDBMS(processing_rate=1.0)
+        done = done or [0.0] * len(costs)
+        totals = {}
+        for i, (c, d) in enumerate(zip(costs, done)):
+            qid = f"Q{i + 1}"
+            db.submit(SyntheticJob(qid, c, initial_done=d))
+            totals[qid] = c
+        return db, totals
+
+    def test_no_pi_generous_deadline_loses_nothing(self):
+        db, totals = self._rdbms([10, 20, 30])
+        outcome = execute_policy(db, decide_no_pi, deadline=60.0, total_costs=totals)
+        assert outcome.unfinished_work == 0.0
+        assert set(outcome.finished) == {"Q1", "Q2", "Q3"}
+        assert outcome.unfinished_fraction == 0.0
+
+    def test_no_pi_tight_deadline_aborts_at_deadline(self):
+        db, totals = self._rdbms([10, 20, 30])
+        outcome = execute_policy(db, decide_no_pi, deadline=30.0, total_costs=totals)
+        # At t=30 with fair sharing: Q1 done (t=30 exactly), Q2/Q3 unfinished.
+        assert outcome.aborted_upfront == ()
+        assert len(outcome.aborted_at_deadline) >= 1
+        assert outcome.unfinished_work > 0
+
+    def test_multi_pi_meets_deadline_exactly(self):
+        db, totals = self._rdbms([10, 20, 30])
+        outcome = execute_policy(db, decide_multi_pi, deadline=30.0, total_costs=totals)
+        # Greedy plan (Case 2, all e=0: ratio 1 everywhere, largest c saved
+        # first): aborts Q3, leaving 30 U of work that drains exactly by 30.
+        assert outcome.aborted_at_deadline == ()
+        assert outcome.unfinished_work == pytest.approx(30.0)
+        assert outcome.unfinished_fraction == pytest.approx(0.5)
+
+    def test_case1_counts_only_completed_work(self):
+        db, totals = self._rdbms([10, 20], done=[5, 5])
+        outcome = execute_policy(
+            db,
+            lambda *a, **k: ("Q2",),
+            deadline=5.0,
+            case=LostWorkCase.COMPLETED_WORK,
+            total_costs=totals,
+        )
+        # Q2 aborted upfront with 5 done; Q1 (5 left) finishes by 5.
+        assert outcome.unfinished_work == pytest.approx(5.0)
+
+    def test_drain_engaged(self):
+        db, totals = self._rdbms([10])
+        execute_policy(db, decide_no_pi, deadline=10.0, total_costs=totals)
+        assert db.draining
+
+    def test_negative_deadline_rejected(self):
+        db, totals = self._rdbms([10])
+        with pytest.raises(ValueError):
+            execute_policy(db, decide_no_pi, deadline=-1.0, total_costs=totals)
+
+    def test_total_work_accounting(self):
+        db, totals = self._rdbms([10, 20], done=[2, 3])
+        totals = {"Q1": 12.0, "Q2": 23.0}
+        outcome = execute_policy(db, decide_no_pi, deadline=100.0, total_costs=totals)
+        assert outcome.total_work == pytest.approx(35.0)

@@ -1,0 +1,189 @@
+"""Tests for the single-query speed-up problem (Section 3.1).
+
+The key validation is against brute force: for every candidate victim,
+recompute the target's remaining time via the standard-case algorithm with
+the victim removed, and check the chosen victim is (one of) the best.
+"""
+
+import itertools
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.model import QuerySnapshot
+from repro.core.standard_case import standard_case
+from repro.wm.speedup import (
+    choose_victim,
+    choose_victim_equal_priority,
+    choose_victims,
+)
+
+
+def q(qid, cost, weight=1.0):
+    return QuerySnapshot(qid, cost, weight=weight)
+
+
+def brute_force_single(queries, target_id, rate):
+    """(victim, benefit) maximising the target's time reduction."""
+    base = standard_case(queries, rate).remaining_times[target_id]
+    best = None
+    for victim in queries:
+        if victim.query_id == target_id:
+            continue
+        rest = [x for x in queries if x.query_id != victim.query_id]
+        after = standard_case(rest, rate).remaining_times[target_id]
+        benefit = base - after
+        if best is None or benefit > best[1] + 1e-9:
+            best = (victim.query_id, benefit)
+    return best
+
+
+def brute_force_h(queries, target_id, rate, h):
+    """Best h-victim subset by exhaustive search."""
+    base = standard_case(queries, rate).remaining_times[target_id]
+    others = [x for x in queries if x.query_id != target_id]
+    best = None
+    for combo in itertools.combinations(others, h):
+        removed = {x.query_id for x in combo}
+        rest = [x for x in queries if x.query_id not in removed]
+        after = standard_case(rest, rate).remaining_times[target_id]
+        benefit = base - after
+        if best is None or benefit > best[1] + 1e-9:
+            best = (removed, benefit)
+    return best
+
+
+@st.composite
+def weighted_queries(draw, min_n=2, max_n=7):
+    n = draw(st.integers(min_value=min_n, max_value=max_n))
+    costs = draw(
+        st.lists(st.floats(min_value=0.5, max_value=500.0), min_size=n, max_size=n)
+    )
+    weights = draw(
+        st.lists(
+            st.sampled_from([1.0, 2.0, 4.0, 8.0]), min_size=n, max_size=n
+        )
+    )
+    return [q(f"q{i}", c, w) for i, (c, w) in enumerate(zip(costs, weights))]
+
+
+class TestSingleVictim:
+    def test_victim_that_outlives_target(self):
+        # Target q0 (cost 10); q1 runs longer -- block q1.
+        queries = [q("q0", 10), q("q1", 100)]
+        choice = choose_victim(queries, "q0", 1.0)
+        assert choice.victims == ("q1",)
+        # Baseline: q0 finishes at 20 (shared). Alone: 10. Benefit 10.
+        assert choice.benefit == pytest.approx(10.0)
+        assert choice.baseline_remaining == pytest.approx(20.0)
+        assert choice.predicted_remaining == pytest.approx(10.0)
+
+    def test_earlier_finisher_benefit_is_cost_over_rate(self):
+        # Target q2 is last; blocking an earlier query saves its cost / C.
+        queries = [q("q0", 10), q("q1", 20), q("q2", 100)]
+        choice = choose_victim(queries, "q2", 2.0)
+        # Both other queries finish earlier; pick the largest cost: q1.
+        assert choice.victims == ("q1",)
+        assert choice.benefit == pytest.approx(20 / 2.0)
+
+    def test_prediction_consistent_with_benefit(self):
+        queries = [q("a", 30), q("b", 60), q("c", 90)]
+        choice = choose_victim(queries, "b", 1.0)
+        assert choice.baseline_remaining - choice.predicted_remaining == (
+            pytest.approx(choice.benefit)
+        )
+
+    def test_validation(self):
+        queries = [q("a", 1), q("b", 2)]
+        with pytest.raises(ValueError):
+            choose_victim(queries, "zzz", 1.0)
+        with pytest.raises(ValueError):
+            choose_victim([q("a", 1)], "a", 1.0)
+        with pytest.raises(ValueError):
+            choose_victim(queries, "a", 0.0)
+        with pytest.raises(ValueError):
+            choose_victims(queries, "a", 1.0, h=0)
+        with pytest.raises(ValueError):
+            choose_victims(queries, "a", 1.0, h=2)
+
+    @given(queries=weighted_queries())
+    @settings(max_examples=80, deadline=None)
+    def test_matches_brute_force(self, queries):
+        target = queries[0].query_id
+        choice = choose_victim(queries, target, 1.0)
+        brute = brute_force_single(queries, target, 1.0)
+        assert brute is not None
+        assert choice.benefit == pytest.approx(brute[1], rel=1e-6, abs=1e-6)
+
+    @given(queries=weighted_queries())
+    @settings(max_examples=60, deadline=None)
+    def test_benefit_bounded_by_victim_remaining_time(self, queries):
+        """Section 3.1: blocking Q_m saves at most r_m."""
+        target = queries[-1].query_id
+        choice = choose_victim(queries, target, 1.0)
+        r = standard_case(queries, 1.0).remaining_times
+        assert choice.benefit <= r[choice.victims[0]] + 1e-6
+
+
+class TestMultipleVictims:
+    def test_two_victims(self):
+        queries = [q("t", 50), q("v1", 100), q("v2", 100), q("v3", 10)]
+        choice = choose_victims(queries, "t", 1.0, h=2)
+        assert set(choice.victims) == {"v1", "v2"}
+        assert choice.predicted_remaining < choice.baseline_remaining
+
+    @given(
+        queries=weighted_queries(min_n=3, max_n=6),
+        h=st.integers(min_value=1, max_value=3),
+    )
+    @settings(max_examples=50, deadline=None)
+    def test_greedy_matches_exhaustive(self, queries, h):
+        if len(queries) - 1 < h:
+            return
+        target = queries[0].query_id
+        choice = choose_victims(queries, target, 1.0, h=h)
+        brute = brute_force_h(queries, target, 1.0, h)
+        assert brute is not None
+        realized = choice.baseline_remaining - choice.predicted_remaining
+        assert realized == pytest.approx(brute[1], rel=1e-6, abs=1e-6)
+
+    def test_all_other_queries_blocked_runs_alone(self):
+        queries = [q("t", 30), q("a", 10), q("b", 20)]
+        choice = choose_victims(queries, "t", 1.0, h=2)
+        assert set(choice.victims) == {"a", "b"}
+        assert choice.predicted_remaining == pytest.approx(30.0)
+
+
+class TestEqualPrioritySpecialCase:
+    def test_later_query_chosen(self):
+        queries = [q("t", 10), q("big", 100), q("small", 5)]
+        choice = choose_victim_equal_priority(queries, "t", 1.0)
+        assert choice.victims == ("big",)
+
+    def test_target_is_last_picks_largest_other(self):
+        queries = [q("a", 1), q("b", 50), q("t", 100)]
+        choice = choose_victim_equal_priority(queries, "t", 1.0)
+        assert choice.victims == ("b",)
+
+    def test_mixed_weights_rejected(self):
+        queries = [q("a", 1, weight=1), q("b", 1, weight=2)]
+        with pytest.raises(ValueError):
+            choose_victim_equal_priority(queries, "a", 1.0)
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            choose_victim_equal_priority([q("a", 1)], "a", 1.0)
+        with pytest.raises(ValueError):
+            choose_victim_equal_priority([q("a", 1), q("b", 1)], "zzz", 1.0)
+        with pytest.raises(ValueError):
+            choose_victim_equal_priority([q("a", 1), q("b", 1)], "a", 0.0)
+
+    @given(queries=weighted_queries(min_n=2, max_n=7))
+    @settings(max_examples=60, deadline=None)
+    def test_agrees_with_general_algorithm_on_benefit(self, queries):
+        equal = [q(x.query_id, x.remaining_cost, 1.0) for x in queries]
+        target = equal[0].query_id
+        fast = choose_victim_equal_priority(equal, target, 1.0)
+        general = choose_victim(equal, target, 1.0)
+        assert fast.benefit == pytest.approx(general.benefit, rel=1e-6, abs=1e-6)

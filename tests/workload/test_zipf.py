@@ -1,0 +1,93 @@
+"""Tests for the Zipf workload sampler."""
+
+import random
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.workload.zipf import ZipfSampler, zipf_probabilities
+
+
+class TestProbabilities:
+    def test_normalised(self):
+        probs = zipf_probabilities(1.2, 50)
+        assert sum(probs) == pytest.approx(1.0)
+
+    def test_monotone_decreasing_for_positive_a(self):
+        probs = zipf_probabilities(2.2, 20)
+        assert probs == sorted(probs, reverse=True)
+
+    def test_a_zero_is_uniform(self):
+        probs = zipf_probabilities(0.0, 4)
+        assert probs == pytest.approx([0.25] * 4)
+
+    def test_rank_ratio(self):
+        probs = zipf_probabilities(1.0, 10)
+        assert probs[0] / probs[1] == pytest.approx(2.0)
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            zipf_probabilities(1.0, 0)
+
+
+class TestSampler:
+    def test_deterministic_under_seed(self):
+        a = ZipfSampler.over_range(1.2, 100, seed=9).sample_many(50)
+        b = ZipfSampler.over_range(1.2, 100, seed=9).sample_many(50)
+        assert a == b
+
+    def test_values_in_range(self):
+        samples = ZipfSampler.over_range(2.2, 10, seed=0).sample_many(500)
+        assert all(1 <= s <= 10 for s in samples)
+
+    def test_small_ranks_dominate(self):
+        samples = ZipfSampler.over_range(2.2, 100, seed=1).sample_many(2000)
+        ones = sum(1 for s in samples if s == 1)
+        assert ones / len(samples) > 0.5  # Zipf(2.2) puts ~0.6 mass on rank 1
+
+    def test_mean_matches_empirical(self):
+        sampler = ZipfSampler.over_range(1.5, 20, seed=2)
+        analytic = sampler.mean()
+        empirical = sum(sampler.sample_many(20_000)) / 20_000
+        assert empirical == pytest.approx(analytic, rel=0.05)
+
+    def test_custom_values(self):
+        sampler = ZipfSampler(1.0, [10.0, 20.0, 30.0], seed=3)
+        assert set(sampler.sample_many(100)) <= {10.0, 20.0, 30.0}
+
+    def test_probabilities_accessor(self):
+        sampler = ZipfSampler.over_range(1.2, 5)
+        assert sampler.probabilities() == pytest.approx(zipf_probabilities(1.2, 5))
+
+    def test_size_biased_shifts_exponent(self):
+        base = ZipfSampler.over_range(2.2, 50, seed=4)
+        biased = base.size_biased()
+        assert biased.a == pytest.approx(1.2)
+        # Size-biased mean is strictly larger.
+        assert biased.mean() > base.mean()
+
+    def test_shared_rng(self):
+        rng = random.Random(11)
+        s1 = ZipfSampler.over_range(1.2, 10, rng)
+        s2 = s1.size_biased()
+        # Both draw from the same stream without raising.
+        s1.sample()
+        s2.sample()
+
+    def test_empty_values_rejected(self):
+        with pytest.raises(ValueError):
+            ZipfSampler(1.0, [])
+
+    def test_negative_n_rejected(self):
+        with pytest.raises(ValueError):
+            ZipfSampler.over_range(1.0, 3).sample_many(-1)
+
+    @given(a=st.floats(min_value=0.0, max_value=4.0), n=st.integers(1, 60))
+    @settings(max_examples=40)
+    def test_cdf_always_terminates_at_one(self, a, n):
+        sampler = ZipfSampler.over_range(a, n, seed=0)
+        assert sampler._cdf[-1] == 1.0
+        for _ in range(10):
+            v = sampler.sample()
+            assert 1 <= v <= n
