@@ -1,6 +1,6 @@
 # Convenience targets for the reproduction package.
 
-.PHONY: install test bench report examples all
+.PHONY: install test bench chaos report examples all
 
 install:
 	pip install -e . || python setup.py develop
@@ -10,6 +10,9 @@ test:
 
 bench:
 	pytest benchmarks/ --benchmark-only
+
+chaos:
+	pytest -m chaos tests/
 
 report:
 	python -m repro report --out REPORT.md

@@ -10,9 +10,14 @@ Public API re-exports the pieces a downstream user typically needs:
 * the SQL engine: :class:`Database`;
 * workload management: :func:`choose_victim`, :func:`choose_victims`,
   :func:`choose_victim_for_all`, :func:`plan_maintenance`,
-  :func:`exact_maintenance_plan`.
+  :func:`exact_maintenance_plan`;
+* resilience: :class:`FaultPlan` (with :class:`QueryCrash`,
+  :class:`QueryStall`, :class:`Brownout`, :class:`StatsCorruption`),
+  :class:`FaultInjector`, :class:`RetryPolicy`, :class:`RetryController`,
+  :class:`RunawayQueryWatchdog`.
 
-See ``README.md`` for a tour and ``DESIGN.md`` for the system inventory.
+See ``README.md`` for a tour, ``DESIGN.md`` for the system inventory and
+``docs/RESILIENCE.md`` for the fault/recovery model.
 """
 
 from repro.core.forecast import AdaptiveForecaster, WorkloadForecast
@@ -22,24 +27,44 @@ from repro.core.projection import project
 from repro.core.single_query import SingleQueryProgressIndicator
 from repro.core.standard_case import standard_case
 from repro.engine.database import Database
+from repro.faults.injector import FaultInjector
+from repro.faults.plan import (
+    Brownout,
+    FaultPlan,
+    QueryCrash,
+    QueryStall,
+    StatsCorruption,
+    random_fault_plan,
+)
+from repro.faults.retry import RetryController, RetryPolicy
 from repro.sim.jobs import EngineJob, SyntheticJob
 from repro.sim.rdbms import SimulatedRDBMS
 from repro.wm.maintenance import LostWorkCase, plan_maintenance
 from repro.wm.multi_speedup import choose_victim_for_all
 from repro.wm.oracle import exact_maintenance_plan
 from repro.wm.speedup import choose_victim, choose_victims
+from repro.wm.watchdog import RunawayQueryWatchdog
 
 __version__ = "1.0.0"
 
 __all__ = [
     "AdaptiveForecaster",
+    "Brownout",
     "Database",
     "EngineJob",
+    "FaultInjector",
+    "FaultPlan",
     "LostWorkCase",
     "MultiQueryProgressIndicator",
+    "QueryCrash",
     "QuerySnapshot",
+    "QueryStall",
+    "RetryController",
+    "RetryPolicy",
+    "RunawayQueryWatchdog",
     "SimulatedRDBMS",
     "SingleQueryProgressIndicator",
+    "StatsCorruption",
     "SyntheticJob",
     "SystemSnapshot",
     "WorkloadForecast",
@@ -50,5 +75,6 @@ __all__ = [
     "exact_maintenance_plan",
     "plan_maintenance",
     "project",
+    "random_fault_plan",
     "standard_case",
 ]

@@ -14,6 +14,10 @@ Commands
     series/rows (``--csv`` also exports the data).
 ``report``
     Run the full evaluation and write a Markdown report.
+``faults``
+    Chaos/recovery demo: inject crashes, stalls, brownouts and corrupted
+    statistics into a workload protected by retries and the runaway-query
+    watchdog, then print the merged recovery timeline.
 ``shell``
     Interactive SQL shell over a generated TPC-R database.
 """
@@ -74,6 +78,23 @@ def build_parser() -> argparse.ArgumentParser:
     rep.add_argument("--out", default="REPORT.md", help="output file path")
     rep.add_argument("--runs", type=int, default=8, help="runs to average over")
     rep.add_argument("--seed", type=int, default=42)
+
+    faults = sub.add_parser(
+        "faults",
+        help="chaos/recovery demo: fault injection + retries + watchdog",
+    )
+    faults.add_argument(
+        "--seed", type=int, default=None,
+        help="use a seeded random fault plan instead of the scripted one",
+    )
+    faults.add_argument(
+        "--budget", type=float, default=60.0,
+        help="watchdog per-query budget in virtual seconds",
+    )
+    faults.add_argument(
+        "--retries", type=int, default=3,
+        help="max execution attempts per query (1 disables retries)",
+    )
 
     shell = sub.add_parser(
         "shell", help="interactive SQL shell over a generated TPC-R database"
@@ -238,6 +259,98 @@ def cmd_experiment(args: argparse.Namespace) -> int:
     return 0
 
 
+def cmd_faults(args: argparse.Namespace) -> int:
+    """Chaos/recovery demo: scripted (or seeded random) faults vs resilience.
+
+    Builds a small workload, arms a fault plan covering all four fault
+    shapes, protects the run with a retry controller and the runaway-query
+    watchdog, then prints the plan, the merged recovery timeline and the
+    final per-query outcome table.
+    """
+    from repro.faults.injector import FaultInjector
+    from repro.faults.plan import (
+        Brownout,
+        FaultPlan,
+        QueryCrash,
+        QueryStall,
+        StatsCorruption,
+        random_fault_plan,
+    )
+    from repro.faults.retry import RetryController, RetryPolicy
+    from repro.sim.jobs import SyntheticJob
+    from repro.sim.rdbms import SimulatedRDBMS
+    from repro.wm.watchdog import RunawayQueryWatchdog
+
+    rdbms = SimulatedRDBMS(processing_rate=10.0)
+    costs = {"q1": 120.0, "q2": 80.0, "q3": 900.0, "q4": 60.0}
+    for qid, cost in costs.items():
+        rdbms.submit(SyntheticJob(qid, cost))
+
+    if args.seed is not None:
+        plan = random_fault_plan(args.seed, list(costs), horizon=60.0)
+    else:
+        # One of everything: a brownout, a mid-flight crash (retried), a
+        # stall, and permanently destroyed statistics for the runaway q3 --
+        # which disables the PI and forces the watchdog onto its
+        # observed-work fallback.
+        plan = FaultPlan.of(
+            Brownout(start=5.0, duration=10.0, factor=0.5),
+            QueryCrash("q2", at_fraction=0.5),
+            QueryStall("q1", at=8.0, duration=4.0),
+            StatsCorruption(
+                start=0.0, duration=None, factor=float("nan"), query_id="q3"
+            ),
+        )
+    print("fault plan:")
+    for line in plan.describe().splitlines():
+        print(f"  {line}")
+
+    try:
+        policy = RetryPolicy(max_attempts=args.retries, base_delay=2.0)
+        watchdog = RunawayQueryWatchdog(rdbms, budget_seconds=args.budget)
+    except ValueError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 1
+    injector = FaultInjector(rdbms, plan)
+    injector.arm()
+    retries = RetryController(rdbms, policy)
+    watchdog.attach()
+    rdbms.run_to_completion(max_time=1000.0)
+
+    print("\nrecovery timeline:")
+    timeline = (
+        [(e.time, f"inject   {e.kind:<17} {e.query_id or 'system'}")
+         for e in injector.events]
+        + [(e.time, f"retry    {e.action:<17} {e.query_id} (attempt {e.attempt})")
+           for e in retries.events]
+        + [(a.time,
+            f"watchdog {a.action:<17} {a.query_id}"
+            f"{' [fallback]' if a.used_fallback else ''}")
+           for a in watchdog.actions]
+    )
+    for t, line in sorted(timeline, key=lambda x: x[0]):
+        print(f"  t={t:7.2f}s  {line}")
+
+    print("\nfinal outcome:")
+    print(f"  {'query':<6} {'status':<9} {'attempts':>8} "
+          f"{'faults':>6} {'done U':>8}")
+    for qid in costs:
+        record = rdbms.record(qid)
+        trace = record.trace
+        print(
+            f"  {qid:<6} {record.status:<9} {record.attempts:>8} "
+            f"{len(trace.fault_events):>6} {record.job.completed_work:>8.1f}"
+        )
+    unfinished = [
+        qid for qid in costs if not rdbms.record(qid).terminal
+    ]
+    print(
+        f"\nall queries terminal: {'yes' if not unfinished else unfinished}; "
+        f"watchdog fallback engaged: {'yes' if watchdog.fallback_engaged else 'no'}"
+    )
+    return 0
+
+
 def cmd_report(args: argparse.Namespace) -> int:
     """Generate the full Markdown reproduction report."""
     from repro.experiments.full_report import ReportConfig, generate_report
@@ -308,6 +421,8 @@ def main(argv: Sequence[str] | None = None) -> int:
         return cmd_experiment(args)
     if args.command == "report":
         return cmd_report(args)
+    if args.command == "faults":
+        return cmd_faults(args)
     if args.command == "shell":
         return cmd_shell(args)
     raise AssertionError(f"unhandled command {args.command!r}")

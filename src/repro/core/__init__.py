@@ -15,6 +15,8 @@ substrate-independent form:
 * :mod:`repro.core.forecast` -- workload forecasts and online estimators of
   arrival rate / average cost (the adaptive-lambda machinery of Section 5.2.3).
 * :mod:`repro.core.metrics` -- relative error and time-series helpers.
+* :mod:`repro.core.validation` -- shared input guards: estimators reject
+  NaN / infinite / negative costs instead of silently propagating garbage.
 """
 
 from repro.core.forecast import (
@@ -29,6 +31,7 @@ from repro.core.multi_query import MultiQueryEstimate, MultiQueryProgressIndicat
 from repro.core.projection import ProjectedQuery, ProjectionResult, project
 from repro.core.single_query import SingleQueryProgressIndicator, SpeedMonitor
 from repro.core.standard_case import Stage, StandardCaseResult, standard_case
+from repro.core.validation import finite_snapshots, validate_finite, validate_snapshots
 
 __all__ = [
     "AdaptiveForecaster",
@@ -45,7 +48,10 @@ __all__ = [
     "StandardCaseResult",
     "SystemSnapshot",
     "WorkloadForecast",
+    "finite_snapshots",
     "project",
     "relative_error",
     "standard_case",
+    "validate_finite",
+    "validate_snapshots",
 ]

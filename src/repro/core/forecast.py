@@ -48,12 +48,13 @@ class WorkloadForecast:
     horizon: float | None = None
 
     def __post_init__(self) -> None:
-        if self.arrival_rate < 0:
-            raise ValueError(f"arrival_rate must be >= 0, got {self.arrival_rate}")
-        if self.average_cost < 0:
-            raise ValueError(f"average_cost must be >= 0, got {self.average_cost}")
-        if self.average_weight <= 0:
-            raise ValueError(f"average_weight must be > 0, got {self.average_weight}")
+        from repro.core.validation import validate_finite
+
+        validate_finite(self.arrival_rate, "arrival_rate", minimum=0.0)
+        validate_finite(self.average_cost, "average_cost", minimum=0.0)
+        validate_finite(self.average_weight, "average_weight", minimum=0.0, exclusive=True)
+        if self.horizon is not None:
+            validate_finite(self.horizon, "horizon", minimum=0.0)
 
     @property
     def mean_interarrival(self) -> float:
@@ -179,7 +180,17 @@ class AdaptiveForecaster:
         return self._prior
 
     def observe_arrival(self, time: float, cost: float, weight: float = 1.0) -> None:
-        """Record one real arrival: its time, initial cost and weight."""
+        """Record one real arrival: its time, initial cost and weight.
+
+        Corrupted observations (NaN / infinite / negative cost or weight)
+        are rejected with :class:`ValueError` rather than silently poisoning
+        the running means every later forecast would be built from.
+        """
+        from repro.core.validation import validate_finite
+
+        validate_finite(time, "arrival time", minimum=0.0)
+        validate_finite(cost, "arrival cost", minimum=0.0)
+        validate_finite(weight, "arrival weight", minimum=0.0, exclusive=True)
         self._rate.observe(time)
         self._cost.observe(cost)
         self._weight.observe(weight)

@@ -20,6 +20,7 @@ from dataclasses import dataclass, replace
 from repro.core.forecast import AdaptiveForecaster, WorkloadForecast
 from repro.core.model import SystemSnapshot
 from repro.core.projection import ProjectionResult, project
+from repro.core.validation import validate_finite, validate_snapshots
 
 
 @dataclass(frozen=True)
@@ -78,8 +79,11 @@ class MultiQueryProgressIndicator:
         forecaster: AdaptiveForecaster | None = None,
         horizon_drain_factor: float | None = 3.0,
     ) -> None:
-        if horizon_drain_factor is not None and horizon_drain_factor <= 0:
-            raise ValueError("horizon_drain_factor must be > 0 or None")
+        if horizon_drain_factor is not None:
+            validate_finite(
+                horizon_drain_factor, "horizon_drain_factor",
+                minimum=0.0, exclusive=True,
+            )
         self._consider_queue = consider_queue
         self._forecast = forecast
         self._forecaster = forecaster
@@ -105,7 +109,18 @@ class MultiQueryProgressIndicator:
         """Estimate remaining times for every query in *snapshot*.
 
         All returned times are relative to ``snapshot.time``.
+
+        Raises
+        ------
+        ValueError
+            If any modelled query carries a NaN / infinite / negative cost
+            or weight (corrupted statistics must not silently become
+            estimates; callers wanting graceful degradation catch this and
+            fall back -- see :mod:`repro.core.validation`).
         """
+        validate_snapshots(snapshot.running, where="running")
+        if self._consider_queue:
+            validate_snapshots(snapshot.queued, where="queued")
         forecast = self.current_forecast()
         if (
             forecast is not None

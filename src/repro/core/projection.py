@@ -29,6 +29,7 @@ from typing import Iterable, Iterator, Sequence
 
 from repro.core.forecast import WorkloadForecast
 from repro.core.model import QuerySnapshot
+from repro.core.validation import validate_finite, validate_snapshots
 
 #: Numerical slack used when comparing event times.
 _EPS = 1e-12
@@ -147,9 +148,24 @@ def project(
     ProjectionResult
         Predicted finish time (and queue wait) of every real query: every
         query in ``running``, ``queued`` or ``extra_arrivals``.
+
+    Raises
+    ------
+    ValueError
+        If ``processing_rate`` is not a positive finite number, or any
+        query (running, queued or in ``extra_arrivals``) carries a NaN /
+        infinite / negative cost or weight.
     """
-    if processing_rate <= 0:
-        raise ValueError(f"processing_rate must be > 0, got {processing_rate}")
+    validate_finite(processing_rate, "processing_rate", minimum=0.0, exclusive=True)
+    validate_snapshots(running, where="running")
+    validate_snapshots(queued, where="queued")
+    extra_arrivals = tuple(extra_arrivals)
+    for t, q in extra_arrivals:
+        validate_finite(
+            t, f"arrival time of query {q.query_id!r} (in extra_arrivals)",
+            minimum=0.0,
+        )
+    validate_snapshots((q for _, q in extra_arrivals), where="extra_arrivals")
     mpl = multiprogramming_limit
 
     active: list[_Job] = [

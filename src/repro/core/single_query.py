@@ -32,6 +32,10 @@ class SpeedMonitor:
 
     def observe(self, time: float, completed_work: float) -> None:
         """Record cumulative *completed_work* (U's) at *time* (seconds)."""
+        from repro.core.validation import validate_finite
+
+        validate_finite(time, "observation time")
+        validate_finite(completed_work, "completed_work", minimum=0.0)
         if self._samples and time < self._samples[-1][0]:
             raise ValueError("observation times must be non-decreasing")
         if self._samples and completed_work < self._samples[-1][1] - 1e-9:
@@ -88,9 +92,14 @@ class SingleQueryProgressIndicator:
         Returns ``None`` until the monitor has seen enough samples to
         determine a speed, or if the observed speed is zero while work
         remains (the estimate would be infinite).
+
+        Raises :class:`ValueError` on NaN / infinite / negative
+        ``remaining_cost`` -- a corrupted cost input must not silently
+        become an estimate.
         """
-        if remaining_cost < 0:
-            raise ValueError("remaining_cost must be >= 0")
+        from repro.core.validation import validate_finite
+
+        validate_finite(remaining_cost, "remaining_cost", minimum=0.0)
         speed = self._monitor.speed()
         if speed is None:
             return None

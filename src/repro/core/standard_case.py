@@ -25,6 +25,7 @@ from dataclasses import dataclass
 from typing import Sequence
 
 from repro.core.model import QuerySnapshot
+from repro.core.validation import validate_finite, validate_snapshots
 
 
 @dataclass(frozen=True)
@@ -106,10 +107,11 @@ def standard_case(
     Raises
     ------
     ValueError
-        If ``processing_rate`` is not positive.
+        If ``processing_rate`` is not a positive finite number, or any
+        query carries a NaN / infinite / negative cost or weight.
     """
-    if processing_rate <= 0:
-        raise ValueError(f"processing_rate must be > 0, got {processing_rate}")
+    validate_finite(processing_rate, "processing_rate", minimum=0.0, exclusive=True)
+    validate_snapshots(queries)
     n = len(queries)
     if n == 0:
         return StandardCaseResult(

@@ -1,0 +1,210 @@
+"""Retry policy and controller: resubmit failed queries with backoff.
+
+A real workload manager does not let a transient crash discard a query: it
+resubmits, with exponential backoff so a persistently failing query cannot
+monopolise the admission queue.  This module provides that loop for the
+simulated RDBMS:
+
+* :class:`RetryPolicy` -- attempts cap, exponential backoff in virtual
+  time, and *deterministic* jitter (hashed from the query id and attempt
+  number, so runs are reproducible without a shared RNG).
+* :class:`RetryController` -- subscribes to the RDBMS ``on_failure`` hook;
+  on each failure it either schedules a resubmission
+  (:meth:`~repro.sim.rdbms.SimulatedRDBMS.resubmit`) after the policy's
+  delay, or gives up once the attempts cap is reached.  Attempt history
+  lands on the :class:`~repro.sim.rdbms.QueryRecord` and the query's
+  trace, so progress indicators can account for redone work.
+"""
+
+from __future__ import annotations
+
+import math
+import zlib
+from dataclasses import dataclass
+from typing import Callable
+
+from repro.sim.jobs import Job
+from repro.sim.rdbms import SimulatedRDBMS
+
+
+def _unit_hash(query_id: str, attempt: int) -> float:
+    """Deterministic pseudo-random number in [0, 1) from (query_id, attempt).
+
+    Uses CRC32 rather than :func:`hash` because the latter is salted per
+    process for strings -- backoff schedules must be stable across runs.
+    """
+    return zlib.crc32(f"{query_id}#{attempt}".encode()) / 2**32
+
+
+@dataclass(frozen=True)
+class RetryPolicy:
+    """How failed queries are retried.
+
+    Attributes
+    ----------
+    max_attempts:
+        Total execution attempts allowed per query, including the first
+        (``1`` disables retries).
+    base_delay:
+        Backoff before the second attempt, in virtual seconds.
+    multiplier:
+        Exponential growth factor per further attempt.
+    jitter:
+        Symmetric jitter fraction: the delay is scaled by a deterministic
+        factor in ``[1 - jitter, 1 + jitter]`` derived from the query id
+        and attempt number.  ``0`` disables jitter.
+    max_delay:
+        Optional cap on any single backoff delay.
+    """
+
+    max_attempts: int = 3
+    base_delay: float = 1.0
+    multiplier: float = 2.0
+    jitter: float = 0.0
+    max_delay: float | None = None
+
+    def __post_init__(self) -> None:
+        if self.max_attempts < 1:
+            raise ValueError(f"max_attempts must be >= 1, got {self.max_attempts}")
+        if not math.isfinite(self.base_delay) or self.base_delay < 0:
+            raise ValueError(f"base_delay must be finite and >= 0, got {self.base_delay}")
+        if not math.isfinite(self.multiplier) or self.multiplier < 1.0:
+            raise ValueError(f"multiplier must be finite and >= 1, got {self.multiplier}")
+        if not 0.0 <= self.jitter < 1.0:
+            raise ValueError(f"jitter must be in [0, 1), got {self.jitter}")
+        if self.max_delay is not None and (
+            not math.isfinite(self.max_delay) or self.max_delay < 0
+        ):
+            raise ValueError(f"max_delay must be finite and >= 0, got {self.max_delay}")
+
+    def delay(self, failed_attempts: int, query_id: str = "") -> float:
+        """Backoff delay after *failed_attempts* attempts have failed.
+
+        ``failed_attempts`` is 1 after the first failure.  The delay grows
+        as ``base_delay * multiplier ** (failed_attempts - 1)``, capped at
+        ``max_delay``, then jittered deterministically per
+        ``(query_id, failed_attempts)``.
+        """
+        if failed_attempts < 1:
+            raise ValueError(f"failed_attempts must be >= 1, got {failed_attempts}")
+        d = self.base_delay * self.multiplier ** (failed_attempts - 1)
+        if self.max_delay is not None:
+            d = min(d, self.max_delay)
+        if self.jitter > 0:
+            d *= 1.0 + self.jitter * (2.0 * _unit_hash(query_id, failed_attempts) - 1.0)
+        return d
+
+
+@dataclass(frozen=True)
+class RetryEvent:
+    """One retry-layer decision: a scheduled resubmission or a give-up."""
+
+    time: float
+    query_id: str
+    #: ``"scheduled"``, ``"resubmitted"``, or ``"gave-up"``.
+    action: str
+    attempt: int
+    detail: str = ""
+
+
+#: Given the failed job and the next attempt number, build the fresh job to
+#: resubmit.  The default uses :meth:`repro.sim.jobs.Job.retry_copy`.
+JobFactory = Callable[[Job, int], Job]
+
+
+class RetryController:
+    """Automatically resubmit failed queries under a :class:`RetryPolicy`.
+
+    Attach one controller per RDBMS *before* running the simulation; it
+    hooks ``on_failure`` and schedules resubmissions as virtual-time
+    events.  Queries whose jobs cannot be recreated automatically
+    (engine-backed executions) need an explicit ``job_factory``.
+
+    Parameters
+    ----------
+    rdbms:
+        The simulator to protect.
+    policy:
+        The retry policy; defaults to 3 attempts with 1s/2x backoff.
+    job_factory:
+        ``(failed_job, next_attempt) -> fresh Job``.  Defaults to
+        ``failed_job.retry_copy()``.
+    """
+
+    def __init__(
+        self,
+        rdbms: SimulatedRDBMS,
+        policy: RetryPolicy | None = None,
+        job_factory: JobFactory | None = None,
+    ) -> None:
+        self._rdbms = rdbms
+        self.policy = policy if policy is not None else RetryPolicy()
+        self._factory = job_factory
+        #: Chronological log of retry decisions.
+        self.events: list[RetryEvent] = []
+        #: Query ids the controller stopped retrying (cap reached, drain,
+        #: or an unreproducible job), in give-up order.
+        self.given_up: list[str] = []
+        rdbms.on_failure.append(self._on_failure)
+
+    def _log(self, query_id: str, action: str, attempt: int, detail: str = "") -> None:
+        self.events.append(
+            RetryEvent(
+                time=self._rdbms.clock,
+                query_id=query_id,
+                action=action,
+                attempt=attempt,
+                detail=detail,
+            )
+        )
+
+    def _give_up(self, query_id: str, attempt: int, why: str) -> None:
+        self.given_up.append(query_id)
+        self._log(query_id, "gave-up", attempt, why)
+        record = self._rdbms.record(query_id)
+        record.trace.record_fault(self._rdbms.clock, "retry-exhausted", why)
+
+    def _on_failure(self, time: float, query_id: str, reason: str) -> None:
+        record = self._rdbms.record(query_id)
+        attempts = record.attempts
+        if attempts >= self.policy.max_attempts:
+            self._give_up(
+                query_id, attempts,
+                f"attempt {attempts}/{self.policy.max_attempts} failed: {reason}",
+            )
+            return
+        delay = self.policy.delay(attempts, query_id)
+        self._log(
+            query_id, "scheduled", attempts + 1,
+            f"retry in {delay:g}s after: {reason}",
+        )
+        self._rdbms.add_event(
+            time + delay, lambda rdbms, qid=query_id: self._resubmit(qid)
+        )
+
+    def _resubmit(self, query_id: str) -> None:
+        record = self._rdbms.record(query_id)
+        if record.status != "failed":
+            return  # finished/aborted/resubmitted by someone else meanwhile
+        if self._rdbms.draining:
+            self._give_up(query_id, record.attempts, "system draining")
+            return
+        next_attempt = record.attempts + 1
+        try:
+            if self._factory is not None:
+                job = self._factory(record.job, next_attempt)
+            else:
+                job = record.job.retry_copy()
+        except NotImplementedError as exc:
+            self._give_up(query_id, record.attempts, str(exc))
+            return
+        self._rdbms.resubmit(job)
+        self._log(query_id, "resubmitted", next_attempt)
+
+    def retried(self, query_id: str) -> int:
+        """Number of resubmissions performed so far for *query_id*."""
+        return sum(
+            1
+            for e in self.events
+            if e.query_id == query_id and e.action == "resubmitted"
+        )

@@ -24,19 +24,22 @@ from repro.sim.jobs import EngineJob, Job, SyntheticJob
 from repro.sim.rdbms import QueryRecord, SimulatedRDBMS
 from repro.sim.scheduler import (
     NoisyFairSharing,
+    ScaledSpeedModel,
     SpeedModel,
     ThrashingModel,
     WeightedFairSharing,
 )
-from repro.sim.trace import QueryTrace, TraceSet
+from repro.sim.trace import FaultEvent, QueryTrace, TraceSet
 
 __all__ = [
     "ArrivalSchedule",
     "EngineJob",
+    "FaultEvent",
     "Job",
     "NoisyFairSharing",
     "QueryRecord",
     "QueryTrace",
+    "ScaledSpeedModel",
     "SimulatedRDBMS",
     "SpeedModel",
     "SyntheticJob",

@@ -74,6 +74,20 @@ class Job(abc.ABC):
             priority=self.priority,
         )
 
+    def retry_copy(self) -> "Job":
+        """A fresh, zero-progress copy of this job for retry resubmission.
+
+        Used by the retry layer after a runtime failure: the failed attempt's
+        partial work is lost and the query starts over.  Job types whose
+        execution state cannot be recreated (engine-backed jobs hold a live
+        executor) raise :class:`NotImplementedError`; callers then must
+        supply an explicit job factory to the retry controller.
+        """
+        raise NotImplementedError(
+            f"{type(self).__name__} cannot be restarted automatically; "
+            "pass an explicit job_factory to the retry controller"
+        )
+
     def __repr__(self) -> str:  # pragma: no cover - debug aid
         return (
             f"<{type(self).__name__} {self.query_id!r} "
@@ -121,6 +135,13 @@ class SyntheticJob(Job):
         consumed = min(work, self.total_cost - self._done)
         self._done += consumed
         return consumed
+
+    def retry_copy(self) -> "SyntheticJob":
+        """A zero-progress copy with the same cost, priority and weight."""
+        return SyntheticJob(
+            self.query_id, self.total_cost, priority=self.priority,
+            weight=self.weight,
+        )
 
 
 class EngineJob(Job):
@@ -199,3 +220,7 @@ class CostNoiseJob(Job):
 
     def advance(self, work: float) -> float:
         return self._inner.advance(work)
+
+    def retry_copy(self) -> "CostNoiseJob":
+        """A fresh copy wrapping a retry copy of the inner job."""
+        return CostNoiseJob(self._inner.retry_copy(), self._factor)

@@ -8,9 +8,16 @@
 * an admission queue with a multiprogramming limit holds the overflow
   (Section 2.3),
 * scripted arrival schedules submit new queries over time (Section 2.4),
-* periodic samplers fire so progress indicators can observe the system, and
+* periodic samplers fire so progress indicators can observe the system,
 * the workload-management actions of Section 3 (abort / block / unblock /
-  priority change / drain) can be applied at any virtual time.
+  priority change / drain) can be applied at any virtual time, and
+* resilience hooks let the fault-injection layer (:mod:`repro.faults`)
+  script failures against the system: one-shot virtual-time events
+  (:meth:`SimulatedRDBMS.add_event`), forced runtime failures
+  (:meth:`SimulatedRDBMS.fail`), retry resubmission
+  (:meth:`SimulatedRDBMS.resubmit`) and estimate corruption
+  (:meth:`SimulatedRDBMS.corrupt_estimates`), with ``on_failure`` /
+  ``on_resubmit`` observer hooks.
 
 Synthetic jobs finish at analytically exact instants.  Engine-backed jobs
 (whose completion cannot be predicted) advance in small work quanta; their
@@ -19,8 +26,9 @@ recorded finish time is accurate to one quantum.
 
 from __future__ import annotations
 
+import heapq
 import math
-from dataclasses import dataclass
+from dataclasses import dataclass, replace
 from typing import Callable, Iterable, Literal, Sequence
 
 from repro.core.model import SystemSnapshot
@@ -45,11 +53,18 @@ class QueryRecord:
     trace: QueryTrace
     #: The runtime error message, for queries that fail mid-execution.
     error: str | None = None
+    #: Number of execution attempts so far (1 = never resubmitted).
+    attempts: int = 1
 
     @property
     def query_id(self) -> str:
         """Identifier of the underlying job."""
         return self.job.query_id
+
+    @property
+    def terminal(self) -> bool:
+        """Whether the query has reached a terminal status."""
+        return self.status in ("finished", "aborted", "failed")
 
 
 class SimulatedRDBMS:
@@ -94,12 +109,21 @@ class SimulatedRDBMS:
         self._pending: list[tuple[float, Callable[[], Job]]] = []
         self._pending_idx = 0
         self._samplers: list[list] = []  # [interval, next_time, callback]
+        self._events: list[tuple[float, int, Callable[["SimulatedRDBMS"], None]]] = []
+        self._event_seq = 0
+        self._estimate_corruption: dict[str | None, float] = {}
         self._rejecting_arrivals = False
         self.traces = TraceSet()
         #: Called with (time, query_id) when a query finishes.
         self.on_finish: list[Callable[[float, str], None]] = []
         #: Called with (time, query_id) when a query is submitted.
         self.on_arrival: list[Callable[[float, str], None]] = []
+        #: Called with (time, query_id, reason) when a query fails at
+        #: runtime -- whether from an engine error or an injected crash.
+        self.on_failure: list[Callable[[float, str, str], None]] = []
+        #: Called with (time, query_id, attempt) when a failed or aborted
+        #: query is resubmitted for another attempt.
+        self.on_resubmit: list[Callable[[float, str, int], None]] = []
 
     # ------------------------------------------------------------------
     # Introspection
@@ -140,15 +164,26 @@ class SimulatedRDBMS:
         """The system as a :class:`SystemSnapshot` for the PI algorithms.
 
         Remaining costs are the jobs' own (possibly imprecise) estimates,
-        exactly what a real PI would read from executor counters.
+        exactly what a real PI would read from executor counters.  Any
+        active estimate corruption (see :meth:`corrupt_estimates`) is
+        applied here: the PIs see the corrupted numbers, the execution
+        itself is unaffected.
         """
         return SystemSnapshot(
-            running=tuple(j.snapshot() for j in self._running),
-            queued=tuple(j.snapshot() for j in self._queue),
+            running=tuple(self._corrupted(j.snapshot()) for j in self._running),
+            queued=tuple(self._corrupted(j.snapshot()) for j in self._queue),
             processing_rate=self.processing_rate,
             multiprogramming_limit=self.multiprogramming_limit,
             time=self._clock,
         )
+
+    def _corrupted(self, snap):
+        factor = self._estimate_corruption.get(
+            snap.query_id, self._estimate_corruption.get(None)
+        )
+        if factor is None:
+            return snap
+        return replace(snap, remaining_cost=snap.remaining_cost * factor)
 
     def current_speeds(self) -> dict[str, float]:
         """Instantaneous per-query speeds, U/s."""
@@ -191,6 +226,25 @@ class SimulatedRDBMS:
         first = self._clock + interval if start is None else start
         self._samplers.append([interval, first, callback])
 
+    def add_event(
+        self, time: float, callback: Callable[["SimulatedRDBMS"], None]
+    ) -> None:
+        """Schedule *callback(self)* to fire once at virtual *time*.
+
+        The one-shot counterpart of :meth:`add_sampler`, and the hook the
+        fault-injection and retry layers script against: brownout windows,
+        stall windows and backoff-delayed resubmissions are all timed
+        events.  Events count as outstanding work for
+        :meth:`run_to_completion`, so a scheduled retry is never silently
+        skipped because the system looked idle.
+        """
+        if not math.isfinite(time):
+            raise ValueError(f"event time must be finite, got {time}")
+        if time < self._clock - _EPS:
+            raise ValueError(f"cannot schedule event at {time}, clock is {self._clock}")
+        heapq.heappush(self._events, (time, self._event_seq, callback))
+        self._event_seq += 1
+
     # ------------------------------------------------------------------
     # Workload-management actions (paper Section 3)
     # ------------------------------------------------------------------
@@ -211,6 +265,7 @@ class SimulatedRDBMS:
         self._remove_everywhere(query_id)
         record.status = "aborted"
         record.trace.aborted_at = self._clock
+        record.trace.record_fault(self._clock, "abort", "workload-management abort")
         if rollback_overhead > 0:
             rollback = SyntheticJob(
                 f"__rollback_{query_id}",
@@ -219,6 +274,89 @@ class SimulatedRDBMS:
             )
             self._submit_internal(rollback)
         self._admit()
+
+    def fail(self, query_id: str, reason: str = "injected fault") -> None:
+        """Fail a query with a runtime error at the current virtual time.
+
+        The fault-injection analogue of an engine error: the query leaves
+        the system wherever it is (running, queued or blocked), its record
+        turns ``failed`` with ``reason`` as the error, the trace gets a
+        ``failed_at`` timestamp and a fault event, and the ``on_failure``
+        hooks fire (which is how the retry layer notices).
+        """
+        record = self.record(query_id)
+        if record.terminal:
+            raise ValueError(f"query {query_id!r} already {record.status}")
+        self._remove_everywhere(query_id)
+        record.status = "failed"
+        record.error = reason
+        record.trace.failed_at = self._clock
+        record.trace.record_fault(self._clock, "crash", reason)
+        for cb in self.on_failure:
+            cb(self._clock, query_id, reason)
+        self._admit()
+
+    def resubmit(self, job: Job) -> QueryRecord:
+        """Resubmit a failed or aborted query for another attempt.
+
+        ``job`` must carry the same ``query_id`` as an existing terminal
+        (failed/aborted) record and should be a fresh, zero-progress
+        execution (see :meth:`repro.sim.jobs.Job.retry_copy`).  The record
+        is reused: its attempt count increments, the trace keeps the full
+        fault/attempt history, and the query re-enters the admission queue
+        at the back like any other arrival.  The previous attempt's terminal
+        timestamp (``failed_at`` / ``aborted_at``) is cleared -- terminal
+        stamps describe the *final* outcome; per-attempt history stays in
+        ``fault_events`` and ``attempts``.
+        """
+        record = self.record(job.query_id)
+        if record.status not in ("failed", "aborted"):
+            raise ValueError(
+                f"query {job.query_id!r} is {record.status}; "
+                "only failed or aborted queries can be resubmitted"
+            )
+        if self._rejecting_arrivals:
+            raise RuntimeError("RDBMS is draining: resubmissions are rejected")
+        record.job = job
+        record.status = "queued"
+        record.error = None
+        record.attempts += 1
+        record.trace.attempts = record.attempts
+        record.trace.failed_at = None
+        record.trace.aborted_at = None
+        record.trace.record_fault(
+            self._clock, "retry", f"attempt {record.attempts} resubmitted"
+        )
+        self._queue.append(job)
+        for cb in self.on_resubmit:
+            cb(self._clock, job.query_id, record.attempts)
+        self._admit()
+        return record
+
+    def corrupt_estimates(self, factor: float, query_id: str | None = None) -> None:
+        """Corrupt the remaining-cost estimates PIs read from snapshots.
+
+        Models corrupted optimizer statistics: every snapshot taken while
+        the corruption is active reports ``remaining_cost * factor`` for
+        the affected queries (``query_id=None`` affects all queries without
+        a per-query override).  ``factor`` may be NaN or ``inf`` -- that is
+        the point: downstream estimators must reject or survive such
+        inputs.  Execution itself is unaffected.  Negative factors are
+        rejected here because a negative cost is not expressible in a
+        snapshot.
+        """
+        if factor < 0:
+            raise ValueError(f"corruption factor must not be negative, got {factor}")
+        self._estimate_corruption[query_id] = float(factor)
+
+    def clear_estimate_corruption(self, query_id: str | None = None) -> None:
+        """Remove the estimate corruption for *query_id* (or the global one)."""
+        self._estimate_corruption.pop(query_id, None)
+
+    @property
+    def estimate_corruption(self) -> dict[str | None, float]:
+        """Active corruption factors, keyed by query id (``None`` = global)."""
+        return dict(self._estimate_corruption)
 
     def _submit_internal(self, job: Job) -> QueryRecord:
         """Submit system work (e.g. rollback) that bypasses drain rejection."""
@@ -309,7 +447,10 @@ class SimulatedRDBMS:
 
     def _has_outstanding_work(self) -> bool:
         return bool(
-            self._running or self._queue or self._pending_idx < len(self._pending)
+            self._running
+            or self._queue
+            or self._pending_idx < len(self._pending)
+            or self._events
         )
 
     def _admit(self) -> None:
@@ -330,6 +471,9 @@ class SimulatedRDBMS:
     def _next_sampler_time(self) -> float:
         return min((s[1] for s in self._samplers), default=math.inf)
 
+    def _next_event_time(self) -> float:
+        return self._events[0][0] if self._events else math.inf
+
     def _predictable_finish_dt(self, speeds: dict[str, float]) -> float:
         """Exact time to the next synthetic-job completion, or inf."""
         best = math.inf
@@ -347,6 +491,7 @@ class SimulatedRDBMS:
         dt = target - self._clock
         dt = min(dt, self._next_pending_time() - self._clock)
         dt = min(dt, self._next_sampler_time() - self._clock)
+        dt = min(dt, self._next_event_time() - self._clock)
         dt = min(dt, self._predictable_finish_dt(speeds))
         has_unpredictable = any(
             not isinstance(j, SyntheticJob) for j in self._running
@@ -359,7 +504,12 @@ class SimulatedRDBMS:
 
         if not self._running and dt == 0.0 and self._next_pending_time() > self._clock:
             # Idle with nothing due now: jump straight to the next event.
-            nxt = min(self._next_pending_time(), self._next_sampler_time(), target)
+            nxt = min(
+                self._next_pending_time(),
+                self._next_sampler_time(),
+                self._next_event_time(),
+                target,
+            )
             if nxt is math.inf:
                 self._clock = target
                 return
@@ -389,7 +539,10 @@ class SimulatedRDBMS:
             record = self._records[job.query_id]
             record.status = "failed"
             record.error = str(exc)
-            record.trace.aborted_at = self._clock
+            record.trace.failed_at = self._clock
+            record.trace.record_fault(self._clock, "runtime-error", str(exc))
+            for cb in self.on_failure:
+                cb(self._clock, job.query_id, str(exc))
         if failed:
             self._admit()
 
@@ -415,6 +568,12 @@ class SimulatedRDBMS:
             if self._rejecting_arrivals:
                 continue
             self.submit(factory())
+
+        # Fire due one-shot events (fault windows, retries) before samplers,
+        # so observers sample the post-event state.
+        while self._events and self._events[0][0] <= self._clock + _EPS:
+            _, _, callback = heapq.heappop(self._events)
+            callback(self)
 
         # Fire due samplers (record traces first so callbacks see them).
         due = [s for s in self._samplers if s[1] <= self._clock + _EPS]

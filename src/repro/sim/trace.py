@@ -13,6 +13,22 @@ from dataclasses import dataclass, field
 from repro.core.metrics import StepSeries
 
 
+@dataclass(frozen=True)
+class FaultEvent:
+    """One resilience-relevant event in a query's lifetime.
+
+    Recorded by the simulator and the fault-injection layer: runtime
+    errors, injected crashes and stalls, stats corruption, retries,
+    watchdog actions.  ``kind`` is a short machine-readable tag
+    (``"runtime-error"``, ``"crash"``, ``"stall-begin"``, ``"retry"``,
+    ...); ``detail`` is free-form human-readable context.
+    """
+
+    time: float
+    kind: str
+    detail: str = ""
+
+
 @dataclass
 class QueryTrace:
     """All recorded series for one query."""
@@ -24,9 +40,20 @@ class QueryTrace:
     started_at: float | None = None
     #: Time the query finished, or None if aborted / still running.
     finished_at: float | None = None
-    #: Time the query was aborted, if it was.
+    #: Time the query was aborted by a workload-management action, if it was.
+    #: Distinct from ``failed_at``: an abort is an intentional decision.
     aborted_at: float | None = None
-    #: Cumulative completed work (U's) over time.
+    #: Time the query last failed with a runtime error (engine error or
+    #: injected crash), if it ever did.  Cleared markers are never rewound:
+    #: a retried query keeps the time of its most recent failure here and
+    #: the full history in ``fault_events``.
+    failed_at: float | None = None
+    #: Number of execution attempts so far (1 = never retried).
+    attempts: int = 1
+    #: Resilience events: failures, injected faults, retries, WM actions.
+    fault_events: list[FaultEvent] = field(default_factory=list)
+    #: Cumulative completed work (U's) over time.  With retries the series
+    #: can step back down: each new attempt redoes the lost work from zero.
     work: StepSeries = field(default_factory=StepSeries)
     #: Observed execution speed (U/s) over time.
     speed: StepSeries = field(default_factory=StepSeries)
@@ -36,6 +63,10 @@ class QueryTrace:
     def record_estimate(self, estimator: str, time: float, seconds: float) -> None:
         """Append one remaining-time estimate from *estimator*."""
         self.estimates.setdefault(estimator, StepSeries()).append(time, seconds)
+
+    def record_fault(self, time: float, kind: str, detail: str = "") -> None:
+        """Append one :class:`FaultEvent` to this query's history."""
+        self.fault_events.append(FaultEvent(time=time, kind=kind, detail=detail))
 
     def actual_remaining(self, time: float) -> float:
         """Ground-truth remaining execution time at *time*.

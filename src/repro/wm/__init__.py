@@ -17,6 +17,9 @@ multi-query PI provides:
 * :mod:`repro.wm.policies` -- executable policies (no-PI / single-query-PI /
   multi-query-PI) that drive a :class:`~repro.sim.rdbms.SimulatedRDBMS`
   through operations O1 / O2 / O2' / O3.
+* :mod:`repro.wm.watchdog` -- the runaway-query watchdog: PI-predicted
+  budget enforcement (deprioritize, then abort) with an observed-work
+  fallback when estimates are unavailable or non-finite.
 """
 
 from repro.wm.maintenance import (
@@ -46,13 +49,16 @@ from repro.wm.speedup import (
     choose_victim_equal_priority,
     choose_victims,
 )
+from repro.wm.watchdog import RunawayQueryWatchdog, WatchdogAction
 
 __all__ = [
     "AdaptiveMaintenanceManager",
     "LostWorkCase",
     "MaintenancePlan",
     "MultiSpeedupChoice",
+    "RunawayQueryWatchdog",
     "SpeedupChoice",
+    "WatchdogAction",
     "choose_victim",
     "choose_victim_equal_priority",
     "choose_victim_for_all",

@@ -17,6 +17,7 @@ from __future__ import annotations
 
 from dataclasses import dataclass, field
 
+from repro.core.validation import finite_snapshots
 from repro.sim.rdbms import SimulatedRDBMS
 from repro.wm.maintenance import LostWorkCase, plan_maintenance
 
@@ -69,12 +70,18 @@ class AdaptiveMaintenanceManager:
             self._revise()
 
     def _revise(self) -> None:
-        """Re-plan from live estimates; abort extra queries if needed."""
+        """Re-plan from live estimates; abort extra queries if needed.
+
+        Estimates are read through the system snapshot (what a PI would
+        see), so corrupted statistics reach the manager.  Queries whose
+        snapshots are non-finite are left out of the plan for this revision
+        rather than poisoning it -- they are reconsidered at the next
+        wake-up, and operation O3 still catches them at the deadline.
+        """
         now = self.rdbms.clock
         time_left = max(self.deadline - now, 0.0)
-        running = [job.snapshot() for job in self.rdbms.running] + [
-            job.snapshot() for job in self.rdbms.queued
-        ]
+        system = self.rdbms.snapshot()
+        running = finite_snapshots(list(system.running) + list(system.queued))
         plan = plan_maintenance(
             running, time_left + self.slack, self.rdbms.processing_rate, self.case
         )

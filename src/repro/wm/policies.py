@@ -21,10 +21,12 @@ operation O3 (abort stragglers) and reports the realised lost work.
 
 from __future__ import annotations
 
+import math
 from dataclasses import dataclass
 from typing import Callable, Sequence
 
 from repro.core.model import QuerySnapshot
+from repro.core.validation import finite_snapshots
 from repro.sim.rdbms import SimulatedRDBMS
 from repro.wm.maintenance import LostWorkCase, plan_maintenance
 
@@ -129,7 +131,9 @@ def execute_policy(
     total_costs:
         Ground-truth total cost per query, used for lost-work accounting.
         Defaults to each job's ``completed + estimated remaining``, correct
-        for synthetic jobs.
+        for synthetic jobs.  Non-finite estimated costs degrade to the
+        work completed so far, so corrupted statistics cannot turn the
+        lost-work tally into NaN.
     """
     if deadline < 0:
         raise ValueError("deadline must be >= 0")
@@ -137,10 +141,17 @@ def execute_policy(
     rdbms.drain(True)
 
     considered = list(rdbms.running) + list(rdbms.queued)
-    snapshots = [job.snapshot() for job in considered]
+    # Decision functions see the PI's view (estimate corruption included);
+    # queries whose snapshots are non-finite are excluded from the up-front
+    # decision rather than poisoning it -- operation O3 still catches them.
+    system = rdbms.snapshot()
+    snapshots = finite_snapshots(list(system.running) + list(system.queued))
     truth = dict(total_costs) if total_costs else {}
     for job in considered:
-        truth.setdefault(job.query_id, job.completed_work + job.estimated_remaining_cost())
+        estimated = job.estimated_remaining_cost()
+        if not math.isfinite(estimated) or estimated < 0:
+            estimated = 0.0
+        truth.setdefault(job.query_id, job.completed_work + estimated)
     total_work = sum(truth[j.query_id] for j in considered)
 
     aborts = decision(snapshots, deadline, rdbms.processing_rate, case)

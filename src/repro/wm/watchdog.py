@@ -1,0 +1,197 @@
+"""Runaway-query watchdog: deprioritize, then abort, queries over budget.
+
+A workload manager armed with a multi-query PI can police runaway queries
+*predictively*: a query is an offender when its elapsed time plus its
+PI-estimated remaining time exceeds the budget -- long before it has
+actually burned the whole budget.  That is the PI-driven half of this
+module.
+
+The resilience half is the fallback: under corrupted statistics the PI
+(correctly) refuses to estimate -- :mod:`repro.core.validation` makes it
+raise on NaN/inf inputs -- or produces a non-finite number.  The watchdog
+must keep functioning anyway, so it degrades to an *observed-work
+heuristic*: a query is an offender once the time it has observably consumed
+exceeds the budget.  Cruder (it can only react, not predict), but it needs
+nothing beyond the simulator clock.
+
+Escalation is two-step, as in production systems: a first offense demotes
+the query's priority (it keeps running, slowly, and stops hurting everyone
+else); a repeat offense at a later check aborts it.  Aborts land in the
+trace as ``aborted_at`` -- a deliberate workload-management action, distinct
+from ``failed_at`` runtime errors.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+
+from repro.core.multi_query import MultiQueryProgressIndicator
+from repro.sim.rdbms import SimulatedRDBMS
+
+
+@dataclass(frozen=True)
+class WatchdogAction:
+    """One enforcement action taken by the watchdog."""
+
+    time: float
+    query_id: str
+    #: ``"deprioritize"`` or ``"abort"``.
+    action: str
+    #: The PI's remaining-time estimate at decision time, if one was usable.
+    estimated_remaining: float | None
+    #: Whether the decision used the observed-work fallback (PI estimate
+    #: unavailable or non-finite) instead of the PI.
+    used_fallback: bool
+    reason: str
+
+
+class RunawayQueryWatchdog:
+    """Polices running queries against a wall-clock budget.
+
+    Parameters
+    ----------
+    rdbms:
+        The simulator to police.
+    budget_seconds:
+        Per-query budget, in virtual seconds since the query first started
+        running.  Time lost to failures, stalls and retries counts -- the
+        budget is what an operator would set on total occupancy.
+    check_interval:
+        How often (virtual seconds) the watchdog wakes up.
+    pi:
+        The progress indicator used for predictive enforcement; defaults
+        to a fresh :class:`MultiQueryProgressIndicator`.
+    demote_priority:
+        Priority assigned on the first offense (low priorities mean small
+        scheduling weights).
+
+    Call :meth:`attach` once before running the simulation.
+    """
+
+    def __init__(
+        self,
+        rdbms: SimulatedRDBMS,
+        budget_seconds: float,
+        check_interval: float = 1.0,
+        pi: MultiQueryProgressIndicator | None = None,
+        demote_priority: int = -2,
+    ) -> None:
+        if not math.isfinite(budget_seconds) or budget_seconds <= 0:
+            raise ValueError(
+                f"budget_seconds must be finite and > 0, got {budget_seconds}"
+            )
+        if check_interval <= 0:
+            raise ValueError(f"check_interval must be > 0, got {check_interval}")
+        self._rdbms = rdbms
+        self._budget = budget_seconds
+        self._check_interval = check_interval
+        self._pi = pi if pi is not None else MultiQueryProgressIndicator()
+        self._demote_priority = demote_priority
+        self._demoted: set[str] = set()
+        self._attached = False
+        #: Chronological log of enforcement actions.
+        self.actions: list[WatchdogAction] = []
+
+    @property
+    def budget_seconds(self) -> float:
+        """The per-query occupancy budget being enforced."""
+        return self._budget
+
+    @property
+    def demoted(self) -> tuple[str, ...]:
+        """Ids of queries demoted so far, in action order."""
+        return tuple(a.query_id for a in self.actions if a.action == "deprioritize")
+
+    @property
+    def aborted(self) -> tuple[str, ...]:
+        """Ids of queries aborted so far, in action order."""
+        return tuple(a.query_id for a in self.actions if a.action == "abort")
+
+    @property
+    def fallback_engaged(self) -> bool:
+        """Whether any action so far used the observed-work fallback."""
+        return any(a.used_fallback for a in self.actions)
+
+    def attach(self) -> None:
+        """Arm the watchdog: register its periodic check with the RDBMS."""
+        if self._attached:
+            raise RuntimeError("watchdog already attached")
+        self._attached = True
+        self._rdbms.add_sampler(self._check_interval, self._on_tick)
+
+    # ------------------------------------------------------------------
+    # Enforcement
+    # ------------------------------------------------------------------
+
+    def _estimates(self) -> dict[str, float] | None:
+        """PI remaining-time estimates, or ``None`` if the PI is unusable."""
+        try:
+            estimate = self._pi.estimate(self._rdbms.snapshot())
+        except ValueError:
+            # Corrupted inputs: the estimator refused loudly, as designed.
+            return None
+        return estimate.remaining_seconds
+
+    def _on_tick(self, rdbms: SimulatedRDBMS) -> None:
+        estimates = self._estimates()
+        now = rdbms.clock
+        for job in rdbms.running:
+            qid = job.query_id
+            record = rdbms.record(qid)
+            started = record.trace.started_at
+            if started is None:  # pragma: no cover - running implies started
+                continue
+            elapsed = now - started
+            est: float | None = None
+            if estimates is not None:
+                est = estimates.get(qid)
+                if est is not None and not math.isfinite(est):
+                    est = None
+            if est is not None:
+                over = elapsed + est > self._budget
+                used_fallback = False
+                reason = (
+                    f"elapsed {elapsed:.1f}s + estimated {est:.1f}s "
+                    f"> budget {self._budget:g}s"
+                )
+            else:
+                # Observed-work heuristic: no usable estimate, so enforce
+                # only on the time the query has already consumed.
+                over = elapsed > self._budget
+                used_fallback = True
+                reason = (
+                    f"no usable estimate; observed {elapsed:.1f}s "
+                    f"> budget {self._budget:g}s"
+                )
+            if not over:
+                continue
+            if qid not in self._demoted:
+                rdbms.set_priority(qid, self._demote_priority)
+                self._demoted.add(qid)
+                record.trace.record_fault(now, "watchdog-demote", reason)
+                self._record(now, qid, "deprioritize", est, used_fallback, reason)
+            else:
+                rdbms.abort(qid)
+                record.trace.record_fault(now, "watchdog-abort", reason)
+                self._record(now, qid, "abort", est, used_fallback, reason)
+
+    def _record(
+        self,
+        time: float,
+        query_id: str,
+        action: str,
+        est: float | None,
+        used_fallback: bool,
+        reason: str,
+    ) -> None:
+        self.actions.append(
+            WatchdogAction(
+                time=time,
+                query_id=query_id,
+                action=action,
+                estimated_remaining=est,
+                used_fallback=used_fallback,
+                reason=reason,
+            )
+        )

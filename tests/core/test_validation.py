@@ -1,0 +1,117 @@
+"""Tests for estimator input validation: NaN/inf/negative inputs fail loudly."""
+
+import math
+
+import pytest
+
+from repro.core.forecast import AdaptiveForecaster, WorkloadForecast
+from repro.core.model import QuerySnapshot
+from repro.core.multi_query import MultiQueryProgressIndicator
+from repro.core.projection import project
+from repro.core.single_query import SingleQueryProgressIndicator, SpeedMonitor
+from repro.core.standard_case import standard_case
+from repro.core.validation import (
+    finite_snapshots,
+    validate_finite,
+    validate_snapshots,
+)
+from repro.sim.jobs import SyntheticJob
+from repro.sim.rdbms import SimulatedRDBMS
+
+NAN = float("nan")
+INF = float("inf")
+
+
+class TestValidateFinite:
+    def test_accepts_ordinary_values(self):
+        validate_finite(1.5, "x")
+        validate_finite(0.0, "x", minimum=0.0)
+
+    @pytest.mark.parametrize("bad", [NAN, INF, -INF])
+    def test_rejects_non_finite(self, bad):
+        with pytest.raises(ValueError, match="x"):
+            validate_finite(bad, "x")
+
+    def test_enforces_minimum(self):
+        with pytest.raises(ValueError):
+            validate_finite(-0.1, "x", minimum=0.0)
+        with pytest.raises(ValueError):
+            validate_finite(0.0, "x", minimum=0.0, exclusive=True)
+
+    def test_nan_cannot_sneak_past_a_range_check(self):
+        # The reason this module exists: nan < 0 is False, so naive range
+        # checks accept NaN. validate_finite must not.
+        assert not (NAN < 0)
+        with pytest.raises(ValueError):
+            validate_finite(NAN, "x", minimum=0.0)
+
+
+class TestValidateSnapshots:
+    def test_accepts_clean_snapshots(self):
+        validate_snapshots([QuerySnapshot("a", 10.0), QuerySnapshot("b", 0.0)])
+
+    @pytest.mark.parametrize("bad", [NAN, INF, -1.0])
+    def test_rejects_bad_remaining_cost(self, bad):
+        with pytest.raises(ValueError, match="a"):
+            validate_snapshots([QuerySnapshot("a", bad)])
+
+    def test_rejects_bad_completed_work(self):
+        with pytest.raises(ValueError):
+            validate_snapshots([QuerySnapshot("a", 1.0, completed_work=NAN)])
+
+    def test_finite_snapshots_filters_not_raises(self):
+        good = QuerySnapshot("good", 10.0)
+        kept = finite_snapshots([good, QuerySnapshot("bad", NAN)])
+        assert list(kept) == [good]
+
+
+class TestEstimatorsRejectCorruptInputs:
+    def test_standard_case_rejects_nan_cost(self):
+        with pytest.raises(ValueError):
+            standard_case([QuerySnapshot("a", NAN)], 1.0)
+
+    def test_standard_case_rejects_bad_rate(self):
+        for bad in (0.0, -1.0, NAN, INF):
+            with pytest.raises(ValueError):
+                standard_case([QuerySnapshot("a", 10.0)], bad)
+
+    def test_project_rejects_inf_cost(self):
+        with pytest.raises(ValueError):
+            project([QuerySnapshot("a", INF)], processing_rate=1.0)
+
+    def test_multi_query_pi_rejects_corrupted_snapshot(self):
+        rdbms = SimulatedRDBMS(processing_rate=10.0)
+        rdbms.submit(SyntheticJob("q", 100))
+        rdbms.corrupt_estimates(NAN)
+        with pytest.raises(ValueError):
+            MultiQueryProgressIndicator().estimate(rdbms.snapshot())
+
+    def test_single_query_pi_rejects_nan_remaining(self):
+        pi = SingleQueryProgressIndicator()
+        pi.observe(0.0, 0.0)
+        pi.observe(1.0, 2.0)
+        with pytest.raises(ValueError):
+            pi.estimate(2.0, NAN)
+
+    def test_speed_monitor_rejects_nan_observation(self):
+        monitor = SpeedMonitor()
+        with pytest.raises(ValueError):
+            monitor.observe(0.0, NAN)
+
+    def test_workload_forecast_rejects_nan_rate(self):
+        with pytest.raises(ValueError):
+            WorkloadForecast(arrival_rate=NAN, average_cost=1.0, average_weight=1.0)
+
+    def test_adaptive_forecaster_rejects_corrupt_arrival(self):
+        prior = WorkloadForecast(
+            arrival_rate=0.1, average_cost=10.0, average_weight=1.0
+        )
+        forecaster = AdaptiveForecaster(prior)
+        with pytest.raises(ValueError):
+            forecaster.observe_arrival(1.0, cost=INF)
+
+    def test_clean_inputs_still_work(self):
+        estimate = standard_case(
+            [QuerySnapshot("a", 10.0), QuerySnapshot("b", 20.0)], 1.0
+        )
+        assert math.isfinite(estimate.remaining_times["b"])

@@ -1,0 +1,138 @@
+"""Tests for declarative fault plans and their validation."""
+
+import math
+
+import pytest
+
+from repro.faults.plan import (
+    Brownout,
+    FaultPlan,
+    QueryCrash,
+    QueryStall,
+    StatsCorruption,
+    random_fault_plan,
+)
+
+
+class TestQueryCrash:
+    def test_timed_trigger(self):
+        crash = QueryCrash("q", at_time=5.0)
+        assert crash.at_time == 5.0 and crash.at_fraction is None
+
+    def test_fraction_trigger(self):
+        crash = QueryCrash("q", at_fraction=0.5)
+        assert crash.at_fraction == 0.5
+
+    def test_requires_exactly_one_trigger(self):
+        with pytest.raises(ValueError):
+            QueryCrash("q")
+        with pytest.raises(ValueError):
+            QueryCrash("q", at_time=1.0, at_fraction=0.5)
+
+    @pytest.mark.parametrize("bad", [-1.0, float("nan"), float("inf")])
+    def test_rejects_bad_time(self, bad):
+        with pytest.raises(ValueError):
+            QueryCrash("q", at_time=bad)
+
+    @pytest.mark.parametrize("bad", [0.0, -0.1, 1.5, float("nan")])
+    def test_rejects_bad_fraction(self, bad):
+        with pytest.raises(ValueError):
+            QueryCrash("q", at_fraction=bad)
+
+
+class TestQueryStall:
+    def test_valid(self):
+        stall = QueryStall("q", at=1.0, duration=2.0)
+        assert stall.duration == 2.0
+
+    @pytest.mark.parametrize("at,dur", [(-1, 1), (float("nan"), 1), (0, 0), (0, -1), (0, float("inf"))])
+    def test_rejects_bad_window(self, at, dur):
+        with pytest.raises(ValueError):
+            QueryStall("q", at=at, duration=dur)
+
+
+class TestBrownout:
+    def test_valid(self):
+        assert Brownout(start=0.0, duration=5.0, factor=0.0).factor == 0.0
+
+    @pytest.mark.parametrize("factor", [-0.1, 1.1, float("nan"), float("inf")])
+    def test_rejects_bad_factor(self, factor):
+        with pytest.raises(ValueError):
+            Brownout(start=0.0, duration=5.0, factor=factor)
+
+
+class TestStatsCorruption:
+    def test_nan_and_inf_factors_allowed(self):
+        assert math.isnan(StatsCorruption(0.0, 5.0, float("nan")).factor)
+        assert math.isinf(StatsCorruption(0.0, 5.0, float("inf")).factor)
+
+    def test_permanent_corruption(self):
+        assert StatsCorruption(0.0, None, 2.0).duration is None
+
+    def test_rejects_negative_factor(self):
+        with pytest.raises(ValueError):
+            StatsCorruption(0.0, 5.0, -1.0)
+
+    def test_rejects_bad_duration(self):
+        with pytest.raises(ValueError):
+            StatsCorruption(0.0, 0.0, 2.0)
+
+
+class TestFaultPlan:
+    def test_of_and_len(self):
+        plan = FaultPlan.of(Brownout(0.0, 1.0), QueryCrash("q", at_time=1.0))
+        assert len(plan) == 2
+
+    def test_rejects_non_faults(self):
+        with pytest.raises(ValueError):
+            FaultPlan(faults=("not a fault",))
+
+    def test_for_query(self):
+        crash = QueryCrash("a", at_time=1.0)
+        stall = QueryStall("b", at=1.0, duration=1.0)
+        plan = FaultPlan.of(crash, stall, Brownout(0.0, 1.0))
+        assert plan.for_query("a") == (crash,)
+        assert plan.for_query("b") == (stall,)
+        assert plan.for_query("zzz") == ()
+
+    def test_describe_mentions_every_fault(self):
+        plan = FaultPlan.of(
+            QueryCrash("a", at_fraction=0.5),
+            QueryStall("b", at=1.0, duration=2.0),
+            Brownout(0.0, 1.0, factor=0.25),
+            StatsCorruption(0.0, None, float("inf")),
+        )
+        text = plan.describe()
+        assert "crash" in text and "stall" in text
+        assert "brownout" in text and "corrupt" in text
+        assert "permanently" in text
+
+    def test_describe_empty(self):
+        assert "empty" in FaultPlan().describe()
+
+
+class TestRandomFaultPlan:
+    def test_deterministic_per_seed(self):
+        a = random_fault_plan(3, ["q1", "q2"], horizon=50.0)
+        b = random_fault_plan(3, ["q1", "q2"], horizon=50.0)
+        assert a.describe() == b.describe()
+
+    def test_different_seeds_differ(self):
+        plans = {
+            random_fault_plan(s, ["q1", "q2"], horizon=50.0, n_faults=6).describe()
+            for s in range(8)
+        }
+        assert len(plans) > 1
+
+    def test_all_faults_valid_and_counted(self):
+        for seed in range(20):
+            plan = random_fault_plan(seed, ["a", "b", "c"], 100.0, n_faults=5)
+            assert len(plan) == 5  # construction already validated each fault
+
+    def test_rejects_bad_inputs(self):
+        with pytest.raises(ValueError):
+            random_fault_plan(0, [], 10.0)
+        with pytest.raises(ValueError):
+            random_fault_plan(0, ["q"], 0.0)
+        with pytest.raises(ValueError):
+            random_fault_plan(0, ["q"], 10.0, n_faults=-1)

@@ -1,0 +1,165 @@
+"""Tests for the retry policy and controller."""
+
+import pytest
+
+from repro.faults.injector import FaultInjector
+from repro.faults.plan import FaultPlan, QueryCrash
+from repro.faults.retry import RetryController, RetryPolicy
+from repro.sim.jobs import Job, SyntheticJob
+from repro.sim.rdbms import SimulatedRDBMS
+
+
+class TestRetryPolicy:
+    def test_exponential_backoff(self):
+        policy = RetryPolicy(max_attempts=5, base_delay=1.0, multiplier=2.0)
+        assert [policy.delay(n) for n in (1, 2, 3, 4)] == [1.0, 2.0, 4.0, 8.0]
+
+    def test_max_delay_caps_backoff(self):
+        policy = RetryPolicy(base_delay=1.0, multiplier=10.0, max_delay=5.0)
+        assert policy.delay(3) == 5.0
+
+    def test_jitter_is_deterministic_and_bounded(self):
+        policy = RetryPolicy(base_delay=4.0, jitter=0.5)
+        first = policy.delay(1, "q7")
+        assert first == policy.delay(1, "q7")  # same inputs, same delay
+        assert 2.0 <= first <= 6.0  # within [1-j, 1+j] * base
+        assert policy.delay(1, "q7") != policy.delay(1, "other-query")
+
+    def test_zero_jitter_is_exact(self):
+        policy = RetryPolicy(base_delay=3.0, jitter=0.0)
+        assert policy.delay(1, "anything") == 3.0
+
+    def test_rejects_invalid_parameters(self):
+        with pytest.raises(ValueError):
+            RetryPolicy(max_attempts=0)
+        with pytest.raises(ValueError):
+            RetryPolicy(base_delay=float("nan"))
+        with pytest.raises(ValueError):
+            RetryPolicy(multiplier=0.5)
+        with pytest.raises(ValueError):
+            RetryPolicy(jitter=1.0)
+        with pytest.raises(ValueError):
+            RetryPolicy(max_delay=float("inf"))
+
+    def test_rejects_bad_attempt_number(self):
+        with pytest.raises(ValueError):
+            RetryPolicy().delay(0)
+
+
+class FailingJob(Job):
+    """A job that always dies after a fixed amount of work."""
+
+    def __init__(self, query_id: str, die_after: float = 5.0) -> None:
+        super().__init__(query_id)
+        self._die_after = die_after
+        self._done = 0.0
+
+    @property
+    def completed_work(self) -> float:
+        """Work completed so far, U's."""
+        return self._done
+
+    @property
+    def finished(self) -> bool:
+        """Never finishes: it always dies first."""
+        return False
+
+    def estimated_remaining_cost(self) -> float:
+        """Claimed remaining cost (never reached)."""
+        return 100.0
+
+    def advance(self, work: float) -> float:
+        """Consume work; raise once the failure point is crossed."""
+        from repro.engine.errors import EngineError
+
+        self._done += work
+        if self._done >= self._die_after:
+            raise EngineError("persistent failure")
+        return work
+
+    def retry_copy(self) -> "FailingJob":
+        """A fresh copy that will fail again."""
+        return FailingJob(self.query_id, self._die_after)
+
+
+class TestRetryController:
+    def test_crash_is_retried_to_completion(self):
+        rdbms = SimulatedRDBMS(processing_rate=10.0)
+        rdbms.submit(SyntheticJob("q", 100))
+        injector = FaultInjector(
+            rdbms, FaultPlan.of(QueryCrash("q", at_time=5.0))
+        )
+        injector.arm()
+        controller = RetryController(
+            rdbms, RetryPolicy(max_attempts=3, base_delay=2.0)
+        )
+        rdbms.run_to_completion(max_time=100.0)
+        record = rdbms.record("q")
+        assert record.status == "finished"
+        assert record.attempts == 2
+        assert record.trace.attempts == 2
+        assert controller.retried("q") == 1
+        # Crash at t=5, backoff 2s, redo 100 U at 10 U/s: finish at 17.
+        assert record.trace.finished_at == pytest.approx(17.0)
+
+    def test_retry_waits_for_backoff_delay(self):
+        rdbms = SimulatedRDBMS(processing_rate=10.0)
+        rdbms.submit(SyntheticJob("q", 100))
+        FaultInjector(rdbms, FaultPlan.of(QueryCrash("q", at_time=5.0))).arm()
+        controller = RetryController(
+            rdbms, RetryPolicy(max_attempts=2, base_delay=4.0)
+        )
+        rdbms.run_to_completion(max_time=100.0)
+        resubmits = [e for e in controller.events if e.action == "resubmitted"]
+        assert len(resubmits) == 1
+        assert resubmits[0].time == pytest.approx(9.0)
+
+    def test_persistent_failure_respects_attempts_cap(self):
+        rdbms = SimulatedRDBMS(processing_rate=10.0)
+        rdbms.submit(FailingJob("bad", die_after=5.0))
+        controller = RetryController(
+            rdbms, RetryPolicy(max_attempts=3, base_delay=1.0)
+        )
+        rdbms.run_to_completion(max_time=100.0)
+        record = rdbms.record("bad")
+        assert record.status == "failed"
+        assert record.attempts == 3  # capped: initial + 2 retries
+        assert controller.given_up == ["bad"]
+        gave_up = [e for e in controller.events if e.action == "gave-up"]
+        assert len(gave_up) == 1 and gave_up[0].attempt == 3
+        kinds = [f.kind for f in record.trace.fault_events]
+        assert "retry-exhausted" in kinds
+
+    def test_max_attempts_one_disables_retries(self):
+        rdbms = SimulatedRDBMS(processing_rate=10.0)
+        rdbms.submit(SyntheticJob("q", 100))
+        FaultInjector(rdbms, FaultPlan.of(QueryCrash("q", at_time=5.0))).arm()
+        controller = RetryController(rdbms, RetryPolicy(max_attempts=1))
+        rdbms.run_to_completion(max_time=100.0)
+        assert rdbms.record("q").status == "failed"
+        assert controller.retried("q") == 0
+        assert controller.given_up == ["q"]
+
+    def test_job_factory_overrides_retry_copy(self):
+        rdbms = SimulatedRDBMS(processing_rate=10.0)
+        rdbms.submit(FailingJob("q", die_after=5.0))
+        # The factory swaps the failing job for a healthy synthetic one.
+        controller = RetryController(
+            rdbms,
+            RetryPolicy(max_attempts=2, base_delay=1.0),
+            job_factory=lambda job, attempt: SyntheticJob(job.query_id, 50),
+        )
+        rdbms.run_to_completion(max_time=100.0)
+        record = rdbms.record("q")
+        assert record.status == "finished"
+        assert record.attempts == 2
+        assert controller.retried("q") == 1
+
+    def test_trace_records_retry_fault_event(self):
+        rdbms = SimulatedRDBMS(processing_rate=10.0)
+        rdbms.submit(SyntheticJob("q", 100))
+        FaultInjector(rdbms, FaultPlan.of(QueryCrash("q", at_time=5.0))).arm()
+        RetryController(rdbms, RetryPolicy(max_attempts=2, base_delay=1.0))
+        rdbms.run_to_completion(max_time=100.0)
+        kinds = [f.kind for f in rdbms.traces["q"].fault_events]
+        assert "crash" in kinds and "retry" in kinds

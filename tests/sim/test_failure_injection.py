@@ -51,12 +51,26 @@ class TestRuntimeFailures:
         rdbms.run_to_completion(max_time=1e6)
         assert rdbms.record("waiting").status == "finished"
 
-    def test_failed_query_records_abort_time(self, db):
+    def test_failed_query_records_failure_time(self, db):
         rdbms = SimulatedRDBMS(processing_rate=5.0, quantum=0.25)
         rdbms.submit(poisoned_job(db, "bad"))
         rdbms.run_to_completion(max_time=1e6)
-        assert rdbms.traces["bad"].aborted_at is not None
-        assert rdbms.traces["bad"].finished_at is None
+        trace = rdbms.traces["bad"]
+        # A runtime error is a failure, not a workload-management abort.
+        assert trace.failed_at is not None
+        assert trace.aborted_at is None
+        assert trace.finished_at is None
+        assert any(e.kind == "runtime-error" for e in trace.fault_events)
+
+    def test_failure_fires_on_failure_hooks(self, db):
+        rdbms = SimulatedRDBMS(processing_rate=5.0, quantum=0.25)
+        seen = []
+        rdbms.on_failure.append(lambda t, qid, reason: seen.append((t, qid, reason)))
+        rdbms.submit(poisoned_job(db, "bad"))
+        rdbms.run_to_completion(max_time=1e6)
+        assert len(seen) == 1
+        t, qid, reason = seen[0]
+        assert qid == "bad" and "zero" in reason and t > 0
 
     def test_snapshot_excludes_failed_queries(self, db):
         rdbms = SimulatedRDBMS(processing_rate=5.0, quantum=0.25)

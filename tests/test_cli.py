@@ -64,6 +64,42 @@ class TestSql:
         assert "error:" in capsys.readouterr().err
 
 
+class TestFaults:
+    def test_scripted_demo(self, capsys):
+        assert main(["faults"]) == 0
+        out = capsys.readouterr().out
+        assert "fault plan:" in out
+        assert "recovery timeline:" in out
+        assert "brownout-begin" in out
+        assert "crash" in out
+        assert "stall-begin" in out
+        assert "corruption-begin" in out
+        assert "resubmitted" in out
+        assert "[fallback]" in out
+        assert "all queries terminal: yes" in out
+        assert "watchdog fallback engaged: yes" in out
+
+    def test_seeded_random_plan(self, capsys):
+        assert main(["faults", "--seed", "7", "--retries", "2"]) == 0
+        out = capsys.readouterr().out
+        assert "fault plan:" in out
+        assert "all queries terminal: yes" in out
+
+    def test_invalid_knobs_report_clean_errors(self, capsys):
+        assert main(["faults", "--retries", "0"]) == 1
+        assert "error:" in capsys.readouterr().err
+        assert main(["faults", "--budget", "-5"]) == 1
+        assert "error:" in capsys.readouterr().err
+
+    def test_budget_flag(self, capsys):
+        assert main(["faults", "--budget", "1000"]) == 0
+        out = capsys.readouterr().out
+        # A huge budget means the watchdog never fires.
+        assert "watchdog" not in out.split("final outcome:")[0].split(
+            "recovery timeline:"
+        )[1]
+
+
 class TestExperiments:
     def test_table1(self, capsys):
         assert main(["experiment", "table1"]) == 0

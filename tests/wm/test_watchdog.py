@@ -1,0 +1,153 @@
+"""Tests for the runaway-query watchdog: PI path, fallback path, escalation."""
+
+import pytest
+
+from repro.sim.jobs import SyntheticJob
+from repro.sim.rdbms import SimulatedRDBMS
+from repro.wm.watchdog import RunawayQueryWatchdog
+
+
+def make_rdbms(**costs):
+    rdbms = SimulatedRDBMS(processing_rate=10.0)
+    for qid, cost in costs.items():
+        rdbms.submit(SyntheticJob(qid, cost))
+    return rdbms
+
+
+class TestPiPath:
+    def test_runaway_is_demoted_then_aborted(self):
+        rdbms = make_rdbms(small=50, huge=5000)
+        watchdog = RunawayQueryWatchdog(rdbms, budget_seconds=30.0)
+        watchdog.attach()
+        rdbms.run_to_completion(max_time=1000.0)
+        assert [a.action for a in watchdog.actions if a.query_id == "huge"] == [
+            "deprioritize",
+            "abort",
+        ]
+        assert rdbms.record("huge").status == "aborted"
+        assert rdbms.record("huge").trace.aborted_at is not None
+        assert rdbms.record("huge").trace.failed_at is None
+
+    def test_pi_estimates_are_recorded(self):
+        rdbms = make_rdbms(small=50, huge=5000)
+        watchdog = RunawayQueryWatchdog(rdbms, budget_seconds=30.0)
+        watchdog.attach()
+        rdbms.run_to_completion(max_time=1000.0)
+        for action in watchdog.actions:
+            assert not action.used_fallback
+            assert action.estimated_remaining is not None
+            assert action.estimated_remaining > 0
+        assert not watchdog.fallback_engaged
+
+    def test_prediction_fires_before_budget_is_burned(self):
+        # The PI knows at t=1 that huge cannot finish inside the budget,
+        # so enforcement happens long before 30 virtual seconds elapse.
+        rdbms = make_rdbms(small=50, huge=5000)
+        watchdog = RunawayQueryWatchdog(rdbms, budget_seconds=30.0)
+        watchdog.attach()
+        rdbms.run_to_completion(max_time=1000.0)
+        abort = [a for a in watchdog.actions if a.action == "abort"][0]
+        assert abort.time < 30.0
+
+    def test_innocent_queries_are_untouched(self):
+        rdbms = make_rdbms(a=50, b=80, c=60)
+        watchdog = RunawayQueryWatchdog(rdbms, budget_seconds=100.0)
+        watchdog.attach()
+        rdbms.run_to_completion(max_time=1000.0)
+        assert watchdog.actions == []
+        assert all(
+            rdbms.record(q).status == "finished" for q in ("a", "b", "c")
+        )
+
+    def test_watchdog_frees_capacity_for_survivors(self):
+        rdbms = make_rdbms(small=100, huge=5000)
+        watchdog = RunawayQueryWatchdog(rdbms, budget_seconds=30.0)
+        watchdog.attach()
+        rdbms.run_to_completion(max_time=1000.0)
+        # huge is aborted by t=2; small then owns the full 10 U/s and
+        # finishes well before its unprotected time of 20s.
+        assert rdbms.traces["small"].finished_at < 15.0
+
+
+class TestFallbackPath:
+    def test_nan_estimates_engage_observed_work_fallback(self):
+        rdbms = make_rdbms(q=1000)
+        rdbms.corrupt_estimates(float("nan"))
+        watchdog = RunawayQueryWatchdog(rdbms, budget_seconds=10.0)
+        watchdog.attach()
+        rdbms.run_to_completion(max_time=500.0)
+        assert watchdog.fallback_engaged
+        assert all(a.used_fallback for a in watchdog.actions)
+        assert all(a.estimated_remaining is None for a in watchdog.actions)
+        assert rdbms.record("q").status == "aborted"
+
+    def test_fallback_waits_for_observed_overrun(self):
+        # Without an estimate the watchdog cannot predict: it only acts
+        # once the query has observably exceeded the budget.
+        rdbms = make_rdbms(q=1000)
+        rdbms.corrupt_estimates(float("nan"))
+        watchdog = RunawayQueryWatchdog(rdbms, budget_seconds=10.0)
+        watchdog.attach()
+        rdbms.run_to_completion(max_time=500.0)
+        first = watchdog.actions[0]
+        assert first.time > 10.0
+
+    def test_inf_corruption_also_degrades(self):
+        rdbms = make_rdbms(q=1000)
+        rdbms.corrupt_estimates(float("inf"))
+        watchdog = RunawayQueryWatchdog(rdbms, budget_seconds=10.0)
+        watchdog.attach()
+        rdbms.run_to_completion(max_time=500.0)
+        assert watchdog.fallback_engaged
+        assert rdbms.record("q").status == "aborted"
+
+    def test_fallback_spares_queries_within_budget(self):
+        rdbms = make_rdbms(q=50)  # finishes at t=5
+        rdbms.corrupt_estimates(float("nan"))
+        watchdog = RunawayQueryWatchdog(rdbms, budget_seconds=10.0)
+        watchdog.attach()
+        rdbms.run_to_completion(max_time=500.0)
+        assert rdbms.record("q").status == "finished"
+        assert watchdog.actions == []
+
+    def test_recovers_to_pi_path_when_corruption_clears(self):
+        rdbms = make_rdbms(q=5000)
+        rdbms.corrupt_estimates(float("nan"))
+        rdbms.add_event(5.0, lambda r: r.clear_estimate_corruption())
+        watchdog = RunawayQueryWatchdog(rdbms, budget_seconds=30.0)
+        watchdog.attach()
+        rdbms.run_to_completion(max_time=1000.0)
+        # Once stats heal at t=5 the PI predicts the overrun immediately
+        # (events fire before same-tick samplers, so the t=5 check sees
+        # clean estimates).
+        assert watchdog.actions
+        assert not watchdog.actions[0].used_fallback
+        assert watchdog.actions[0].time == pytest.approx(5.0)
+
+
+class TestConstruction:
+    def test_rejects_bad_budget(self):
+        rdbms = make_rdbms(q=10)
+        for bad in (0.0, -1.0, float("nan"), float("inf")):
+            with pytest.raises(ValueError):
+                RunawayQueryWatchdog(rdbms, budget_seconds=bad)
+
+    def test_rejects_bad_interval(self):
+        rdbms = make_rdbms(q=10)
+        with pytest.raises(ValueError):
+            RunawayQueryWatchdog(rdbms, budget_seconds=10.0, check_interval=0.0)
+
+    def test_attach_is_single_shot(self):
+        rdbms = make_rdbms(q=10)
+        watchdog = RunawayQueryWatchdog(rdbms, budget_seconds=10.0)
+        watchdog.attach()
+        with pytest.raises(RuntimeError):
+            watchdog.attach()
+
+    def test_demoted_and_aborted_properties(self):
+        rdbms = make_rdbms(small=50, huge=5000)
+        watchdog = RunawayQueryWatchdog(rdbms, budget_seconds=30.0)
+        watchdog.attach()
+        rdbms.run_to_completion(max_time=1000.0)
+        assert watchdog.demoted == ("huge",)
+        assert watchdog.aborted == ("huge",)
