@@ -1,6 +1,6 @@
 # Convenience targets for the reproduction package.
 
-.PHONY: install test bench chaos report examples all
+.PHONY: install test bench bench-smoke chaos report examples all
 
 install:
 	pip install -e . || python setup.py develop
@@ -10,6 +10,12 @@ test:
 
 bench:
 	pytest benchmarks/ --benchmark-only
+
+# Quick benchmark smoke: the cheapest figure bench plus the engine
+# throughput bench, hard-capped at 5 minutes (coreutils timeout; the
+# container has no pytest-timeout plugin).
+bench-smoke:
+	timeout 300 pytest benchmarks -q -k "fig1_ or engine_throughput" --benchmark-only
 
 chaos:
 	pytest -m chaos tests/

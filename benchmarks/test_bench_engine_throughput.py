@@ -44,3 +44,17 @@ def test_throughput_steppable_execution(benchmark, dataset):
 
     ex = benchmark(stepped)
     assert ex.work_done > 0
+
+
+def test_throughput_checkpointed_execution(benchmark, dataset):
+    """Cadence checkpointing must stay cheap (acceptance: within ~10%
+    of the uncheckpointed stepped run -- compare with the bench above)."""
+    def stepped():
+        ex = dataset.db.prepare(paper_query(1), checkpoint_interval=25.0)
+        while not ex.finished:
+            ex.step(10.0)
+        return ex
+
+    ex = benchmark(stepped)
+    assert ex.work_done > 0
+    assert ex.checkpoints_taken > 0

@@ -14,7 +14,9 @@ Public API re-exports the pieces a downstream user typically needs:
 * resilience: :class:`FaultPlan` (with :class:`QueryCrash`,
   :class:`QueryStall`, :class:`Brownout`, :class:`StatsCorruption`),
   :class:`FaultInjector`, :class:`RetryPolicy`, :class:`RetryController`,
-  :class:`RunawayQueryWatchdog`.
+  :class:`RunawayQueryWatchdog`; work-preserving recovery:
+  :class:`ExecutionCheckpoint`, :class:`CancellationToken`,
+  :class:`MemoryGovernor`.
 
 See ``README.md`` for a tour, ``DESIGN.md`` for the system inventory and
 ``docs/RESILIENCE.md`` for the fault/recovery model.
@@ -26,7 +28,14 @@ from repro.core.multi_query import MultiQueryProgressIndicator
 from repro.core.projection import project
 from repro.core.single_query import SingleQueryProgressIndicator
 from repro.core.standard_case import standard_case
-from repro.engine.database import Database
+from repro.engine import (
+    CancellationToken,
+    Database,
+    ExecutionCheckpoint,
+    MemoryBudgetExceeded,
+    MemoryGovernor,
+    QueryCancelled,
+)
 from repro.faults.injector import FaultInjector
 from repro.faults.plan import (
     Brownout,
@@ -50,12 +59,17 @@ __version__ = "1.0.0"
 __all__ = [
     "AdaptiveForecaster",
     "Brownout",
+    "CancellationToken",
     "Database",
     "EngineJob",
+    "ExecutionCheckpoint",
     "FaultInjector",
     "FaultPlan",
     "LostWorkCase",
+    "MemoryBudgetExceeded",
+    "MemoryGovernor",
     "MultiQueryProgressIndicator",
+    "QueryCancelled",
     "QueryCrash",
     "QuerySnapshot",
     "QueryStall",

@@ -95,6 +95,15 @@ def build_parser() -> argparse.ArgumentParser:
         "--retries", type=int, default=3,
         help="max execution attempts per query (1 disables retries)",
     )
+    faults.add_argument(
+        "--engine", action="store_true",
+        help="work-preserving recovery demo: crash a real SQL execution "
+             "mid-flight and resume it from its last checkpoint",
+    )
+    faults.add_argument(
+        "--checkpoint-interval", type=float, default=25.0,
+        help="checkpoint cadence in work units for the --engine demo",
+    )
 
     shell = sub.add_parser(
         "shell", help="interactive SQL shell over a generated TPC-R database"
@@ -259,14 +268,107 @@ def cmd_experiment(args: argparse.Namespace) -> int:
     return 0
 
 
+def cmd_faults_engine(args: argparse.Namespace) -> int:
+    """Work-preserving recovery demo on a real SQL execution.
+
+    Runs the paper's ``Q_1`` through the engine twice under the same
+    crash-at-50% fault plan: once without checkpoints (the retry starts
+    over) and once with a checkpoint cadence (the retry resumes).  Prints
+    the per-attempt preserved/lost accounting and the headline
+    preserved-work percentage.
+    """
+    import random
+
+    from repro.engine.database import Database
+    from repro.faults.injector import FaultInjector
+    from repro.faults.plan import FaultPlan, QueryCrash
+    from repro.faults.retry import RetryController, RetryPolicy
+    from repro.sim.rdbms import SimulatedRDBMS
+    from repro.workload.queries import engine_job, paper_query
+    from repro.workload.tpcr import TpcrConfig, add_part_table, build_lineitem
+
+    if not args.checkpoint_interval > 0:  # also catches NaN
+        print(
+            f"error: --checkpoint-interval must be > 0, "
+            f"got {args.checkpoint_interval}",
+            file=sys.stderr,
+        )
+        return 1
+    if args.retries < 2:
+        print(
+            "error: the --engine demo needs --retries >= 2 "
+            "(the crashed attempt plus the resumed one)",
+            file=sys.stderr,
+        )
+        return 1
+
+    tpcr = TpcrConfig(scale=1 / 4000, seed=7)
+    rng = random.Random(7)
+    db = Database(page_capacity=tpcr.page_capacity)
+    build_lineitem(db, tpcr, rng)
+    add_part_table(db, 1, 12, tpcr, rng)
+    db.analyze()
+    print(f"query: {paper_query(1)}")
+
+    runs = [
+        ("no checkpoints", None),
+        (f"checkpoint every {args.checkpoint_interval:g} U",
+         args.checkpoint_interval),
+    ]
+    results = []
+    for label, interval in runs:
+        rdbms = SimulatedRDBMS(processing_rate=10.0)
+        RetryController(
+            rdbms, RetryPolicy(max_attempts=args.retries, base_delay=1.0)
+        )
+        FaultInjector(
+            rdbms, FaultPlan.of(QueryCrash("Q1", at_fraction=0.5))
+        ).arm()
+        job = engine_job(db, "Q1", 1, checkpoint_interval=interval)
+        rdbms.submit(job)
+        rdbms.run_to_completion(max_time=1000.0)
+
+        record = rdbms.record("Q1")
+        trace = record.trace
+        preserved = trace.preserved_work
+        lost = trace.wasted_work
+        gross = record.job.completed_work + lost
+        print(f"\n[{label}]")
+        print(f"  status: {record.status} after {record.attempts} attempts; "
+              f"{len(record.job.execution.rows)} result rows")
+        for attempt, (p, l) in enumerate(
+            zip(trace.work_preserved, trace.work_lost), start=1
+        ):
+            print(f"  attempt {attempt} ended: preserved {p:7.1f} U, "
+                  f"lost {l:7.1f} U")
+        print(f"  useful work {record.job.completed_work:.1f} U, "
+              f"wasted {lost:.1f} U, gross {gross:.1f} U")
+        if preserved + lost > 0:
+            pct = 100.0 * preserved / (preserved + lost)
+            print(f"  work preserved across the crash: {pct:.0f}%")
+        results.append((label, record, preserved, lost))
+
+    (_, rec_a, _, lost_a), (_, rec_b, _, lost_b) = results
+    if rec_a.status == rec_b.status == "finished":
+        saved = lost_a - lost_b
+        print(f"\ncheckpointing saved {saved:.1f} U of redone work "
+              f"({100.0 * saved / lost_a if lost_a else 0.0:.0f}% of the "
+              "non-checkpointed waste) for identical results: "
+              f"{'yes' if rec_a.job.execution.rows == rec_b.job.execution.rows else 'NO'}")
+    return 0
+
+
 def cmd_faults(args: argparse.Namespace) -> int:
     """Chaos/recovery demo: scripted (or seeded random) faults vs resilience.
 
     Builds a small workload, arms a fault plan covering all four fault
     shapes, protects the run with a retry controller and the runaway-query
     watchdog, then prints the plan, the merged recovery timeline and the
-    final per-query outcome table.
+    final per-query outcome table.  With ``--engine`` it instead runs the
+    work-preserving recovery demo on a real SQL execution.
     """
+    if args.engine:
+        return cmd_faults_engine(args)
     from repro.faults.injector import FaultInjector
     from repro.faults.plan import (
         Brownout,

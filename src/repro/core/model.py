@@ -52,6 +52,10 @@ class QuerySnapshot:
         Scheduling weight ``w_i`` of the query's priority (Assumption 3).
     priority:
         Raw priority level (informational; the algorithms use ``weight``).
+    memory_pressure:
+        Memory-governance incidents observed so far (0 when the query
+        runs without a memory budget).  Informational: lets observers
+        attribute estimate inflation to degraded operators.
     """
 
     query_id: str
@@ -59,6 +63,7 @@ class QuerySnapshot:
     completed_work: float = 0.0
     weight: float = 1.0
     priority: int = 0
+    memory_pressure: int = 0
 
     def __post_init__(self) -> None:
         if self.remaining_cost < 0:

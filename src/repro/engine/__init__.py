@@ -22,26 +22,36 @@ It is a real (if small) database engine:
 * :mod:`repro.engine.database` -- the user-facing :class:`Database` facade.
 """
 
+from repro.engine.cancel import CancellationToken
 from repro.engine.database import Database
 from repro.engine.errors import (
     CatalogError,
     EngineError,
     ExecutionError,
+    MemoryBudgetExceeded,
     ParseError,
     PlanError,
+    QueryCancelled,
     SqlTypeError,
 )
-from repro.engine.executor import QueryExecution
+from repro.engine.executor import ExecutionCheckpoint, QueryExecution
+from repro.engine.memory import MemoryGovernor, MemoryPressureEvent
 from repro.engine.schema import Column, TableSchema
 
 __all__ = [
+    "CancellationToken",
     "CatalogError",
     "Column",
     "Database",
     "EngineError",
+    "ExecutionCheckpoint",
     "ExecutionError",
+    "MemoryBudgetExceeded",
+    "MemoryGovernor",
+    "MemoryPressureEvent",
     "ParseError",
     "PlanError",
+    "QueryCancelled",
     "QueryExecution",
     "SqlTypeError",
     "TableSchema",

@@ -1,0 +1,55 @@
+"""Cooperative query cancellation.
+
+A :class:`CancellationToken` is shared between whoever wants a query gone
+(the workload manager, a deadline enforcer, an interactive client) and the
+execution that must honour it.  The executor checks the token at every
+``step()`` and -- through :class:`~repro.engine.operators.base.WorkAccount`
+-- every time work is charged, so cancellation lands promptly even inside
+a single long pull (one outer tuple of the paper's query can trigger a
+whole correlated index probe).
+
+Cancellation raises :class:`~repro.engine.errors.QueryCancelled`, a normal
+:class:`~repro.engine.errors.EngineError`: the simulator treats it like any
+other runtime failure, so traces, retry policies and watchdogs compose
+with it unchanged.
+"""
+
+from __future__ import annotations
+
+from repro.engine.errors import QueryCancelled
+
+
+class CancellationToken:
+    """A latch that, once set, aborts the execution holding it.
+
+    Tokens are one-way: once cancelled they stay cancelled.  ``reason``
+    is carried into the :class:`QueryCancelled` error so traces show *why*
+    the query died (deadline, user request, admission control, ...).
+    """
+
+    __slots__ = ("_cancelled", "_reason")
+
+    def __init__(self) -> None:
+        self._cancelled = False
+        self._reason = ""
+
+    @property
+    def cancelled(self) -> bool:
+        """Whether :meth:`cancel` has been called."""
+        return self._cancelled
+
+    @property
+    def reason(self) -> str:
+        """Why the token was cancelled (empty while uncancelled)."""
+        return self._reason
+
+    def cancel(self, reason: str = "cancelled") -> None:
+        """Fire the token.  Idempotent: the first reason wins."""
+        if not self._cancelled:
+            self._cancelled = True
+            self._reason = reason
+
+    def raise_if_cancelled(self) -> None:
+        """Raise :class:`QueryCancelled` if the token has fired."""
+        if self._cancelled:
+            raise QueryCancelled(self._reason or "cancelled")

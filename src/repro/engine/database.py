@@ -18,9 +18,11 @@ from __future__ import annotations
 
 from typing import Any, Optional, Sequence
 
+from repro.engine.cancel import CancellationToken
 from repro.engine.catalog import Catalog, Table
 from repro.engine.errors import PlanError
 from repro.engine.executor import QueryExecution
+from repro.engine.memory import MemoryGovernor
 from repro.engine.expr import Env, bind_expr, BindContext, Layout
 from repro.engine.operators.base import WorkAccount
 from repro.engine.planner import Planner
@@ -88,17 +90,40 @@ class Database:
             raise PlanError("query() requires a SELECT statement")
         return self._run_query(statement, sql)
 
-    def prepare(self, sql: str) -> QueryExecution:
-        """Plan a SELECT (or UNION) and return a steppable execution handle."""
+    def prepare(
+        self,
+        sql: str,
+        checkpoint_interval: Optional[float] = None,
+        cancel_token: Optional["CancellationToken"] = None,
+        memory_budget: Optional[int] = None,
+    ) -> QueryExecution:
+        """Plan a SELECT (or UNION) and return a steppable execution handle.
+
+        Parameters
+        ----------
+        checkpoint_interval:
+            Take a work-preserving checkpoint every so many U's of work.
+        cancel_token:
+            Cancellation token checked on every work charge.
+        memory_budget:
+            Soft per-query buffered-row budget; buffering operators
+            degrade gracefully past it (see :mod:`repro.engine.memory`).
+        """
         statement = parse_statement(sql)
         if not isinstance(statement, (ast.Select, ast.Union)):
             raise PlanError("prepare() requires a SELECT statement")
-        account = WorkAccount()
+        memory = MemoryGovernor(memory_budget) if memory_budget is not None else None
+        account = WorkAccount(cancel_token=cancel_token, memory=memory)
         if isinstance(statement, ast.Union):
             root = self.planner.plan_union(statement, account)
         else:
             root = self.planner.plan_select(statement, account)
-        return QueryExecution(root=root, account=account, sql=sql)
+        return QueryExecution(
+            root=root,
+            account=account,
+            sql=sql,
+            checkpoint_interval=checkpoint_interval,
+        )
 
     def explain(self, sql: str) -> str:
         """The annotated physical plan of a SELECT."""

@@ -7,17 +7,50 @@ its budget -- e.g. one outer tuple of the paper's query triggers a whole
 correlated index probe -- so the execution keeps a *work debt* and repays it
 from subsequent budgets, preserving long-run conservation when a simulator
 timeshares many queries.
+
+Executions can also be made **work-preserving**: with a
+``checkpoint_interval`` the execution snapshots its operator tree every so
+many U's of work (an :class:`ExecutionCheckpoint`), and a fresh execution
+of the same SQL can be :meth:`restored <QueryExecution.restore>` from such
+a snapshot -- it re-emits nothing, re-charges nothing, and its work counter
+is pre-credited with the preserved work.  A
+:class:`~repro.engine.cancel.CancellationToken` threaded through the
+account aborts the pull loop promptly (checked on every charge and on
+every ``step``).
 """
 
 from __future__ import annotations
 
+import math
+from dataclasses import dataclass, field
 from typing import Iterator, Optional
 
 from repro.engine.errors import ExecutionError
-from repro.engine.operators.base import Operator, WorkAccount
+from repro.engine.operators.base import Operator, PlanState, WorkAccount
 from repro.engine.progress import ProgressTracker
 
 _SENTINEL = object()
+
+
+@dataclass(frozen=True)
+class ExecutionCheckpoint:
+    """A detached, resumable snapshot of one query execution.
+
+    Plain data only: it stays valid after the execution (or the whole
+    simulated backend) that produced it is gone.  ``plan_state`` is the
+    operator tree's recursive state as produced by
+    :meth:`~repro.engine.operators.base.Operator.checkpoint`.
+    """
+
+    sql: str
+    work_done: float
+    rows: tuple[tuple, ...]
+    plan_state: PlanState = field(repr=False)
+
+    @property
+    def rows_emitted(self) -> int:
+        """Output rows already produced at checkpoint time."""
+        return len(self.rows)
 
 
 class QueryExecution:
@@ -28,17 +61,32 @@ class QueryExecution:
         root: Operator,
         account: WorkAccount,
         sql: str = "",
+        checkpoint_interval: Optional[float] = None,
     ) -> None:
+        if checkpoint_interval is not None and not (
+            math.isfinite(checkpoint_interval) and checkpoint_interval > 0
+        ):
+            raise ExecutionError("checkpoint_interval must be finite and > 0")
         self.root = root
         self.account = account
         self.sql = sql
+        self.checkpoint_interval = checkpoint_interval
         self.progress = ProgressTracker(
             root, account, optimizer_estimate=root.est_cost
         )
         self.rows: list[tuple] = []
+        #: Most recent checkpoint taken (by cadence or explicitly).
+        self.last_checkpoint: Optional[ExecutionCheckpoint] = None
+        #: The checkpoint this execution was restored from, if any.
+        self.restored_from: Optional[ExecutionCheckpoint] = None
+        #: Number of checkpoints successfully taken.
+        self.checkpoints_taken = 0
         self._iterator: Optional[Iterator[tuple]] = None
         self._finished = False
         self._debt = 0.0
+        self._next_checkpoint_at = (
+            checkpoint_interval if checkpoint_interval is not None else math.inf
+        )
 
     @property
     def finished(self) -> bool:
@@ -51,9 +99,82 @@ class QueryExecution:
         return self.account.total
 
     @property
+    def cancel_token(self):
+        """The cancellation token threaded through the work account."""
+        return self.account.cancel_token
+
+    @property
     def column_names(self) -> tuple[str, ...]:
         """Output column names."""
         return tuple(slot.name for slot in self.root.layout.slots)
+
+    # ------------------------------------------------------------------
+    # Checkpoint/restore
+    # ------------------------------------------------------------------
+
+    def checkpoint(self) -> Optional[ExecutionCheckpoint]:
+        """Snapshot the execution now, or ``None`` if it cannot be.
+
+        ``None`` means the plan has no cheap resumable state at this point
+        (some operator in the hot path is non-checkpointable), or the
+        query already finished.  Safe to call between any two ``step``
+        calls -- the pipeline is suspended at a root-pull boundary.
+        """
+        if self._finished:
+            return None
+        plan_state = self.root.checkpoint()
+        if plan_state is None:
+            return None
+        ckpt = ExecutionCheckpoint(
+            sql=self.sql,
+            work_done=self.account.total,
+            rows=tuple(self.rows),
+            plan_state=plan_state,
+        )
+        self.last_checkpoint = ckpt
+        self.checkpoints_taken += 1
+        return ckpt
+
+    def restore(self, ckpt: ExecutionCheckpoint) -> None:
+        """Resume a *fresh* execution from *ckpt*.
+
+        The execution must not have run yet: restore primes the operator
+        tree, replays the already-produced rows into :attr:`rows`, and
+        credits the account with the preserved work so conservation holds
+        (``work_done`` continues from the checkpoint, not from zero).
+        """
+        if self._iterator is not None or self._finished or self.rows:
+            raise ExecutionError("restore() requires a fresh execution")
+        if ckpt.sql and self.sql and ckpt.sql != self.sql:
+            raise ExecutionError(
+                f"checkpoint is for a different query "
+                f"({ckpt.sql!r} != {self.sql!r})"
+            )
+        self.root.restore(ckpt.plan_state)
+        self.account.credit(ckpt.work_done)
+        self.rows = list(ckpt.rows)
+        self.restored_from = ckpt
+        self.last_checkpoint = ckpt
+        self.progress.note_restore(ckpt.work_done)
+        if self.checkpoint_interval is not None:
+            self._next_checkpoint_at = (
+                self.account.total + self.checkpoint_interval
+            )
+
+    def _maybe_checkpoint(self) -> None:
+        """Take a cadence checkpoint if the work counter crossed the mark."""
+        if self.account.total < self._next_checkpoint_at:
+            return
+        self.checkpoint()
+        # Advance even if the snapshot failed (non-checkpointable plan):
+        # retrying every row would only add overhead, not a checkpoint.
+        self._next_checkpoint_at = (
+            self.account.total + (self.checkpoint_interval or math.inf)
+        )
+
+    # ------------------------------------------------------------------
+    # Stepping
+    # ------------------------------------------------------------------
 
     def step(self, budget: float) -> float:
         """Run until roughly *budget* more U's are consumed.
@@ -66,11 +187,16 @@ class QueryExecution:
         ------
         ExecutionError
             If called with a negative budget.
+        QueryCancelled
+            If the execution's cancellation token has fired.
         """
         if budget < 0:
             raise ExecutionError("budget must be >= 0")
         if self._finished:
             return 0.0
+        if self.account.cancel_token is not None:
+            # Charges also check the token; this catches zero-work pulls.
+            self.account.cancel_token.raise_if_cancelled()
         if self._iterator is None:
             self._iterator = self.root.rows(None)
 
@@ -90,6 +216,7 @@ class QueryExecution:
                 consumed_at_finish = self.account.total - start
                 break
             self.rows.append(row)
+            self._maybe_checkpoint()
 
         actual = self.account.total - start
         if self._finished:

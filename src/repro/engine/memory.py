@@ -1,0 +1,130 @@
+"""Per-query memory governance for buffering operators.
+
+The engine models memory the way it models I/O: in abstract units, here
+*buffered rows*.  A :class:`MemoryGovernor` is attached to a query's
+:class:`~repro.engine.operators.base.WorkAccount` and charged by every
+operator that holds rows (sort buffers, hash-join build tables, aggregate
+groups, materializations).  Exceeding the soft budget does not kill the
+query -- operators degrade gracefully first:
+
+* ``Sort`` falls back to bounded external-merge behaviour (budget-sized
+  sorted runs merged at emit time),
+* ``HashJoin`` falls back to a modeled block-partitioned join (extra
+  partition passes charged as work),
+* ``HashAggregate`` spills group partials (extra re-aggregation passes
+  charged as work).
+
+Only the hard limit (``budget * hard_limit_factor``) aborts the query,
+with :class:`~repro.engine.errors.MemoryBudgetExceeded` -- the end of the
+degradation ladder, reached by operators that cannot shed state (e.g. a
+materialized inner that simply will not fit).
+
+Every budget crossing is recorded as a :class:`MemoryPressureEvent`, and
+the progress layer surfaces the count so estimators can see *why* a query
+slowed down (degraded operators charge extra work, which inflates the
+refined cost estimate exactly like a real spill inflates runtime).
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+
+
+@dataclass(frozen=True)
+class MemoryPressureEvent:
+    """One memory-governance incident during an execution.
+
+    ``kind`` is machine-readable: ``"degrade"`` (an operator switched to
+    its bounded fallback), ``"spill"`` (a degraded operator shed a run or
+    partition), or ``"hard-limit"`` (the query was aborted).
+    """
+
+    operator: str
+    kind: str
+    used_rows: int
+    budget_rows: int
+    detail: str = ""
+
+
+class MemoryGovernor:
+    """Tracks buffered-row usage for one query against a budget.
+
+    Parameters
+    ----------
+    budget_rows:
+        Soft budget: the number of rows a query may buffer before its
+        operators must degrade.
+    hard_limit_factor:
+        Hard limit multiplier: usage above ``budget_rows * factor`` raises
+        :class:`~repro.engine.errors.MemoryBudgetExceeded`.
+    """
+
+    def __init__(self, budget_rows: int, hard_limit_factor: float = 8.0) -> None:
+        if budget_rows < 1:
+            raise ValueError(f"budget_rows must be >= 1, got {budget_rows}")
+        if not math.isfinite(hard_limit_factor) or hard_limit_factor < 1.0:
+            raise ValueError(
+                f"hard_limit_factor must be finite and >= 1, got {hard_limit_factor}"
+            )
+        self.budget_rows = int(budget_rows)
+        self.hard_limit_rows = int(math.ceil(budget_rows * hard_limit_factor))
+        self.used_rows = 0
+        self.peak_rows = 0
+        #: Chronological log of budget crossings.
+        self.events: list[MemoryPressureEvent] = []
+
+    @property
+    def over_budget(self) -> bool:
+        """Whether current usage exceeds the soft budget."""
+        return self.used_rows > self.budget_rows
+
+    @property
+    def pressure_events(self) -> int:
+        """Number of pressure incidents recorded so far."""
+        return len(self.events)
+
+    def record(self, operator: str, kind: str, detail: str = "") -> None:
+        """Append one :class:`MemoryPressureEvent` to the log."""
+        self.events.append(
+            MemoryPressureEvent(
+                operator=operator,
+                kind=kind,
+                used_rows=self.used_rows,
+                budget_rows=self.budget_rows,
+                detail=detail,
+            )
+        )
+
+    def reserve(self, operator: str, rows: int = 1) -> bool:
+        """Charge *rows* buffered rows; return True while within budget.
+
+        A ``False`` return tells the operator to degrade (and typically
+        :meth:`release` what it sheds).  Usage beyond the hard limit
+        raises :class:`MemoryBudgetExceeded` instead -- record a
+        ``"hard-limit"`` event and abort the query.
+        """
+        if rows < 0:
+            raise ValueError("cannot reserve negative rows")
+        self.used_rows += rows
+        if self.used_rows > self.peak_rows:
+            self.peak_rows = self.used_rows
+        if self.used_rows > self.hard_limit_rows:
+            from repro.engine.errors import MemoryBudgetExceeded
+
+            self.record(
+                operator, "hard-limit",
+                f"{self.used_rows} rows > hard limit {self.hard_limit_rows}",
+            )
+            raise MemoryBudgetExceeded(
+                f"{operator}: {self.used_rows} buffered rows exceed the hard "
+                f"memory limit of {self.hard_limit_rows} "
+                f"(budget {self.budget_rows})"
+            )
+        return self.used_rows <= self.budget_rows
+
+    def release(self, rows: int) -> None:
+        """Return *rows* previously reserved rows (a spill or teardown)."""
+        if rows < 0:
+            raise ValueError("cannot release negative rows")
+        self.used_rows = max(self.used_rows - rows, 0)

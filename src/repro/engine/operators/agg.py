@@ -7,6 +7,7 @@ empty input (``COUNT`` = 0, other aggregates = NULL), matching SQL.
 
 from __future__ import annotations
 
+import math
 from dataclasses import dataclass
 from typing import Any, Iterator, Optional, Sequence
 
@@ -74,12 +75,28 @@ class _AggState:
             return None if self.count == 0 else self.total / self.count
         return self.extreme
 
+    def copy(self) -> "_AggState":
+        """Detached copy for checkpoints (shares the immutable spec)."""
+        dup = _AggState.__new__(_AggState)
+        dup.spec = self.spec
+        dup.count = self.count
+        dup.total = self.total
+        dup.extreme = self.extreme
+        dup.seen = set(self.seen) if self.seen is not None else None
+        return dup
+
 
 class HashAggregate(Operator):
     """Group rows by key expressions and fold aggregates per group.
 
     Output rows are ``group values + aggregate values`` in declaration
     order; *layout* must match.
+
+    Group partials live on the instance, which makes the aggregate
+    checkpointable: mid-build the partial states plus the child's position
+    form the snapshot, mid-emit the computed result rows and the emit
+    cursor do.  Under memory pressure the partials are treated as spilled
+    and the extra re-aggregation passes are charged as work at build end.
     """
 
     def __init__(
@@ -88,6 +105,7 @@ class HashAggregate(Operator):
         group_exprs: Sequence[BoundExpr],
         aggregates: Sequence[AggSpec],
         layout: Layout,
+        rows_per_page: int = 50,
     ) -> None:
         if len(layout) != len(group_exprs) + len(aggregates):
             raise ValueError("aggregate layout arity mismatch")
@@ -95,32 +113,145 @@ class HashAggregate(Operator):
         self.child = child
         self.group_exprs = list(group_exprs)
         self.aggregates = list(aggregates)
+        self.rows_per_page = rows_per_page
+        #: ``"idle"`` / ``"build"`` / ``"emit"`` -- the current phase.
+        self._phase = "idle"
+        self._groups: dict[tuple, list[_AggState]] = {}
+        self._order: list[tuple] = []
+        self._pending: list[tuple] = []
+        self._emitted = 0
+        self._reserved = 0
+        self._degraded = False
+        self._resume: dict | None = None
 
     def children(self) -> tuple[Operator, ...]:
         return (self.child,)
 
+    # ------------------------------------------------------------------
+    # Checkpoint/restore
+    # ------------------------------------------------------------------
+
+    def _groups_copy(self) -> dict[tuple, list[_AggState]]:
+        return {k: [s.copy() for s in v] for k, v in self._groups.items()}
+
+    def checkpoint(self) -> dict | None:
+        if self._phase == "emit":
+            # Child fully consumed: the result rows and cursor suffice.
+            return {
+                "phase": "emit",
+                "pending": list(self._pending),
+                "emitted": self._emitted,
+            }
+        child_state = self.child.checkpoint()
+        if child_state is None:
+            return None
+        if self._phase == "idle":
+            return {"phase": "idle", "child": child_state}
+        return {
+            "phase": "build",
+            "groups": self._groups_copy(),
+            "order": list(self._order),
+            "degraded": self._degraded,
+            "child": child_state,
+        }
+
+    def restore(self, state: dict) -> None:
+        self._resume = state
+        if state["phase"] in ("idle", "build"):
+            self.child.restore(state["child"])
+
+    # ------------------------------------------------------------------
+    # Execution
+    # ------------------------------------------------------------------
+
     def rows(self, outer_env: Optional[Env] = None) -> Iterator[tuple]:
-        groups: dict[tuple, list[_AggState]] = {}
-        order: list[tuple] = []
+        resume = self._resume
+        self._resume = None
+        gov = self.account.memory
+
+        if resume is not None and resume["phase"] == "emit":
+            self._phase = "emit"
+            self._pending = list(resume["pending"])
+            self._emitted = resume["emitted"]
+            for row in self._pending[self._emitted:]:
+                self._emitted += 1
+                yield row
+            return
+
+        self._phase = "build"
+        if resume is not None and resume["phase"] == "build":
+            # Copy so restoring the same checkpoint twice stays safe.
+            self._groups = {
+                k: [s.copy() for s in v] for k, v in resume["groups"].items()
+            }
+            self._order = list(resume["order"])
+            self._degraded = resume["degraded"]
+        else:
+            self._groups = {}
+            self._order = []
+            self._degraded = False
+        self._reserved = 0
+
         for row in self.child.rows(outer_env):
             env = Env(row, outer_env)
             key = tuple(g(env) for g in self.group_exprs)
-            states = groups.get(key)
+            states = self._groups.get(key)
             if states is None:
                 states = [_AggState(spec) for spec in self.aggregates]
-                groups[key] = states
-                order.append(key)
+                self._groups[key] = states
+                self._order.append(key)
+                if gov is not None and not self._degraded:
+                    self._reserved += 1
+                    if not gov.reserve("HashAggregate"):
+                        # Degrade: treat the partials as spilled from here
+                        # on; the re-aggregation passes are charged at
+                        # build end.
+                        self._degraded = True
+                        gov.release(self._reserved)
+                        self._reserved = 0
+                        gov.record(
+                            "HashAggregate", "degrade",
+                            "group partials over budget: spill fallback",
+                        )
             for state in states:
                 value = state.spec.arg(env) if state.spec.arg is not None else 1
                 state.update(value)
 
-        if not groups and not self.group_exprs:
+        if self._degraded and gov is not None:
+            group_count = len(self._order)
+            passes = math.ceil(group_count / gov.budget_rows)
+            extra = (passes - 1) * 2.0 * math.ceil(
+                group_count / self.rows_per_page
+            )
+            if extra > 0:
+                self.account.charge(extra)
+                gov.record(
+                    "HashAggregate", "spill",
+                    f"{passes} re-aggregation passes over {group_count} "
+                    f"groups (+{extra:g} U)",
+                )
+
+        if not self._groups and not self.group_exprs:
             # Global aggregate over empty input: one row of identities.
-            yield tuple(_AggState(spec).result() for spec in self.aggregates)
-            return
-        for key in order:
-            yield key + tuple(state.result() for state in groups[key])
+            self._pending = [
+                tuple(_AggState(spec).result() for spec in self.aggregates)
+            ]
+        else:
+            self._pending = [
+                key + tuple(state.result() for state in self._groups[key])
+                for key in self._order
+            ]
+        if gov is not None and self._reserved:
+            gov.release(self._reserved)
+            self._reserved = 0
+
+        self._phase = "emit"
+        self._emitted = 0
+        for row in self._pending:
+            self._emitted += 1
+            yield row
 
     def describe(self) -> str:
         aggs = ", ".join(s.func for s in self.aggregates)
-        return f"HashAggregate groups={len(self.group_exprs)} aggs=[{aggs}]"
+        suffix = " (spilled partials)" if self._degraded else ""
+        return f"HashAggregate groups={len(self.group_exprs)} aggs=[{aggs}]{suffix}"

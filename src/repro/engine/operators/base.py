@@ -8,28 +8,72 @@ in work units and gives progress indicators their counters.
 ``rows(outer_env)`` takes the evaluation environment of the *enclosing*
 query (or ``None`` at the top level) so the same operator tree can serve as
 a correlated subplan, re-executed per outer row.
+
+The account is also the rendezvous point for two cross-cutting concerns:
+
+* **Cancellation** -- an optional
+  :class:`~repro.engine.cancel.CancellationToken` is checked on every
+  charge, so a cancel lands promptly even inside one long pull.
+* **Memory governance** -- an optional
+  :class:`~repro.engine.memory.MemoryGovernor` that buffering operators
+  (sort, hash join, aggregate, materialize) reserve rows against.
+
+Operators may additionally support **work-preserving checkpoints**:
+:meth:`Operator.checkpoint` captures a detached, resumable snapshot of the
+subtree's consumption state, and :meth:`Operator.restore` primes a *fresh*
+plan (same SQL, same data) so iteration continues where the snapshot left
+off without redoing the work.  Operators without cheap state return
+``None`` -- their whole subtree restarts, which is always correct, just not
+work-preserving.
 """
 
 from __future__ import annotations
 
 import abc
-from typing import Iterator, Optional
+from typing import Any, Iterator, Optional, TYPE_CHECKING
 
 from repro.engine.expr import Env, Layout
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.engine.cancel import CancellationToken
+    from repro.engine.memory import MemoryGovernor
+
+#: A detached operator checkpoint: plain containers only, safe to hold
+#: across the death of the execution that produced it.
+PlanState = dict
 
 
 class WorkAccount:
     """Accumulates work (in U's) charged by operators during execution."""
 
-    __slots__ = ("total",)
+    __slots__ = ("total", "cancel_token", "memory")
 
-    def __init__(self) -> None:
+    def __init__(
+        self,
+        cancel_token: Optional["CancellationToken"] = None,
+        memory: Optional["MemoryGovernor"] = None,
+    ) -> None:
         self.total = 0.0
+        self.cancel_token = cancel_token
+        self.memory = memory
 
     def charge(self, units: float) -> None:
-        """Add *units* U's of work."""
+        """Add *units* U's of work (honouring the cancellation token)."""
+        if self.cancel_token is not None:
+            self.cancel_token.raise_if_cancelled()
         if units < 0:
             raise ValueError("cannot charge negative work")
+        self.total += units
+
+    def credit(self, units: float) -> None:
+        """Credit *units* U's of already-performed (checkpointed) work.
+
+        Used when restoring an execution from a checkpoint: the preserved
+        work re-enters the counter without a cancellation check, because
+        it is bookkeeping, not new execution.
+        """
+        if units < 0:
+            raise ValueError("cannot credit negative work")
         self.total += units
 
 
@@ -51,6 +95,34 @@ class Operator(abc.ABC):
         """Child operators (for plan inspection and explain output)."""
         return ()
 
+    # ------------------------------------------------------------------
+    # Work-preserving checkpoints
+    # ------------------------------------------------------------------
+
+    def checkpoint(self) -> Optional[PlanState]:
+        """A detached, resumable snapshot of this subtree, or ``None``.
+
+        Called only while the pipeline is suspended between root pulls, so
+        instance counters are consistent.  ``None`` means the subtree has
+        no cheap resumable state *right now* (the default); a non-``None``
+        state must be complete -- restoring it into a fresh plan and
+        iterating must yield exactly the rows not yet emitted, charging
+        only the work not yet done.  Implementations must copy any mutable
+        containers they capture.
+        """
+        return None
+
+    def restore(self, state: PlanState) -> None:
+        """Prime a fresh operator with *state* before its first ``rows()``.
+
+        Only meaningful on operators whose :meth:`checkpoint` can return a
+        state; the base implementation rejects the call to fail loudly on
+        plan-shape mismatches.
+        """
+        raise ValueError(
+            f"{type(self).__name__} cannot restore checkpoint state"
+        )
+
     def explain(self, indent: int = 0) -> str:
         """A human-readable plan tree with cost annotations."""
         pad = "  " * indent
@@ -65,3 +137,11 @@ class Operator(abc.ABC):
     def describe(self) -> str:
         """One-line operator description (overridden by subclasses)."""
         return type(self).__name__
+
+
+def checkpoint_child(child: Operator) -> Optional[dict[str, Any]]:
+    """Helper: a child's checkpoint wrapped for embedding, or ``None``."""
+    state = child.checkpoint()
+    if state is None:
+        return None
+    return {"child": state}

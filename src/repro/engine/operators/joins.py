@@ -73,6 +73,16 @@ class HashJoin(Operator):
     costs, mirroring a grace hash join that writes and rereads build
     partitions.  Residual (non-equi) predicates can be attached by wrapping
     the join in a Filter.
+
+    Run-time state (the build table, the in-flight probe row) lives on the
+    instance, which makes the join checkpointable in both phases: mid-build
+    the partial table plus the build child's position is the snapshot;
+    mid-probe the finished table, the probe child's position and the
+    current probe row (with how many of its matches were already emitted)
+    are.  Under memory pressure the join degrades to a modeled
+    block-partitioned join: the build table is treated as spilled (its rows
+    stop counting against the budget) and the extra partition passes are
+    charged as work at build end.
     """
 
     def __init__(
@@ -95,41 +105,191 @@ class HashJoin(Operator):
         self.label = label
         self.left_outer = left_outer
         self.residual = residual
+        #: ``"idle"`` / ``"build"`` / ``"probe"`` -- the current phase.
+        self._phase = "idle"
+        self._table: dict = {}
+        self._build_count = 0
+        self._reserved = 0
+        self._degraded = False
+        self._current: tuple | None = None
+        self._current_emitted = 0
+        self._current_matched = False
+        self._current_padded = False
+        self._resume: dict | None = None
 
     def children(self) -> tuple[Operator, ...]:
         return (self.probe_side, self.build_side)
 
+    # ------------------------------------------------------------------
+    # Checkpoint/restore
+    # ------------------------------------------------------------------
+
+    def _table_copy(self) -> dict:
+        return {k: list(v) for k, v in self._table.items()}
+
+    def checkpoint(self) -> dict | None:
+        if self._phase == "probe":
+            probe_state = self.probe_side.checkpoint()
+            if probe_state is None:
+                return None
+            return {
+                "phase": "probe",
+                "table": self._table_copy(),
+                "count": self._build_count,
+                "degraded": self._degraded,
+                "probe": probe_state,
+                "current": self._current,
+                "current_emitted": self._current_emitted,
+                "current_matched": self._current_matched,
+                "current_padded": self._current_padded,
+            }
+        build_state = self.build_side.checkpoint()
+        if build_state is None:
+            return None
+        if self._phase == "idle":
+            return {"phase": "idle", "build": build_state}
+        return {
+            "phase": "build",
+            "table": self._table_copy(),
+            "count": self._build_count,
+            "degraded": self._degraded,
+            "build": build_state,
+        }
+
+    def restore(self, state: dict) -> None:
+        self._resume = state
+        if state["phase"] == "probe":
+            self.probe_side.restore(state["probe"])
+        else:
+            self.build_side.restore(state["build"])
+
+    # ------------------------------------------------------------------
+    # Execution
+    # ------------------------------------------------------------------
+
+    def _matches(self, left: tuple, outer_env, skip: int = 0) -> Iterator[tuple]:
+        """Matches of probe row *left*, skipping the first *skip* emits."""
+        key = self.probe_key(Env(left, outer_env))
+        if key is None:
+            return
+        for right in self._table.get(key, ()):
+            combined = left + right
+            if self.residual is not None:
+                verdict = self.residual(Env(combined, outer_env))
+                if verdict is not True:
+                    if verdict not in (False, None):
+                        raise SqlTypeError("join condition must be boolean")
+                    continue
+            self._current_matched = True
+            if skip > 0:
+                skip -= 1
+                continue
+            self._current_emitted += 1
+            yield combined
+
+    def _probe_one(
+        self, left: tuple, outer_env, skip: int = 0, resuming: bool = False
+    ) -> Iterator[tuple]:
+        """Process one probe row: its matches, then the outer pad if due.
+
+        State flags are flipped *before* the corresponding yield: a
+        checkpoint is only ever taken after a yielded row was delivered,
+        so flipped-flag state always means "this row reached the output".
+        """
+        self._current = left
+        if not resuming:
+            self._current_emitted = 0
+            self._current_matched = False
+            self._current_padded = False
+        yield from self._matches(left, outer_env, skip)
+        if self.left_outer and not self._current_matched and not self._current_padded:
+            self._current_padded = True
+            yield left + (None,) * len(self.build_side.layout)
+
     def rows(self, outer_env: Optional[Env] = None) -> Iterator[tuple]:
-        table: dict = {}
-        count = 0
+        resume = self._resume
+        self._resume = None
+        gov = self.account.memory
+
+        if resume is not None and resume["phase"] == "probe":
+            self._phase = "probe"
+            self._table = resume["table"]
+            self._build_count = resume["count"]
+            self._degraded = resume["degraded"]
+            self._reserved = 0
+            if resume["current"] is not None:
+                # Finish the in-flight probe row: its child-side position is
+                # already past it, so replay from the stored row, skipping
+                # the matches the crashed attempt had emitted.
+                self._current_emitted = resume["current_emitted"]
+                self._current_matched = resume["current_matched"]
+                self._current_padded = resume["current_padded"]
+                yield from self._probe_one(
+                    resume["current"], outer_env,
+                    skip=resume["current_emitted"], resuming=True,
+                )
+            for left in self.probe_side.rows(outer_env):
+                yield from self._probe_one(left, outer_env)
+            return
+
+        self._phase = "build"
+        if resume is not None and resume["phase"] == "build":
+            # Copy so restoring the same checkpoint twice stays safe.
+            self._table = {k: list(v) for k, v in resume["table"].items()}
+            self._build_count = resume["count"]
+            self._degraded = resume["degraded"]
+            self._reserved = 0
+        else:
+            self._table = {}
+            self._build_count = 0
+            self._degraded = False
+            self._reserved = 0
+
         for row in self.build_side.rows(outer_env):
             key = self.build_key(Env(row, outer_env))
             if key is None:
                 continue  # NULL never joins
-            table.setdefault(key, []).append(row)
-            count += 1
-        self.account.charge(2.0 * math.ceil(count / self.rows_per_page))
+            self._table.setdefault(key, []).append(row)
+            self._build_count += 1
+            if gov is not None and not self._degraded:
+                self._reserved += 1
+                if not gov.reserve("HashJoin"):
+                    # Degrade to a block-partitioned join: the build side is
+                    # treated as spilled from here on -- its rows stop
+                    # counting against the budget and the extra partition
+                    # passes are charged at build end.
+                    self._degraded = True
+                    gov.release(self._reserved)
+                    self._reserved = 0
+                    gov.record(
+                        "HashJoin", "degrade",
+                        "build side over budget: block-partitioned fallback",
+                    )
 
-        pad = (None,) * len(self.build_side.layout)
+        self.account.charge(2.0 * math.ceil(self._build_count / self.rows_per_page))
+        if self._degraded and gov is not None:
+            # (passes - 1) extra write+read sweeps over the spilled build
+            # partitions, the block-nested-loop cost of not fitting.
+            passes = math.ceil(self._build_count / gov.budget_rows)
+            extra = (passes - 1) * 2.0 * math.ceil(
+                self._build_count / self.rows_per_page
+            )
+            if extra > 0:
+                self.account.charge(extra)
+                gov.record(
+                    "HashJoin", "spill",
+                    f"{passes} partition passes over {self._build_count} "
+                    f"build rows (+{extra:g} U)",
+                )
+
+        self._phase = "probe"
         for left in self.probe_side.rows(outer_env):
-            key = self.probe_key(Env(left, outer_env))
-            matched = False
-            if key is not None:
-                for right in table.get(key, ()):
-                    combined = left + right
-                    if self.residual is not None:
-                        verdict = self.residual(Env(combined, outer_env))
-                        if verdict is not True:
-                            if verdict not in (False, None):
-                                raise SqlTypeError(
-                                    "join condition must be boolean"
-                                )
-                            continue
-                    matched = True
-                    yield combined
-            if self.left_outer and not matched:
-                yield left + pad
+            yield from self._probe_one(left, outer_env)
+        if gov is not None and self._reserved:
+            gov.release(self._reserved)
+            self._reserved = 0
 
     def describe(self) -> str:
         kind = "HashLeftJoin" if self.left_outer else "HashJoin"
-        return f"{kind} {self.label}".rstrip()
+        suffix = " (block partitioned)" if self._degraded else ""
+        return f"{kind} {self.label}{suffix}".rstrip()

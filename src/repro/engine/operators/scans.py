@@ -16,7 +16,13 @@ from repro.engine.operators.base import Operator, WorkAccount
 
 
 class SeqScan(Operator):
-    """Full-table scan: charges one U per heap page."""
+    """Full-table scan: charges one U per heap page.
+
+    The scan is the engine's checkpoint anchor: its consumption state is
+    two integers (rows handed out, pages already paid for), so a restored
+    scan can skip straight back to where a crashed attempt stopped without
+    re-reading -- or re-charging -- the pages it already consumed.
+    """
 
     def __init__(
         self,
@@ -33,6 +39,10 @@ class SeqScan(Operator):
         #: Rows yielded from the page currently being consumed.
         self._rows_in_page = 0
         self._page_size = 0
+        #: Rows handed out during the current iteration.
+        self._rows_out = 0
+        #: Restore state, consumed by the first ``rows()`` call after it.
+        self._resume: dict | None = None
 
     @property
     def total_pages(self) -> int:
@@ -55,10 +65,28 @@ class SeqScan(Operator):
             done += self._rows_in_page / self._page_size
         return min(done / total, 1.0)
 
+    def checkpoint(self) -> dict | None:
+        return {"rows_out": self._rows_out, "pages_paid": self.pages_read}
+
+    def restore(self, state: dict) -> None:
+        self._resume = {
+            "rows_out": int(state["rows_out"]),
+            "pages_paid": int(state["pages_paid"]),
+        }
+
     def rows(self, outer_env: Optional[Env] = None) -> Iterator[tuple]:
+        resume = self._resume
+        self._resume = None
+        skip = resume["rows_out"] if resume else 0
+        paid = resume["pages_paid"] if resume else 0
         self.pages_read = 0
+        self._rows_out = skip
         for _, page in self.table.heap.scan_pages():
-            self.account.charge(1.0)
+            if paid > 0:
+                # A page the checkpointed attempt already paid for.
+                paid -= 1
+            else:
+                self.account.charge(1.0)
             self.pages_read += 1
             self._rows_in_page = 0
             self._page_size = max(len(page.rows), 1)
@@ -68,6 +96,10 @@ class SeqScan(Operator):
                 # "current", so attributing it to this row keeps the driver
                 # fraction aligned with the work counter.
                 self._rows_in_page += 1
+                if skip > 0:
+                    skip -= 1
+                    continue
+                self._rows_out += 1
                 yield row
 
     def describe(self) -> str:

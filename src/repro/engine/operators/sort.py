@@ -1,20 +1,59 @@
-"""Sort operator (blocking, with modeled external-sort cost)."""
+"""Sort operator (blocking, with modeled external-sort cost).
+
+The sort keeps its run-time state (input buffer, spilled runs, sorted
+output, emit position) on the instance rather than in generator locals,
+which buys two capabilities:
+
+* **Checkpoint/resume** -- mid-build the buffered rows plus the child's
+  position form a consistent snapshot; mid-emit the sorted output and the
+  emit cursor do.  A restored sort re-emits exactly the rows a crashed
+  attempt had not produced yet, without re-sorting.
+* **Memory governance** -- when a :class:`~repro.engine.memory.MemoryGovernor`
+  is attached and the buffer crosses the budget, the sort degrades to
+  bounded external-merge behaviour: budget-sized sorted runs are spilled
+  (releasing their memory, charging the extra write+read pass) and merged
+  at emit time.  Output order is identical to the in-memory path because
+  every entry is decorated with a total-order key that ends in the input
+  sequence number -- exactly the stable multi-key semantics of repeated
+  stable sorts.
+"""
 
 from __future__ import annotations
 
+import heapq
 import math
-from typing import Iterator, Optional, Sequence
+from typing import Any, Iterator, Optional, Sequence
 
 from repro.engine.expr import BoundExpr, Env
 from repro.engine.operators.base import Operator
 from repro.engine.types import sort_key
 
 
+class _Desc:
+    """Order-inverting wrapper so DESC keys compose inside one tuple key."""
+
+    __slots__ = ("value",)
+
+    def __init__(self, value: Any) -> None:
+        self.value = value
+
+    def __lt__(self, other: "_Desc") -> bool:
+        return other.value < self.value
+
+    def __eq__(self, other: object) -> bool:
+        return isinstance(other, _Desc) and self.value == other.value
+
+
+#: A decorated sort entry: (composite key ending in seq, row).
+_Entry = tuple[tuple, tuple]
+
+
 class Sort(Operator):
     """ORDER BY: materialize, sort, emit.
 
     Charges ``2 * ceil(rows / rows_per_page)`` U, modeling one write and one
-    read pass of an external sort.  NULLs sort first (ascending).
+    read pass of an external sort.  NULLs sort first (ascending).  Under
+    memory pressure, extra spill passes are charged per run.
     """
 
     def __init__(
@@ -31,22 +70,139 @@ class Sort(Operator):
         self.child = child
         self.keys = list(keys)
         self.rows_per_page = rows_per_page
+        #: ``"idle"`` / ``"build"`` / ``"emit"`` -- the current phase.
+        self._phase = "idle"
+        self._buffer: list[_Entry] = []
+        self._runs: list[list[_Entry]] = []
+        self._seq = 0
+        self._sorted: list[tuple] = []
+        self._emitted = 0
+        self._degraded = False
+        self._resume: dict | None = None
 
     def children(self) -> tuple[Operator, ...]:
         return (self.child,)
 
-    def rows(self, outer_env: Optional[Env] = None) -> Iterator[tuple]:
-        data = list(self.child.rows(outer_env))
-        self.account.charge(2.0 * math.ceil(len(data) / self.rows_per_page))
+    def _entry(self, row: tuple, outer_env) -> _Entry:
+        """Decorate *row* with its composite, stable, total-order key."""
+        env = Env(row, outer_env)
+        key = tuple(
+            _Desc(sort_key(expr(env))) if descending else sort_key(expr(env))
+            for expr, descending in self.keys
+        ) + (self._seq,)
+        self._seq += 1
+        return (key, row)
 
-        # Stable multi-key sort: apply keys right-to-left.
-        for expr, descending in reversed(self.keys):
-            data.sort(
-                key=lambda row, e=expr: sort_key(e(Env(row, outer_env))),
-                reverse=descending,
+    # ------------------------------------------------------------------
+    # Checkpoint/restore
+    # ------------------------------------------------------------------
+
+    def checkpoint(self) -> dict | None:
+        if self._phase == "emit":
+            # Child fully consumed: the sorted output and cursor suffice.
+            return {
+                "phase": "emit",
+                "sorted": list(self._sorted),
+                "emitted": self._emitted,
+            }
+        child_state = self.child.checkpoint()
+        if child_state is None:
+            return None
+        if self._phase == "idle":
+            return {"phase": "idle", "child": child_state}
+        return {
+            "phase": "build",
+            "buffer": list(self._buffer),
+            "runs": [list(r) for r in self._runs],
+            "seq": self._seq,
+            "degraded": self._degraded,
+            "child": child_state,
+        }
+
+    def restore(self, state: dict) -> None:
+        self._resume = state
+        if state["phase"] in ("idle", "build"):
+            self.child.restore(state["child"])
+
+    # ------------------------------------------------------------------
+    # Execution
+    # ------------------------------------------------------------------
+
+    def _spill_current_buffer(self) -> None:
+        """Degrade: sort the buffer into a run and shed its memory."""
+        gov = self.account.memory
+        run = sorted(self._buffer)
+        self._runs.append(run)
+        # One extra write+read pass for the spilled run.
+        self.account.charge(2.0 * math.ceil(len(run) / self.rows_per_page))
+        if gov is not None:
+            gov.release(len(run))
+            gov.record(
+                "Sort", "spill",
+                f"spilled run of {len(run)} rows ({len(self._runs)} runs)",
             )
-        yield from data
+        self._buffer = []
+
+    def rows(self, outer_env: Optional[Env] = None) -> Iterator[tuple]:
+        resume = self._resume
+        self._resume = None
+        gov = self.account.memory
+
+        if resume is not None and resume["phase"] == "emit":
+            self._phase = "emit"
+            self._sorted = list(resume["sorted"])
+            self._emitted = resume["emitted"]
+            for row in self._sorted[self._emitted:]:
+                self._emitted += 1
+                yield row
+            return
+
+        # Build phase (possibly resumed mid-build).
+        self._phase = "build"
+        if resume is not None and resume["phase"] == "build":
+            self._buffer = list(resume["buffer"])
+            self._runs = [list(r) for r in resume["runs"]]
+            self._seq = resume["seq"]
+            self._degraded = resume["degraded"]
+        else:
+            self._buffer = []
+            self._runs = []
+            self._seq = 0
+            self._degraded = False
+        self._sorted = []
+        self._emitted = 0
+
+        for row in self.child.rows(outer_env):
+            self._buffer.append(self._entry(row, outer_env))
+            if gov is not None and not gov.reserve("Sort"):
+                if not self._degraded:
+                    self._degraded = True
+                    gov.record(
+                        "Sort", "degrade",
+                        "buffer over budget: external-merge fallback",
+                    )
+                self._spill_current_buffer()
+
+        total_rows = self._seq
+        self.account.charge(2.0 * math.ceil(total_rows / self.rows_per_page))
+
+        if self._runs:
+            if self._buffer:
+                self._spill_current_buffer()
+            self._sorted = [row for _, row in heapq.merge(*self._runs)]
+            self._runs = []
+        else:
+            self._sorted = [row for _, row in sorted(self._buffer)]
+            if gov is not None:
+                gov.release(len(self._buffer))
+            self._buffer = []
+
+        self._phase = "emit"
+        for row in self._sorted:
+            self._emitted += 1
+            yield row
 
     def describe(self) -> str:
         directions = ", ".join("DESC" if d else "ASC" for _, d in self.keys)
-        return f"Sort [{directions}]"
+        suffix = " (external merge)" if self._degraded else ""
+        return f"Sort [{directions}]{suffix}"

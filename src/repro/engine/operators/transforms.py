@@ -1,4 +1,12 @@
-"""Row-transforming operators: filter, project, limit, distinct, materialize."""
+"""Row-transforming operators: filter, project, limit, distinct, materialize.
+
+All of these are checkpointable.  Streaming transforms (filter, project)
+delegate entirely to the child; counting transforms (limit, concat) add
+their cursors; buffering transforms (distinct, materialize) snapshot their
+buffers.  Distinct and Materialize also reserve their buffered rows against
+the memory governor -- they have no graceful fallback, so they are the
+operators that can walk a query up to the hard memory limit.
+"""
 
 from __future__ import annotations
 
@@ -7,7 +15,7 @@ from typing import Iterator, Optional, Sequence
 
 from repro.engine.errors import SqlTypeError
 from repro.engine.expr import BoundExpr, Env, Layout
-from repro.engine.operators.base import Operator, WorkAccount
+from repro.engine.operators.base import Operator, WorkAccount, checkpoint_child
 
 __all__ = [
     "Concat",
@@ -25,8 +33,21 @@ class SingleRow(Operator):
 
     def __init__(self, account: WorkAccount) -> None:
         super().__init__(Layout([]), account)
+        self._done = False
+        self._resume: dict | None = None
+
+    def checkpoint(self) -> dict | None:
+        return {"done": self._done}
+
+    def restore(self, state: dict) -> None:
+        self._resume = dict(state)
 
     def rows(self, outer_env: Optional[Env] = None) -> Iterator[tuple]:
+        resume = self._resume
+        self._resume = None
+        if resume is not None and resume["done"]:
+            return
+        self._done = True
         yield ()
 
     def describe(self) -> str:
@@ -44,6 +65,13 @@ class Filter(Operator):
 
     def children(self) -> tuple[Operator, ...]:
         return (self.child,)
+
+    def checkpoint(self) -> dict | None:
+        # Stateless stream: the child's position is the whole state.
+        return checkpoint_child(self.child)
+
+    def restore(self, state: dict) -> None:
+        self.child.restore(state["child"])
 
     def rows(self, outer_env: Optional[Env] = None) -> Iterator[tuple]:
         predicate = self.predicate
@@ -79,6 +107,13 @@ class Project(Operator):
     def children(self) -> tuple[Operator, ...]:
         return (self.child,)
 
+    def checkpoint(self) -> dict | None:
+        # Stateless stream: the child's position is the whole state.
+        return checkpoint_child(self.child)
+
+    def restore(self, state: dict) -> None:
+        self.child.restore(state["child"])
+
     def rows(self, outer_env: Optional[Env] = None) -> Iterator[tuple]:
         exprs = self.exprs
         for row in self.child.rows(outer_env):
@@ -104,20 +139,39 @@ class Limit(Operator):
         self.child = child
         self.limit = limit
         self.offset = offset
+        self._produced = 0
+        self._skipped = 0
+        self._resume: dict | None = None
 
     def children(self) -> tuple[Operator, ...]:
         return (self.child,)
 
+    def checkpoint(self) -> dict | None:
+        child_state = self.child.checkpoint()
+        if child_state is None:
+            return None
+        return {
+            "produced": self._produced,
+            "skipped": self._skipped,
+            "child": child_state,
+        }
+
+    def restore(self, state: dict) -> None:
+        self._resume = state
+        self.child.restore(state["child"])
+
     def rows(self, outer_env: Optional[Env] = None) -> Iterator[tuple]:
-        produced = 0
-        skipped = 0
+        resume = self._resume
+        self._resume = None
+        self._produced = int(resume["produced"]) if resume else 0
+        self._skipped = int(resume["skipped"]) if resume else 0
         for row in self.child.rows(outer_env):
-            if skipped < self.offset:
-                skipped += 1
+            if self._skipped < self.offset:
+                self._skipped += 1
                 continue
-            if self.limit is not None and produced >= self.limit:
+            if self.limit is not None and self._produced >= self.limit:
                 return
-            produced += 1
+            self._produced += 1
             yield row
 
     def describe(self) -> str:
@@ -130,16 +184,42 @@ class Distinct(Operator):
     def __init__(self, child: Operator) -> None:
         super().__init__(child.layout, child.account)
         self.child = child
+        self._seen: set = set()
+        self._resume: dict | None = None
 
     def children(self) -> tuple[Operator, ...]:
         return (self.child,)
 
+    def checkpoint(self) -> dict | None:
+        child_state = self.child.checkpoint()
+        if child_state is None:
+            return None
+        return {"seen": set(self._seen), "child": child_state}
+
+    def restore(self, state: dict) -> None:
+        self._resume = state
+        self.child.restore(state["child"])
+
     def rows(self, outer_env: Optional[Env] = None) -> Iterator[tuple]:
-        seen: set = set()
+        resume = self._resume
+        self._resume = None
+        gov = self.account.memory
+        # Restored rows are not re-reserved: the crashed attempt's
+        # reservation died with it, and there is nothing to shed anyway.
+        self._seen = set(resume["seen"]) if resume else set()
+        seen = self._seen
+        reserved = 0
         for row in self.child.rows(outer_env):
             if row not in seen:
+                if gov is not None:
+                    # No graceful fallback: ignore the soft budget and let
+                    # the hard limit be the backstop.
+                    gov.reserve("Distinct")
+                    reserved += 1
                 seen.add(row)
                 yield row
+        if gov is not None and reserved:
+            gov.release(reserved)
 
     def describe(self) -> str:
         return "Distinct"
@@ -164,13 +244,31 @@ class Concat(Operator):
                 )
         super().__init__(layout, children[0].account)
         self._children = tuple(children)
+        self._active = 0
+        self._resume: dict | None = None
 
     def children(self) -> tuple[Operator, ...]:
         return self._children
 
+    def checkpoint(self) -> dict | None:
+        # Earlier branches are fully consumed and later ones untouched,
+        # so the active branch's position is the whole state.
+        child_state = self._children[self._active].checkpoint()
+        if child_state is None:
+            return None
+        return {"active": self._active, "child": child_state}
+
+    def restore(self, state: dict) -> None:
+        self._resume = state
+        self._children[state["active"]].restore(state["child"])
+
     def rows(self, outer_env: Optional[Env] = None) -> Iterator[tuple]:
-        for child in self._children:
-            yield from child.rows(outer_env)
+        resume = self._resume
+        self._resume = None
+        start = resume["active"] if resume else 0
+        for i in range(start, len(self._children)):
+            self._active = i
+            yield from self._children[i].rows(outer_env)
 
     def describe(self) -> str:
         return f"Concat ({len(self._children)} branches)"
@@ -195,6 +293,8 @@ class Materialize(Operator):
         self.child = child
         self.rows_per_page = rows_per_page
         self._cache: list[tuple] | None = None
+        self._handed = 0
+        self._resume: dict | None = None
 
     def children(self) -> tuple[Operator, ...]:
         return (self.child,)
@@ -203,13 +303,40 @@ class Materialize(Operator):
         """Modeled pages needed to hold *row_count* rows."""
         return math.ceil(row_count / self.rows_per_page) if row_count else 0
 
+    def checkpoint(self) -> dict | None:
+        # The cache is built in one atomic pull, so a checkpoint lands
+        # either before the build (child untouched) or with the cache
+        # complete -- never mid-build.
+        if self._cache is None:
+            return {"cache": None, "handed": 0}
+        return {"cache": list(self._cache), "handed": self._handed}
+
+    def restore(self, state: dict) -> None:
+        self._resume = state
+
     def rows(self, outer_env: Optional[Env] = None) -> Iterator[tuple]:
+        resume = self._resume
+        self._resume = None
+        start = 0
+        if resume is not None and resume["cache"] is not None:
+            # Cache (and its spill charge) carried over from the checkpoint.
+            self._cache = list(resume["cache"])
+            start = int(resume["handed"])
         if self._cache is None:
             cache = list(self.child.rows(outer_env))
             # Write + one read of the spill file.
             self.account.charge(2.0 * self.spill_pages(len(cache)))
+            gov = self.account.memory
+            if gov is not None and cache:
+                # The cache is pinned for the query's lifetime and has no
+                # graceful fallback, so this is the path that can reach
+                # the hard memory limit.
+                gov.reserve("Materialize", len(cache))
             self._cache = cache
-        yield from self._cache
+        self._handed = start
+        for row in self._cache[start:]:
+            self._handed += 1
+            yield row
 
     def describe(self) -> str:
         return "Materialize"

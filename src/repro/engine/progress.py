@@ -57,6 +57,7 @@ class ProgressTracker:
         self._blend_until = blend_until
         self._driver = find_driver_scan(root)
         self._finished = False
+        self._restored_work = 0.0
 
     @property
     def work_done(self) -> float:
@@ -73,6 +74,28 @@ class ProgressTracker:
         """Record that the query has completed (remaining cost is 0)."""
         self._finished = True
 
+    def note_restore(self, work_done: float) -> None:
+        """Record that the execution resumed from a checkpoint.
+
+        The checkpointed work becomes a floor on the total-cost estimate:
+        an index-only plan (no driver scan) would otherwise fall back to
+        the bare optimizer estimate and report a total *below* the work
+        provably already performed.
+        """
+        if work_done < 0:
+            raise ValueError("work_done must be >= 0")
+        self._restored_work = max(self._restored_work, work_done)
+
+    def memory_pressure_events(self) -> int:
+        """Memory-governance incidents so far (0 without a governor).
+
+        Surfaced in progress snapshots so observers can tell a query that
+        slowed down because it degraded under memory pressure from one
+        whose inputs were simply mis-estimated.
+        """
+        governor = self._account.memory
+        return governor.pressure_events if governor is not None else 0
+
     def estimated_total_cost(self) -> float:
         """Current refined estimate of the query's total cost, in U's."""
         done = self.work_done
@@ -80,7 +103,7 @@ class ProgressTracker:
             return done
         fraction = self.driver_fraction()
         if fraction is None or fraction <= 0:
-            return max(self.optimizer_estimate, done)
+            return max(self.optimizer_estimate, done, self._restored_work)
         extrapolated = done / fraction
         if fraction < self._blend_until:
             weight = fraction / self._blend_until

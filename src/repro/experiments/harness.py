@@ -65,6 +65,7 @@ class PIHarness:
             multi_indicators = {MULTI_QUERY: MultiQueryProgressIndicator()}
         self.multi_indicators = dict(multi_indicators)
         self._single: dict[str, SingleQueryProgressIndicator] = {}
+        self._single_attempts: dict[str, int] = {}
         rdbms.add_sampler(interval, self._sample)
         rdbms.on_arrival.append(self._notify_arrival)
 
@@ -84,6 +85,15 @@ class PIHarness:
         t = rdbms.clock
         if self.with_single:
             for job in rdbms.running:
+                # A retried query is a *new* execution: its completed work
+                # restarts at the checkpoint (or zero), so the previous
+                # attempt's speed samples describe a dead executor.  Give
+                # each attempt a fresh monitor instead of feeding it a
+                # work regression it would (rightly) reject.
+                attempt = rdbms.record(job.query_id).attempts
+                if self._single_attempts.get(job.query_id) != attempt:
+                    self._single.pop(job.query_id, None)
+                    self._single_attempts[job.query_id] = attempt
                 pi = self.single_indicator(job.query_id)
                 pi.observe(t, job.completed_work)
                 est = pi.estimate(t, job.estimated_remaining_cost())

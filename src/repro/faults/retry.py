@@ -163,6 +163,8 @@ class RetryController:
         self._log(query_id, "gave-up", attempt, why)
         record = self._rdbms.record(query_id)
         record.trace.record_fault(self._rdbms.clock, "retry-exhausted", why)
+        # The abandoned attempt's work is lost in full.
+        record.trace.record_attempt_work(0.0, record.job.completed_work)
 
     def _on_failure(self, time: float, query_id: str, reason: str) -> None:
         record = self._rdbms.record(query_id)
@@ -198,8 +200,18 @@ class RetryController:
         except NotImplementedError as exc:
             self._give_up(query_id, record.attempts, str(exc))
             return
+        # Work accounting: whatever the replacement starts with was carried
+        # over from a checkpoint (work-preserving recovery); the rest of the
+        # failed attempt's work is redone from scratch, i.e. lost.
+        failed_work = record.job.completed_work
+        preserved = min(max(job.completed_work, 0.0), failed_work)
+        lost = max(failed_work - preserved, 0.0)
+        record.trace.record_attempt_work(preserved, lost)
         self._rdbms.resubmit(job)
-        self._log(query_id, "resubmitted", next_attempt)
+        self._log(
+            query_id, "resubmitted", next_attempt,
+            f"preserved {preserved:g} U, lost {lost:g} U",
+        )
 
     def retried(self, query_id: str) -> int:
         """Number of resubmissions performed so far for *query_id*."""

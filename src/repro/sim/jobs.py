@@ -21,7 +21,7 @@ for the assumption-violation ablations.
 from __future__ import annotations
 
 import abc
-from typing import TYPE_CHECKING
+from typing import Callable, TYPE_CHECKING
 
 from repro.core.model import QuerySnapshot, weight_for_priority
 
@@ -32,12 +32,24 @@ if TYPE_CHECKING:  # pragma: no cover - import cycle guard, typing only
 class Job(abc.ABC):
     """One query's work, as scheduled by the simulator."""
 
-    def __init__(self, query_id: str, priority: int = 0, weight: float | None = None):
+    def __init__(
+        self,
+        query_id: str,
+        priority: int = 0,
+        weight: float | None = None,
+        deadline: float | None = None,
+    ):
         self.query_id = query_id
         self.priority = priority
         self.weight = weight_for_priority(priority) if weight is None else float(weight)
         if self.weight <= 0:
             raise ValueError("weight must be > 0")
+        if deadline is not None and deadline <= 0:
+            raise ValueError("deadline must be > 0 seconds")
+        #: Relative deadline in seconds from submission, or None.  The
+        #: simulated RDBMS converts it to an absolute expiry at submit
+        #: time and aborts the query when it passes.
+        self.deadline = deadline
 
     @property
     @abc.abstractmethod
@@ -64,6 +76,10 @@ class Job(abc.ABC):
         Returns less than *work* only when the job finishes mid-grant.
         """
 
+    def memory_pressure_events(self) -> int:
+        """Memory-governance incidents so far (engine jobs override)."""
+        return 0
+
     def snapshot(self) -> QuerySnapshot:
         """This job as a :class:`QuerySnapshot` for the PI algorithms."""
         return QuerySnapshot(
@@ -72,6 +88,7 @@ class Job(abc.ABC):
             completed_work=self.completed_work,
             weight=self.weight,
             priority=self.priority,
+            memory_pressure=self.memory_pressure_events(),
         )
 
     def retry_copy(self) -> "Job":
@@ -96,7 +113,12 @@ class Job(abc.ABC):
 
 
 class SyntheticJob(Job):
-    """A job with an exactly known total cost in U's."""
+    """A job with an exactly known total cost in U's.
+
+    With a ``checkpoint_interval`` the job models work-preserving
+    checkpoints every so many U's: a retry copy restarts from the last
+    interval mark below the crash point instead of from zero.
+    """
 
     def __init__(
         self,
@@ -105,13 +127,18 @@ class SyntheticJob(Job):
         priority: int = 0,
         weight: float | None = None,
         initial_done: float = 0.0,
+        deadline: float | None = None,
+        checkpoint_interval: float | None = None,
     ) -> None:
-        super().__init__(query_id, priority, weight)
+        super().__init__(query_id, priority, weight, deadline=deadline)
         if cost < 0:
             raise ValueError("cost must be >= 0")
         if not 0.0 <= initial_done <= cost:
             raise ValueError("initial_done must be within [0, cost]")
+        if checkpoint_interval is not None and checkpoint_interval <= 0:
+            raise ValueError("checkpoint_interval must be > 0")
         self.total_cost = float(cost)
+        self.checkpoint_interval = checkpoint_interval
         self._done = float(initial_done)
 
     @property
@@ -137,10 +164,21 @@ class SyntheticJob(Job):
         return consumed
 
     def retry_copy(self) -> "SyntheticJob":
-        """A zero-progress copy with the same cost, priority and weight."""
+        """A retry copy: zero progress, or the last checkpoint mark.
+
+        Without a checkpoint interval all partial work is lost.  With one,
+        the copy starts from ``floor(done / interval) * interval`` -- the
+        most recent checkpoint the crashed attempt had completed.
+        """
+        preserved = 0.0
+        if self.checkpoint_interval is not None:
+            marks = int(self._done / self.checkpoint_interval)
+            preserved = min(marks * self.checkpoint_interval, self.total_cost)
         return SyntheticJob(
             self.query_id, self.total_cost, priority=self.priority,
-            weight=self.weight,
+            weight=self.weight, initial_done=preserved,
+            deadline=self.deadline,
+            checkpoint_interval=self.checkpoint_interval,
         )
 
 
@@ -151,6 +189,11 @@ class EngineJob(Job):
     ``step(units)`` (run up to that much work) and a progress tracker with a
     refined remaining-cost estimate.  The simulator neither knows nor needs
     the true total cost -- the job is done when the executor says so.
+
+    With a ``prepare`` factory (a zero-argument callable returning a fresh
+    execution of the same SQL) the job becomes retryable: a retry copy
+    plans the query anew and, when the failed execution took a
+    work-preserving checkpoint, resumes from it instead of starting over.
     """
 
     def __init__(
@@ -159,9 +202,12 @@ class EngineJob(Job):
         execution: "QueryExecution",
         priority: int = 0,
         weight: float | None = None,
+        deadline: float | None = None,
+        prepare: Callable[[], "QueryExecution"] | None = None,
     ) -> None:
-        super().__init__(query_id, priority, weight)
+        super().__init__(query_id, priority, weight, deadline=deadline)
         self._execution = execution
+        self._prepare = prepare
 
     @property
     def execution(self) -> "QueryExecution":
@@ -179,12 +225,29 @@ class EngineJob(Job):
     def estimated_remaining_cost(self) -> float:
         return self._execution.progress.estimated_remaining_cost()
 
+    def memory_pressure_events(self) -> int:
+        return self._execution.progress.memory_pressure_events()
+
     def advance(self, work: float) -> float:
         if work < 0:
             raise ValueError("work must be >= 0")
         if self.finished:
             return 0.0
         return self._execution.step(work)
+
+    def retry_copy(self) -> "EngineJob":
+        """A fresh execution, resumed from the last checkpoint if one exists."""
+        if self._prepare is None:
+            return super().retry_copy()  # raises NotImplementedError
+        execution = self._prepare()
+        ckpt = self._execution.last_checkpoint
+        if ckpt is not None:
+            execution.restore(ckpt)
+        return EngineJob(
+            self.query_id, execution, priority=self.priority,
+            weight=self.weight, deadline=self.deadline,
+            prepare=self._prepare,
+        )
 
 
 class CostNoiseJob(Job):
@@ -196,7 +259,9 @@ class CostNoiseJob(Job):
     """
 
     def __init__(self, inner: Job, error_factor: float) -> None:
-        super().__init__(inner.query_id, inner.priority, inner.weight)
+        super().__init__(
+            inner.query_id, inner.priority, inner.weight, deadline=inner.deadline
+        )
         if error_factor <= 0:
             raise ValueError("error_factor must be > 0")
         self._inner = inner
@@ -217,6 +282,9 @@ class CostNoiseJob(Job):
 
     def estimated_remaining_cost(self) -> float:
         return self._inner.estimated_remaining_cost() * self._factor
+
+    def memory_pressure_events(self) -> int:
+        return self._inner.memory_pressure_events()
 
     def advance(self, work: float) -> float:
         return self._inner.advance(work)

@@ -55,6 +55,11 @@ class QueryRecord:
     error: str | None = None
     #: Number of execution attempts so far (1 = never resubmitted).
     attempts: int = 1
+    #: Absolute virtual time at which the query's deadline expires, or
+    #: None.  Set at submit time from the job's relative ``deadline`` and
+    #: *not* reset by resubmission: the deadline belongs to the query,
+    #: not to any one attempt.
+    deadline_at: float | None = None
 
     @property
     def query_id(self) -> str:
@@ -202,6 +207,8 @@ class SimulatedRDBMS:
         trace = self.traces.for_query(job.query_id)
         trace.submitted_at = self._clock
         record = QueryRecord(job=job, status="queued", trace=trace)
+        if job.deadline is not None:
+            record.deadline_at = self._clock + job.deadline
         self._records[job.query_id] = record
         self._queue.append(job)
         for cb in self.on_arrival:
@@ -249,13 +256,21 @@ class SimulatedRDBMS:
     # Workload-management actions (paper Section 3)
     # ------------------------------------------------------------------
 
-    def abort(self, query_id: str, rollback_overhead: float = 0.0) -> None:
+    def abort(
+        self,
+        query_id: str,
+        rollback_overhead: float = 0.0,
+        reason: str = "workload-management abort",
+    ) -> None:
         """Abort a query wherever it is (running, queued or blocked).
 
         ``rollback_overhead`` models the non-negligible cost of aborting
         (the paper's Section 3.3 future-work case): that much work is
         injected as an internal rollback job that must be processed --
         even while draining -- before the system is quiescent.
+        ``reason`` is recorded in the trace's fault event.  An abort is
+        an intentional decision: it does not fire ``on_failure`` and is
+        therefore never retried by the retry layer.
         """
         if rollback_overhead < 0:
             raise ValueError("rollback_overhead must be >= 0")
@@ -265,7 +280,7 @@ class SimulatedRDBMS:
         self._remove_everywhere(query_id)
         record.status = "aborted"
         record.trace.aborted_at = self._clock
-        record.trace.record_fault(self._clock, "abort", "workload-management abort")
+        record.trace.record_fault(self._clock, "abort", reason)
         if rollback_overhead > 0:
             rollback = SyntheticJob(
                 f"__rollback_{query_id}",
@@ -332,6 +347,23 @@ class SimulatedRDBMS:
             cb(self._clock, job.query_id, record.attempts)
         self._admit()
         return record
+
+    def set_deadline(self, query_id: str, deadline_at: float | None) -> None:
+        """Set (or clear) a query's absolute deadline at virtual time.
+
+        Overrides any deadline derived from the job at submit time.  When
+        the clock passes ``deadline_at`` while the query is still alive
+        (queued, running or blocked), the query is aborted with a
+        ``"deadline"`` fault event.
+        """
+        record = self.record(query_id)
+        if record.terminal:
+            raise ValueError(f"query {query_id!r} already {record.status}")
+        if deadline_at is not None and deadline_at < self._clock - _EPS:
+            raise ValueError(
+                f"deadline_at {deadline_at} is in the past (clock {self._clock})"
+            )
+        record.deadline_at = deadline_at
 
     def corrupt_estimates(self, factor: float, query_id: str | None = None) -> None:
         """Corrupt the remaining-cost estimates PIs read from snapshots.
@@ -474,6 +506,32 @@ class SimulatedRDBMS:
     def _next_event_time(self) -> float:
         return self._events[0][0] if self._events else math.inf
 
+    def _next_deadline_time(self) -> float:
+        """Earliest live deadline, so analytic jumps never overshoot one."""
+        return min(
+            (
+                r.deadline_at
+                for r in self._records.values()
+                if r.deadline_at is not None and not r.terminal
+            ),
+            default=math.inf,
+        )
+
+    def _enforce_deadlines(self) -> None:
+        """Abort every live query whose deadline has passed."""
+        for record in list(self._records.values()):
+            if record.terminal or record.deadline_at is None:
+                continue
+            if record.deadline_at <= self._clock + _EPS:
+                record.trace.record_fault(
+                    self._clock, "deadline",
+                    f"deadline {record.deadline_at:g}s expired",
+                )
+                self.abort(
+                    record.query_id,
+                    reason=f"deadline {record.deadline_at:g}s expired",
+                )
+
     def _predictable_finish_dt(self, speeds: dict[str, float]) -> float:
         """Exact time to the next synthetic-job completion, or inf."""
         best = math.inf
@@ -492,6 +550,7 @@ class SimulatedRDBMS:
         dt = min(dt, self._next_pending_time() - self._clock)
         dt = min(dt, self._next_sampler_time() - self._clock)
         dt = min(dt, self._next_event_time() - self._clock)
+        dt = min(dt, self._next_deadline_time() - self._clock)
         dt = min(dt, self._predictable_finish_dt(speeds))
         has_unpredictable = any(
             not isinstance(j, SyntheticJob) for j in self._running
@@ -508,6 +567,7 @@ class SimulatedRDBMS:
                 self._next_pending_time(),
                 self._next_sampler_time(),
                 self._next_event_time(),
+                self._next_deadline_time(),
                 target,
             )
             if nxt is math.inf:
@@ -557,6 +617,10 @@ class SimulatedRDBMS:
                 cb(self._clock, job.query_id)
         if finished:
             self._admit()
+
+        # Expire deadlines after retiring completions, so a query that
+        # finishes exactly at its deadline counts as finished.
+        self._enforce_deadlines()
 
         # Process due arrivals.
         while (

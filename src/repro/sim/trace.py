@@ -50,6 +50,12 @@ class QueryTrace:
     failed_at: float | None = None
     #: Number of execution attempts so far (1 = never retried).
     attempts: int = 1
+    #: Per-failure work accounting, one entry per failed attempt: the U's
+    #: carried over into the next attempt via a checkpoint (preserved)
+    #: and the U's redone or discarded (lost).  A give-up records its
+    #: final all-lost entry here too.
+    work_preserved: list[float] = field(default_factory=list)
+    work_lost: list[float] = field(default_factory=list)
     #: Resilience events: failures, injected faults, retries, WM actions.
     fault_events: list[FaultEvent] = field(default_factory=list)
     #: Cumulative completed work (U's) over time.  With retries the series
@@ -67,6 +73,27 @@ class QueryTrace:
     def record_fault(self, time: float, kind: str, detail: str = "") -> None:
         """Append one :class:`FaultEvent` to this query's history."""
         self.fault_events.append(FaultEvent(time=time, kind=kind, detail=detail))
+
+    def record_attempt_work(self, preserved: float, lost: float) -> None:
+        """Account one failed attempt's work: carried over vs discarded."""
+        if preserved < 0 or lost < 0:
+            raise ValueError("preserved and lost work must be >= 0")
+        self.work_preserved.append(preserved)
+        self.work_lost.append(lost)
+
+    @property
+    def preserved_work(self) -> float:
+        """Total U's carried across retries via checkpoints."""
+        return sum(self.work_preserved)
+
+    @property
+    def wasted_work(self) -> float:
+        """Total U's performed by failed attempts and then discarded.
+
+        Conservation: the gross work a query's attempts performed equals
+        the last attempt's completed work plus ``wasted_work``.
+        """
+        return sum(self.work_lost)
 
     def actual_remaining(self, time: float) -> float:
         """Ground-truth remaining execution time at *time*.

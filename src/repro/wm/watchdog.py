@@ -55,8 +55,9 @@ class RunawayQueryWatchdog:
         The simulator to police.
     budget_seconds:
         Per-query budget, in virtual seconds since the query first started
-        running.  Time lost to failures, stalls and retries counts -- the
-        budget is what an operator would set on total occupancy.
+        running, or ``None`` to skip budget enforcement.  Time lost to
+        failures, stalls and retries counts -- the budget is what an
+        operator would set on total occupancy.
     check_interval:
         How often (virtual seconds) the watchdog wakes up.
     pi:
@@ -65,6 +66,13 @@ class RunawayQueryWatchdog:
     demote_priority:
         Priority assigned on the first offense (low priorities mean small
         scheduling weights).
+    enforce_deadlines:
+        Also treat a *predicted* deadline miss as an offense: a running
+        query whose PI-estimated finish time exceeds its
+        :attr:`~repro.sim.rdbms.QueryRecord.deadline_at` is demoted, then
+        aborted -- well before the RDBMS's hard deadline enforcement
+        would kill it at expiry.  Purely predictive: with no usable PI
+        estimate the hard enforcement remains the only backstop.
 
     Call :meth:`attach` once before running the simulation.
     """
@@ -72,14 +80,21 @@ class RunawayQueryWatchdog:
     def __init__(
         self,
         rdbms: SimulatedRDBMS,
-        budget_seconds: float,
+        budget_seconds: float | None = None,
         check_interval: float = 1.0,
         pi: MultiQueryProgressIndicator | None = None,
         demote_priority: int = -2,
+        enforce_deadlines: bool = False,
     ) -> None:
-        if not math.isfinite(budget_seconds) or budget_seconds <= 0:
+        if budget_seconds is not None and (
+            not math.isfinite(budget_seconds) or budget_seconds <= 0
+        ):
             raise ValueError(
                 f"budget_seconds must be finite and > 0, got {budget_seconds}"
+            )
+        if budget_seconds is None and not enforce_deadlines:
+            raise ValueError(
+                "watchdog needs a budget_seconds and/or enforce_deadlines=True"
             )
         if check_interval <= 0:
             raise ValueError(f"check_interval must be > 0, got {check_interval}")
@@ -88,14 +103,15 @@ class RunawayQueryWatchdog:
         self._check_interval = check_interval
         self._pi = pi if pi is not None else MultiQueryProgressIndicator()
         self._demote_priority = demote_priority
+        self._enforce_deadlines = enforce_deadlines
         self._demoted: set[str] = set()
         self._attached = False
         #: Chronological log of enforcement actions.
         self.actions: list[WatchdogAction] = []
 
     @property
-    def budget_seconds(self) -> float:
-        """The per-query occupancy budget being enforced."""
+    def budget_seconds(self) -> float | None:
+        """The per-query occupancy budget being enforced, if any."""
         return self._budget
 
     @property
@@ -148,21 +164,39 @@ class RunawayQueryWatchdog:
                 est = estimates.get(qid)
                 if est is not None and not math.isfinite(est):
                     est = None
-            if est is not None:
-                over = elapsed + est > self._budget
+            over = False
+            used_fallback = False
+            reason = ""
+            if self._budget is not None:
+                if est is not None:
+                    over = elapsed + est > self._budget
+                    reason = (
+                        f"elapsed {elapsed:.1f}s + estimated {est:.1f}s "
+                        f"> budget {self._budget:g}s"
+                    )
+                else:
+                    # Observed-work heuristic: no usable estimate, so
+                    # enforce only on the time the query has consumed.
+                    over = elapsed > self._budget
+                    used_fallback = True
+                    reason = (
+                        f"no usable estimate; observed {elapsed:.1f}s "
+                        f"> budget {self._budget:g}s"
+                    )
+            if (
+                not over
+                and self._enforce_deadlines
+                and record.deadline_at is not None
+                and est is not None
+                and now + est > record.deadline_at
+            ):
+                # Predicted deadline miss: act now rather than letting the
+                # RDBMS kill the query at expiry with nothing to show.
+                over = True
                 used_fallback = False
                 reason = (
-                    f"elapsed {elapsed:.1f}s + estimated {est:.1f}s "
-                    f"> budget {self._budget:g}s"
-                )
-            else:
-                # Observed-work heuristic: no usable estimate, so enforce
-                # only on the time the query has already consumed.
-                over = elapsed > self._budget
-                used_fallback = True
-                reason = (
-                    f"no usable estimate; observed {elapsed:.1f}s "
-                    f"> budget {self._budget:g}s"
+                    f"predicted finish at {now + est:.1f}s "
+                    f"> deadline {record.deadline_at:g}s"
                 )
             if not over:
                 continue

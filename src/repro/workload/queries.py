@@ -51,17 +51,35 @@ def scan_query(i: int) -> str:
     )
 
 
-def prepare_paper_query(db: Database, i: int) -> QueryExecution:
+def prepare_paper_query(
+    db: Database, i: int, checkpoint_interval: float | None = None
+) -> QueryExecution:
     """Plan ``Q_i`` for cooperative execution."""
-    return db.prepare(paper_query(i))
+    return db.prepare(paper_query(i), checkpoint_interval=checkpoint_interval)
 
 
 def engine_job(
-    db: Database, query_id: str, i: int, priority: int = 0
+    db: Database,
+    query_id: str,
+    i: int,
+    priority: int = 0,
+    checkpoint_interval: float | None = None,
+    deadline: float | None = None,
 ) -> EngineJob:
-    """Wrap ``Q_i`` as a simulator job (estimated costs, real execution)."""
+    """Wrap ``Q_i`` as a simulator job (estimated costs, real execution).
+
+    The job carries a prepare factory, so the retry layer can replan the
+    same SQL after a crash -- resuming from the last work-preserving
+    checkpoint when ``checkpoint_interval`` is set.
+    """
+
+    def prepare() -> QueryExecution:
+        return prepare_paper_query(db, i, checkpoint_interval)
+
     return EngineJob(
         query_id=query_id,
-        execution=prepare_paper_query(db, i),
+        execution=prepare(),
         priority=priority,
+        deadline=deadline,
+        prepare=prepare,
     )

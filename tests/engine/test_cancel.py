@@ -1,0 +1,83 @@
+"""Tests for cooperative query cancellation."""
+
+import random
+
+import pytest
+
+from repro.engine import CancellationToken, Database, QueryCancelled
+from repro.engine.operators.base import WorkAccount
+
+
+@pytest.fixture()
+def db():
+    d = Database(page_capacity=10)
+    rng = random.Random(9)
+    d.execute("CREATE TABLE t (k INT, v FLOAT)")
+    d.insert_rows("t", [(i, rng.random()) for i in range(300)])
+    d.analyze()
+    return d
+
+
+class TestToken:
+    def test_starts_uncancelled(self):
+        tok = CancellationToken()
+        assert not tok.cancelled
+        tok.raise_if_cancelled()  # no-op
+
+    def test_cancel_fires_once_first_reason_wins(self):
+        tok = CancellationToken()
+        tok.cancel("deadline")
+        tok.cancel("second caller")
+        assert tok.cancelled
+        assert tok.reason == "deadline"
+
+    def test_raise_carries_reason(self):
+        tok = CancellationToken()
+        tok.cancel("admission control")
+        with pytest.raises(QueryCancelled, match="admission control"):
+            tok.raise_if_cancelled()
+
+    def test_charge_checks_token(self):
+        tok = CancellationToken()
+        account = WorkAccount(cancel_token=tok)
+        account.charge(1.0)
+        tok.cancel("mid-pull")
+        with pytest.raises(QueryCancelled, match="mid-pull"):
+            account.charge(1.0)
+
+
+class TestExecutionCancel:
+    def test_precancelled_token_stops_first_step(self, db):
+        tok = CancellationToken()
+        tok.cancel("never admitted")
+        ex = db.prepare("SELECT * FROM t", cancel_token=tok)
+        with pytest.raises(QueryCancelled):
+            ex.step(1.0)
+        assert not ex.finished
+
+    def test_cancel_mid_run(self, db):
+        tok = CancellationToken()
+        ex = db.prepare("SELECT * FROM t ORDER BY v", cancel_token=tok)
+        ex.step(5.0)
+        done_before = ex.work_done
+        tok.cancel("operator intervention")
+        with pytest.raises(QueryCancelled, match="operator intervention"):
+            ex.step(5.0)
+        # Cancellation is prompt: no further work was charged.
+        assert ex.work_done == done_before
+
+    def test_cancelled_execution_stays_cancelled(self, db):
+        tok = CancellationToken()
+        ex = db.prepare("SELECT * FROM t", cancel_token=tok)
+        ex.step(2.0)
+        tok.cancel()
+        for _ in range(2):
+            with pytest.raises(QueryCancelled):
+                ex.step(1.0)
+
+    def test_token_reachable_from_execution(self, db):
+        tok = CancellationToken()
+        ex = db.prepare("SELECT * FROM t", cancel_token=tok)
+        assert ex.cancel_token is tok
+        ex2 = db.prepare("SELECT * FROM t")
+        assert ex2.cancel_token is None

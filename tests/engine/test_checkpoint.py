@@ -1,0 +1,213 @@
+"""Tests for work-preserving operator checkpoint/resume.
+
+The core contract: a checkpoint taken between root pulls captures a
+consistent cut of the whole plan, and a *fresh* execution of the same SQL
+restored from it produces exactly the rows the original would have -- at
+the cost of only the work done since the checkpoint.
+"""
+
+import random
+
+import pytest
+
+from repro.engine import Database, ExecutionCheckpoint
+from repro.engine.errors import ExecutionError
+
+
+@pytest.fixture()
+def db():
+    d = Database(page_capacity=10)
+    rng = random.Random(3)
+    d.execute("CREATE TABLE big (k INT, v FLOAT)")
+    d.insert_rows("big", [(i, rng.random()) for i in range(400)])
+    d.execute("CREATE TABLE lookup (k INT, w FLOAT)")
+    d.insert_rows("lookup", [(i % 80, rng.random()) for i in range(800)])
+    d.execute("CREATE INDEX lookup_k ON lookup (k)")
+    d.analyze()
+    return d
+
+
+#: One query per checkpointable plan shape.
+SHAPES = {
+    "seq_scan": "SELECT * FROM big",
+    "filter_project": "SELECT k, v * 2 FROM big WHERE v > 0.5",
+    "sort": "SELECT k, v FROM big ORDER BY v DESC, k",
+    "limit": "SELECT k FROM big WHERE v > 0.3 LIMIT 17",
+    "distinct": "SELECT DISTINCT k % 7 FROM big",
+    "hash_join": (
+        "SELECT b.k, l.w FROM big b JOIN lookup l ON b.k = l.k "
+        "WHERE b.v > 0.6"
+    ),
+    "left_join": (
+        "SELECT b.k, l.w FROM big b LEFT JOIN lookup l ON b.k = l.k"
+    ),
+    "hash_agg": (
+        "SELECT k % 5 grp, sum(v), count(*) FROM big GROUP BY k % 5"
+    ),
+    "global_agg": "SELECT sum(v), min(k), max(k) FROM big",
+    "union": (
+        "SELECT k FROM big WHERE k < 30 UNION ALL "
+        "SELECT k FROM big WHERE k >= 370"
+    ),
+    "paper_style": (
+        "SELECT k FROM big b WHERE b.v > "
+        "(SELECT sum(l.w) / count(*) FROM lookup l WHERE l.k = b.k % 80)"
+    ),
+}
+
+
+def run_until(ex, target_work, budget=1.0):
+    """Step the execution until at least *target_work* U's are done."""
+    while not ex.finished and ex.work_done < target_work:
+        ex.step(budget)
+
+
+def checkpoint_near(ex, target_work, budget=1.0):
+    """Step towards *target_work*, returning the last live checkpoint.
+
+    Pulls are coarse (a trailing exhaust pull can charge many pages at
+    once), so the execution may *finish* before reaching the target; in
+    that case the snapshot from just before the final pull is the latest
+    one a cadence-driven checkpointer could have taken.
+    """
+    ckpt = None
+    while not ex.finished and ex.work_done < target_work:
+        ex.step(budget)
+        ckpt = ex.checkpoint() or ckpt
+    return ckpt
+
+
+class TestResumeEquivalence:
+    """Restore-from-checkpoint must be invisible in results and work."""
+
+    @pytest.mark.parametrize("shape", sorted(SHAPES))
+    @pytest.mark.parametrize("fraction", [0.25, 0.5, 0.9])
+    def test_resume_matches_uninterrupted_run(self, db, shape, fraction):
+        sql = SHAPES[shape]
+        reference = db.prepare(sql)
+        reference.run_to_completion()
+        assert reference.rows, f"degenerate test query for {shape}"
+
+        ex = db.prepare(sql)
+        ckpt = checkpoint_near(ex, fraction * reference.work_done)
+        assert ckpt is not None, f"{shape} should be checkpointable"
+
+        resumed = db.prepare(sql)
+        resumed.restore(ckpt)
+        resumed.run_to_completion()
+
+        assert resumed.rows == reference.rows
+        # Work conservation: the credited checkpoint work plus the work
+        # done after restore equals the uninterrupted run's total.
+        assert resumed.work_done == pytest.approx(reference.work_done)
+        assert resumed.restored_from is ckpt
+
+    @pytest.mark.parametrize("shape", ["sort", "hash_join", "hash_agg"])
+    def test_same_checkpoint_restores_twice(self, db, shape):
+        """Restoring must not let the resumed run mutate the snapshot."""
+        sql = SHAPES[shape]
+        reference = db.prepare(sql)
+        reference.run_to_completion()
+
+        ex = db.prepare(sql)
+        ckpt = checkpoint_near(ex, 0.4 * reference.work_done)
+        assert ckpt is not None
+
+        for _ in range(2):
+            resumed = db.prepare(sql)
+            resumed.restore(ckpt)
+            resumed.run_to_completion()
+            assert resumed.rows == reference.rows
+
+    def test_checkpoint_carries_emitted_rows(self, db):
+        sql = SHAPES["seq_scan"]
+        ex = db.prepare(sql)
+        run_until(ex, 10.0)
+        ckpt = ex.checkpoint()
+        assert ckpt.rows_emitted == len(ex.rows)
+        assert list(ckpt.rows) == ex.rows
+        assert ckpt.work_done == ex.work_done
+
+
+class TestCadence:
+    """Automatic checkpointing on a work-interval cadence."""
+
+    def test_interval_takes_checkpoints(self, db):
+        dense = db.prepare(SHAPES["paper_style"], checkpoint_interval=5.0)
+        dense.run_to_completion()
+        sparse = db.prepare(SHAPES["paper_style"], checkpoint_interval=500.0)
+        sparse.run_to_completion()
+        assert dense.checkpoints_taken > sparse.checkpoints_taken >= 1
+        assert isinstance(dense.last_checkpoint, ExecutionCheckpoint)
+        assert 0 < dense.last_checkpoint.work_done <= dense.work_done
+
+    def test_no_interval_takes_none(self, db):
+        ex = db.prepare(SHAPES["seq_scan"])
+        ex.run_to_completion()
+        assert ex.checkpoints_taken == 0
+        assert ex.last_checkpoint is None
+
+    def test_invalid_interval_rejected(self, db):
+        for bad in (0.0, -1.0, float("nan"), float("inf")):
+            with pytest.raises(ExecutionError):
+                db.prepare(SHAPES["seq_scan"], checkpoint_interval=bad)
+
+    def test_last_checkpoint_resumes(self, db):
+        sql = SHAPES["hash_agg"]
+        reference = db.prepare(sql)
+        reference.run_to_completion()
+
+        ex = db.prepare(sql, checkpoint_interval=3.0)
+        run_until(ex, 0.6 * reference.work_done)
+        assert ex.last_checkpoint is not None
+        resumed = db.prepare(sql)
+        resumed.restore(ex.last_checkpoint)
+        resumed.run_to_completion()
+        assert resumed.rows == reference.rows
+
+
+class TestRestoreGuards:
+    def test_restore_requires_fresh_execution(self, db):
+        sql = SHAPES["seq_scan"]
+        ex = db.prepare(sql)
+        run_until(ex, 5.0)
+        ckpt = ex.checkpoint()
+        used = db.prepare(sql)
+        used.step(1.0)
+        with pytest.raises(ExecutionError):
+            used.restore(ckpt)
+
+    def test_restore_rejects_other_sql(self, db):
+        ex = db.prepare(SHAPES["seq_scan"])
+        run_until(ex, 5.0)
+        ckpt = ex.checkpoint()
+        other = db.prepare(SHAPES["sort"])
+        with pytest.raises(ExecutionError):
+            other.restore(ckpt)
+
+    def test_finished_execution_stops_checkpointing(self, db):
+        ex = db.prepare(SHAPES["seq_scan"])
+        ex.run_to_completion()
+        assert ex.checkpoint() is None
+
+
+class TestNonCheckpointable:
+    """Plans without cheap state decline; their subtree restarts instead."""
+
+    def test_index_probe_plan_returns_none(self, db):
+        ex = db.prepare("SELECT * FROM lookup WHERE k = 5")
+        run_until(ex, 1.0, budget=0.25)
+        if ex.finished:  # tiny probe may finish in one pull
+            assert ex.checkpoint() is None
+        else:
+            assert ex.checkpoint() is None
+
+    def test_cadence_on_non_checkpointable_plan_is_harmless(self, db):
+        reference = db.query("SELECT * FROM lookup WHERE k BETWEEN 2 AND 9")
+        ex = db.prepare(
+            "SELECT * FROM lookup WHERE k BETWEEN 2 AND 9",
+            checkpoint_interval=0.5,
+        )
+        ex.run_to_completion()
+        assert ex.rows == reference
+        assert ex.last_checkpoint is None

@@ -1,0 +1,143 @@
+"""Tests for per-query memory governance and graceful degradation.
+
+The ladder under memory pressure: buffering operators first *degrade*
+(sort -> bounded external merge, hash join -> block-partitioned passes,
+hash aggregate -> spilled partials) -- producing identical results at the
+cost of extra modeled work -- and only operators that cannot shed state
+(DISTINCT sets, materialized inners) ride usage up to the hard limit and
+abort with :class:`MemoryBudgetExceeded`.
+"""
+
+import random
+
+import pytest
+
+from repro.engine import Database, MemoryBudgetExceeded, MemoryGovernor
+from repro.sim.jobs import EngineJob
+
+
+@pytest.fixture()
+def db():
+    d = Database(page_capacity=10)
+    rng = random.Random(5)
+    d.execute("CREATE TABLE big (k INT, v FLOAT)")
+    d.insert_rows("big", [(i, rng.random()) for i in range(400)])
+    d.execute("CREATE TABLE small (k INT, w FLOAT)")
+    d.insert_rows("small", [(i, rng.random()) for i in range(60)])
+    d.analyze()
+    return d
+
+
+class TestGovernorUnit:
+    def test_reserve_within_budget(self):
+        gov = MemoryGovernor(budget_rows=10)
+        assert gov.reserve("op", 10) is True
+        assert not gov.over_budget
+
+    def test_reserve_past_budget_returns_false(self):
+        gov = MemoryGovernor(budget_rows=10)
+        assert gov.reserve("op", 11) is False
+        assert gov.over_budget
+
+    def test_release_returns_rows(self):
+        gov = MemoryGovernor(budget_rows=10)
+        gov.reserve("op", 8)
+        gov.release(5)
+        assert gov.used_rows == 3
+        gov.release(10)  # floor at zero
+        assert gov.used_rows == 0
+
+    def test_peak_tracks_high_water_mark(self):
+        gov = MemoryGovernor(budget_rows=10)
+        gov.reserve("op", 7)
+        gov.release(7)
+        gov.reserve("op", 3)
+        assert gov.peak_rows == 7
+
+    def test_hard_limit_raises(self):
+        gov = MemoryGovernor(budget_rows=10, hard_limit_factor=2.0)
+        with pytest.raises(MemoryBudgetExceeded):
+            gov.reserve("op", 21)
+        assert gov.events[-1].kind == "hard-limit"
+
+    def test_invalid_parameters_rejected(self):
+        with pytest.raises(ValueError):
+            MemoryGovernor(budget_rows=0)
+        with pytest.raises(ValueError):
+            MemoryGovernor(budget_rows=10, hard_limit_factor=0.5)
+        with pytest.raises(ValueError):
+            MemoryGovernor(budget_rows=10, hard_limit_factor=float("inf"))
+
+
+class TestGracefulDegradation:
+    """Degraded operators: same answer, more work, visible pressure."""
+
+    CASES = {
+        "sort": "SELECT k, v FROM big ORDER BY v DESC, k",
+        "hash_join": (
+            "SELECT b.k, s.w FROM big b JOIN small s ON b.k = s.k"
+        ),
+        "hash_agg": (
+            "SELECT k % 50 grp, sum(v), count(*) FROM big GROUP BY k % 50"
+        ),
+    }
+
+    @pytest.mark.parametrize("case", sorted(CASES))
+    def test_degrade_preserves_results_and_charges_extra(self, db, case):
+        sql = self.CASES[case]
+        plain = db.prepare(sql)
+        plain.run_to_completion()
+        assert plain.rows
+
+        squeezed = db.prepare(sql, memory_budget=8)
+        squeezed.run_to_completion()
+
+        assert squeezed.rows == plain.rows
+        assert squeezed.work_done > plain.work_done
+        assert squeezed.progress.memory_pressure_events() > 0
+        kinds = {e.kind for e in squeezed.account.memory.events}
+        assert kinds & {"degrade", "spill"}
+        assert "hard-limit" not in kinds
+
+    def test_no_budget_changes_nothing(self, db):
+        sql = self.CASES["sort"]
+        a = db.prepare(sql)
+        a.run_to_completion()
+        b = db.prepare(sql)
+        b.run_to_completion()
+        assert a.work_done == b.work_done
+        assert a.progress.memory_pressure_events() == 0
+
+    def test_roomy_budget_stays_quiet(self, db):
+        sql = self.CASES["hash_agg"]
+        ex = db.prepare(sql, memory_budget=100_000)
+        ex.run_to_completion()
+        assert ex.progress.memory_pressure_events() == 0
+
+    def test_pressure_surfaces_in_job_snapshot(self, db):
+        ex = db.prepare(self.CASES["sort"], memory_budget=8)
+        job = EngineJob("q", ex)
+        while not job.finished:
+            job.advance(25.0)
+        snap = job.snapshot()
+        assert snap.memory_pressure == ex.progress.memory_pressure_events() > 0
+
+
+class TestHardLimit:
+    """Operators with nothing to shed abort at the end of the ladder."""
+
+    def test_distinct_hits_hard_limit(self, db):
+        # 400 distinct keys vs hard limit 5 * 8 = 40 buffered rows.
+        ex = db.prepare("SELECT DISTINCT k FROM big", memory_budget=5)
+        with pytest.raises(MemoryBudgetExceeded):
+            ex.run_to_completion()
+        assert ex.account.memory.events[-1].kind == "hard-limit"
+
+    def test_hard_limit_is_a_runtime_failure_for_jobs(self, db):
+        from repro.engine.errors import EngineError
+
+        ex = db.prepare("SELECT DISTINCT k FROM big", memory_budget=5)
+        job = EngineJob("q", ex)
+        with pytest.raises(EngineError):
+            while not job.finished:
+                job.advance(25.0)

@@ -87,3 +87,55 @@ class TestTracker:
         it = scan.rows()
         next(it)  # tiny fraction: optimizer estimate dominates
         assert tracker.estimated_total_cost() > 50.0
+
+
+class TestRestoreFloor:
+    """Checkpointed work floors the estimate after a restore."""
+
+    def test_restored_work_floors_driverless_estimate(self):
+        """Regression: an index-only plan (no driver scan) must not report
+        a total below the work a restored checkpoint proves was done."""
+        from repro.engine.operators.transforms import SingleRow
+
+        account = WorkAccount()
+        tracker = ProgressTracker(SingleRow(account), account, 7.0)
+        tracker.note_restore(30.0)
+        assert tracker.estimated_total_cost() >= 30.0
+
+    def test_restore_floor_keeps_maximum(self):
+        from repro.engine.operators.transforms import SingleRow
+
+        account = WorkAccount()
+        tracker = ProgressTracker(SingleRow(account), account, 7.0)
+        tracker.note_restore(30.0)
+        tracker.note_restore(10.0)  # later, smaller note must not lower it
+        assert tracker.estimated_total_cost() >= 30.0
+
+    def test_restore_rejects_negative_work(self):
+        scan, account = make_scan()
+        tracker = ProgressTracker(scan, account, optimizer_estimate=5.0)
+        with pytest.raises(ValueError):
+            tracker.note_restore(-1.0)
+
+    def test_restored_execution_estimate_floored(self):
+        """End to end: restoring a checkpoint credits the account and the
+        tracker never estimates a total below the credited work."""
+        import random
+
+        from repro.engine import Database
+
+        d = Database(page_capacity=10)
+        rng = random.Random(11)
+        d.execute("CREATE TABLE t (k INT, v FLOAT)")
+        d.insert_rows("t", [(i, rng.random()) for i in range(300)])
+        d.analyze()
+        sql = "SELECT * FROM t"
+        ex = d.prepare(sql)
+        while not ex.finished and ex.work_done < 12.0:
+            ex.step(1.0)
+        ckpt = ex.checkpoint()
+        assert ckpt is not None
+
+        resumed = d.prepare(sql)
+        resumed.restore(ckpt)
+        assert resumed.progress.estimated_total_cost() >= ckpt.work_done

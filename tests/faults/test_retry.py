@@ -163,3 +163,62 @@ class TestRetryController:
         rdbms.run_to_completion(max_time=100.0)
         kinds = [f.kind for f in rdbms.traces["q"].fault_events]
         assert "crash" in kinds and "retry" in kinds
+
+
+class TestWorkAccounting:
+    """Per-attempt preserved/lost accounting and the conservation law:
+
+        gross work executed == useful work at the end + wasted work.
+    """
+
+    def run_crash(self, checkpoint_interval=None, max_attempts=3):
+        rdbms = SimulatedRDBMS(processing_rate=10.0)
+        rdbms.submit(
+            SyntheticJob("q", 100, checkpoint_interval=checkpoint_interval)
+        )
+        FaultInjector(rdbms, FaultPlan.of(QueryCrash("q", at_time=5.0))).arm()
+        RetryController(
+            rdbms, RetryPolicy(max_attempts=max_attempts, base_delay=2.0)
+        )
+        rdbms.run_to_completion(max_time=200.0)
+        return rdbms.record("q")
+
+    def test_restart_from_scratch_loses_everything(self):
+        record = self.run_crash(checkpoint_interval=None)
+        assert record.status == "finished"
+        # Crash at t=5 with 50 U done; no checkpoint, so all 50 are wasted.
+        assert record.trace.work_preserved == [0.0]
+        assert record.trace.work_lost == [50.0]
+        assert record.trace.wasted_work == pytest.approx(50.0)
+
+    def test_checkpoint_preserves_completed_intervals(self):
+        record = self.run_crash(checkpoint_interval=20.0)
+        assert record.status == "finished"
+        # Crash at 50 U: the last 20-U checkpoint was at 40 U.
+        assert record.trace.work_preserved == [40.0]
+        assert record.trace.work_lost == [10.0]
+
+    def test_conservation_gross_equals_useful_plus_wasted(self):
+        for interval in (None, 20.0):
+            record = self.run_crash(checkpoint_interval=interval)
+            trace = record.trace
+            useful = record.job.completed_work
+            # Attempt 1 executed preserved + lost U; attempt 2 executed
+            # the rest (useful - preserved).  Everything ever executed is
+            # therefore useful + wasted -- no work goes unaccounted.
+            gross = sum(trace.work_preserved) + sum(trace.work_lost) + (
+                useful - trace.preserved_work
+            )
+            assert gross == pytest.approx(useful + trace.wasted_work)
+            assert useful == pytest.approx(100.0)
+
+    def test_give_up_wastes_final_attempt_too(self):
+        rdbms = SimulatedRDBMS(processing_rate=10.0)
+        rdbms.submit(FailingJob("bad", die_after=5.0))
+        RetryController(rdbms, RetryPolicy(max_attempts=2, base_delay=1.0))
+        rdbms.run_to_completion(max_time=100.0)
+        trace = rdbms.traces["bad"]
+        # Both attempts failed: each one's work is recorded as lost.
+        assert len(trace.work_lost) == 2
+        assert trace.preserved_work == 0.0
+        assert trace.wasted_work > 0.0

@@ -1,0 +1,153 @@
+"""Tests for per-query deadline enforcement in the simulated RDBMS.
+
+Semantics under test: a deadline is *absolute* once set (submit time plus
+the job's relative deadline), belongs to the query rather than the
+attempt (resubmission does not reset it), expiry aborts the query exactly
+at the deadline (an intentional workload-management action, never
+retried), and a query finishing exactly at its deadline counts as
+finished.
+"""
+
+import pytest
+
+from repro.faults.injector import FaultInjector
+from repro.faults.plan import FaultPlan, QueryCrash
+from repro.faults.retry import RetryController, RetryPolicy
+from repro.sim.jobs import SyntheticJob
+from repro.sim.rdbms import SimulatedRDBMS
+
+
+class TestJobDeadlines:
+    def test_deadline_must_be_positive(self):
+        for bad in (0.0, -5.0):
+            with pytest.raises(ValueError):
+                SyntheticJob("q", 100, deadline=bad)
+
+    def test_submit_sets_absolute_deadline(self):
+        rdbms = SimulatedRDBMS(processing_rate=10.0)
+        rdbms.run_until(3.0)
+        rdbms.submit(SyntheticJob("q", 100, deadline=20.0))
+        assert rdbms.record("q").deadline_at == pytest.approx(23.0)
+
+    def test_no_deadline_by_default(self):
+        rdbms = SimulatedRDBMS(processing_rate=10.0)
+        rdbms.submit(SyntheticJob("q", 100))
+        assert rdbms.record("q").deadline_at is None
+
+
+class TestEnforcement:
+    def test_expired_deadline_aborts_at_exactly_that_time(self):
+        rdbms = SimulatedRDBMS(processing_rate=10.0)
+        # 900 U at 10 U/s needs 90 s; the 10 s deadline must fire first.
+        rdbms.submit(SyntheticJob("slow", 900, deadline=10.0))
+        rdbms.run_to_completion(max_time=200.0)
+        record = rdbms.record("slow")
+        assert record.status == "aborted"
+        assert record.trace.aborted_at == pytest.approx(10.0)
+        kinds = [f.kind for f in record.trace.fault_events]
+        assert "deadline" in kinds
+
+    def test_finishing_exactly_at_deadline_counts_as_finished(self):
+        rdbms = SimulatedRDBMS(processing_rate=10.0)
+        # 100 U at 10 U/s finishes at t=10.0, the deadline itself.
+        rdbms.submit(SyntheticJob("q", 100, deadline=10.0))
+        rdbms.run_to_completion(max_time=100.0)
+        record = rdbms.record("q")
+        assert record.status == "finished"
+        assert record.trace.finished_at == pytest.approx(10.0)
+
+    def test_comfortable_deadline_is_invisible(self):
+        rdbms = SimulatedRDBMS(processing_rate=10.0)
+        rdbms.submit(SyntheticJob("q", 100, deadline=1000.0))
+        rdbms.run_to_completion(max_time=2000.0)
+        record = rdbms.record("q")
+        assert record.status == "finished"
+        assert record.trace.finished_at == pytest.approx(10.0)
+
+    def test_timeshared_queries_each_respect_their_deadline(self):
+        rdbms = SimulatedRDBMS(processing_rate=10.0)
+        rdbms.submit(SyntheticJob("a", 100, deadline=15.0))
+        rdbms.submit(SyntheticJob("b", 100, deadline=100.0))
+        rdbms.run_to_completion(max_time=500.0)
+        # Timeshared 50/50: "a" would finish at 20 s > its 15 s deadline;
+        # "b" inherits the whole machine afterwards and finishes fine.
+        assert rdbms.record("a").status == "aborted"
+        assert rdbms.record("a").trace.aborted_at == pytest.approx(15.0)
+        assert rdbms.record("b").status == "finished"
+
+    def test_deadline_abort_is_not_retried(self):
+        rdbms = SimulatedRDBMS(processing_rate=10.0)
+        rdbms.submit(SyntheticJob("slow", 900, deadline=10.0))
+        controller = RetryController(
+            rdbms, RetryPolicy(max_attempts=3, base_delay=1.0)
+        )
+        rdbms.run_to_completion(max_time=200.0)
+        assert rdbms.record("slow").status == "aborted"
+        assert rdbms.record("slow").attempts == 1
+        assert controller.retried("slow") == 0
+
+
+class TestDeadlineSurvivesRetry:
+    def test_resubmission_does_not_reset_the_deadline(self):
+        rdbms = SimulatedRDBMS(processing_rate=10.0)
+        # Needs 30 s of work; crashes at t=5; deadline at t=20 holds even
+        # though the retry starts a fresh attempt at t=6.
+        rdbms.submit(SyntheticJob("q", 300, deadline=20.0))
+        FaultInjector(rdbms, FaultPlan.of(QueryCrash("q", at_time=5.0))).arm()
+        RetryController(rdbms, RetryPolicy(max_attempts=3, base_delay=1.0))
+        rdbms.run_to_completion(max_time=200.0)
+        record = rdbms.record("q")
+        assert record.attempts == 2
+        assert record.deadline_at == pytest.approx(20.0)
+        assert record.status == "aborted"
+        assert record.trace.aborted_at == pytest.approx(20.0)
+
+    def test_checkpointed_retry_can_beat_the_deadline(self):
+        # Same crash, but work-preserving recovery keeps 40 of the 50 U
+        # done, so the query finishes before its deadline instead.
+        rdbms = SimulatedRDBMS(processing_rate=10.0)
+        rdbms.submit(
+            SyntheticJob("q", 100, deadline=13.0, checkpoint_interval=20.0)
+        )
+        FaultInjector(rdbms, FaultPlan.of(QueryCrash("q", at_time=5.0))).arm()
+        RetryController(rdbms, RetryPolicy(max_attempts=3, base_delay=1.0))
+        rdbms.run_to_completion(max_time=200.0)
+        record = rdbms.record("q")
+        assert record.status == "finished"
+        # t=5 crash + 1 s backoff + (100 - 40 preserved) U / 10 U/s = 12 s.
+        assert record.trace.finished_at == pytest.approx(12.0)
+
+
+class TestSetDeadlineApi:
+    def test_set_and_clear(self):
+        rdbms = SimulatedRDBMS(processing_rate=10.0)
+        rdbms.submit(SyntheticJob("q", 900))
+        rdbms.set_deadline("q", 10.0)
+        assert rdbms.record("q").deadline_at == 10.0
+        rdbms.set_deadline("q", None)
+        rdbms.run_to_completion(max_time=200.0)
+        assert rdbms.record("q").status == "finished"
+
+    def test_mid_run_deadline_applies(self):
+        rdbms = SimulatedRDBMS(processing_rate=10.0)
+        rdbms.submit(SyntheticJob("q", 900))
+        rdbms.run_until(5.0)
+        rdbms.set_deadline("q", 12.0)
+        rdbms.run_to_completion(max_time=200.0)
+        record = rdbms.record("q")
+        assert record.status == "aborted"
+        assert record.trace.aborted_at == pytest.approx(12.0)
+
+    def test_rejects_past_deadline(self):
+        rdbms = SimulatedRDBMS(processing_rate=10.0)
+        rdbms.submit(SyntheticJob("q", 900))
+        rdbms.run_until(5.0)
+        with pytest.raises(ValueError):
+            rdbms.set_deadline("q", 2.0)
+
+    def test_rejects_terminal_query(self):
+        rdbms = SimulatedRDBMS(processing_rate=10.0)
+        rdbms.submit(SyntheticJob("q", 10))
+        rdbms.run_to_completion(max_time=100.0)
+        with pytest.raises(ValueError):
+            rdbms.set_deadline("q", 50.0)

@@ -57,3 +57,28 @@ class TestTraceSet:
     def test_last_finishing_empty_raises(self):
         with pytest.raises(ValueError):
             TraceSet().last_finishing()
+
+
+class TestAttemptWorkAccounting:
+    def test_starts_empty(self):
+        trace = QueryTrace("q")
+        assert trace.work_preserved == []
+        assert trace.work_lost == []
+        assert trace.preserved_work == 0.0
+        assert trace.wasted_work == 0.0
+
+    def test_record_attempt_work_accumulates(self):
+        trace = QueryTrace("q")
+        trace.record_attempt_work(40.0, 10.0)
+        trace.record_attempt_work(0.0, 25.0)
+        assert trace.work_preserved == [40.0, 0.0]
+        assert trace.work_lost == [10.0, 25.0]
+        assert trace.preserved_work == pytest.approx(40.0)
+        assert trace.wasted_work == pytest.approx(35.0)
+
+    def test_rejects_negative_amounts(self):
+        trace = QueryTrace("q")
+        with pytest.raises(ValueError):
+            trace.record_attempt_work(-1.0, 0.0)
+        with pytest.raises(ValueError):
+            trace.record_attempt_work(0.0, -1.0)

@@ -151,3 +151,78 @@ class TestConstruction:
         rdbms.run_to_completion(max_time=1000.0)
         assert watchdog.demoted == ("huge",)
         assert watchdog.aborted == ("huge",)
+
+
+class TestDeadlineMode:
+    """Predictive deadline enforcement: demote/abort ahead of expiry."""
+
+    def test_predicted_miss_is_demoted_then_aborted_early(self):
+        rdbms = SimulatedRDBMS(processing_rate=10.0)
+        # 2000 U at 10 U/s needs 200 s; the 60 s deadline cannot be met
+        # and the PI knows it immediately.
+        rdbms.submit(SyntheticJob("doomed", 2000, deadline=60.0))
+        watchdog = RunawayQueryWatchdog(rdbms, enforce_deadlines=True)
+        watchdog.attach()
+        rdbms.run_to_completion(max_time=1000.0)
+        actions = [a.action for a in watchdog.actions if a.query_id == "doomed"]
+        assert actions == ["deprioritize", "abort"]
+        abort = [a for a in watchdog.actions if a.action == "abort"][0]
+        # Predictive: well before the hard enforcement at t=60.
+        assert abort.time < 60.0
+        assert "deadline" in abort.reason
+        assert not abort.used_fallback
+
+    def test_meetable_deadline_left_alone(self):
+        rdbms = SimulatedRDBMS(processing_rate=10.0)
+        rdbms.submit(SyntheticJob("fine", 100, deadline=50.0))
+        watchdog = RunawayQueryWatchdog(rdbms, enforce_deadlines=True)
+        watchdog.attach()
+        rdbms.run_to_completion(max_time=1000.0)
+        assert watchdog.actions == []
+        assert rdbms.record("fine").status == "finished"
+
+    def test_queries_without_deadlines_are_ignored(self):
+        rdbms = SimulatedRDBMS(processing_rate=10.0)
+        rdbms.submit(SyntheticJob("huge", 5000))
+        watchdog = RunawayQueryWatchdog(rdbms, enforce_deadlines=True)
+        watchdog.attach()
+        rdbms.run_to_completion(max_time=1000.0)
+        assert watchdog.actions == []
+        assert rdbms.record("huge").status == "finished"
+
+    def test_no_estimate_leaves_hard_enforcement_as_backstop(self):
+        rdbms = SimulatedRDBMS(processing_rate=10.0)
+        rdbms.submit(SyntheticJob("q", 2000, deadline=30.0))
+        # Corrupted stats: the PI refuses, and deadline mode is purely
+        # predictive -- so the watchdog stays silent and the RDBMS's hard
+        # enforcement kills the query at expiry instead.
+        rdbms.corrupt_estimates(float("nan"), "q")
+        watchdog = RunawayQueryWatchdog(rdbms, enforce_deadlines=True)
+        watchdog.attach()
+        rdbms.run_to_completion(max_time=1000.0)
+        assert watchdog.actions == []
+        record = rdbms.record("q")
+        assert record.status == "aborted"
+        assert record.trace.aborted_at == pytest.approx(30.0)
+
+    def test_budget_and_deadline_modes_compose(self):
+        rdbms = SimulatedRDBMS(processing_rate=10.0)
+        rdbms.submit(SyntheticJob("overbudget", 5000))
+        rdbms.submit(SyntheticJob("misses", 900, deadline=30.0))
+        watchdog = RunawayQueryWatchdog(
+            rdbms, budget_seconds=200.0, enforce_deadlines=True
+        )
+        watchdog.attach()
+        rdbms.run_to_completion(max_time=2000.0)
+        assert "overbudget" in watchdog.aborted
+        assert "misses" in watchdog.aborted
+
+    def test_needs_budget_or_deadline_mode(self):
+        rdbms = SimulatedRDBMS(processing_rate=10.0)
+        with pytest.raises(ValueError):
+            RunawayQueryWatchdog(rdbms)
+
+    def test_budget_none_exposed(self):
+        rdbms = SimulatedRDBMS(processing_rate=10.0)
+        watchdog = RunawayQueryWatchdog(rdbms, enforce_deadlines=True)
+        assert watchdog.budget_seconds is None
