@@ -1,6 +1,6 @@
 # Convenience targets for the reproduction package.
 
-.PHONY: install test bench bench-smoke chaos report examples all
+.PHONY: install test bench bench-smoke chaos scale coverage report examples all
 
 install:
 	pip install -e . || python setup.py develop
@@ -19,6 +19,16 @@ bench-smoke:
 
 chaos:
 	pytest -m chaos tests/
+
+# Concurrency-scalability sweep (writes BENCH_scale.json).  Override the
+# sizes for a quick run, e.g.:  make scale REPRO_SCALE_SIZES=100,500,1000
+scale:
+	REPRO_SCALE_SIZES=$(REPRO_SCALE_SIZES) pytest -m scale benchmarks/ --benchmark-only
+
+# Line-coverage gate over the core PI algorithms (requires pytest-cov,
+# installed via `pip install -e .[test]`; CI enforces this).
+coverage:
+	pytest tests/ --cov=repro.core --cov-report=term-missing --cov-fail-under=90
 
 report:
 	python -m repro report --out REPORT.md

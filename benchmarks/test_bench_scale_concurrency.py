@@ -1,0 +1,93 @@
+"""Scalability: shared incremental schedule vs per-PI recomputation.
+
+Sweeps 100 -> 10,000 concurrent queries through :func:`repro.sim.scale.run_scale`
+on a live simulation, prints the refresh-cost table, persists the full
+report to ``BENCH_scale.json`` (its own ``"scale"`` section; the complexity
+bench owns ``"complexity"``) and asserts the headline claims:
+
+* the shared schedule serves a full-system refresh >= 10x faster than
+  independent per-query recomputation at n = 5,000 (in practice the gap is
+  orders of magnitude -- the baseline is ``O(n^2 log n)``);
+* both paths agree on every estimate to 1e-9 relative tolerance;
+* the incremental refresh cost grows sub-quadratically across the sweep
+  (it is ``O(n)`` per refresh; the baseline is what explodes).
+
+``REPRO_SCALE_SIZES`` (comma-separated) overrides the sweep for quick CI
+runs; size-specific assertions apply only when that size is swept.
+Run with ``pytest -m scale benchmarks/``.
+"""
+
+import os
+from pathlib import Path
+
+import pytest
+
+from repro.experiments.reporting import format_table
+from repro.sim.scale import DEFAULT_SIZES, merge_bench_json, run_scale
+
+BENCH_JSON = Path(__file__).resolve().parents[1] / "BENCH_scale.json"
+
+
+def _sizes() -> tuple[int, ...]:
+    raw = os.environ.get("REPRO_SCALE_SIZES", "")
+    if not raw.strip():
+        return DEFAULT_SIZES
+    return tuple(int(part) for part in raw.split(",") if part.strip())
+
+
+@pytest.mark.scale
+def test_scale_concurrency(once):
+    sizes = _sizes()
+    report = once(run_scale, sizes)
+    merge_bench_json(BENCH_JSON, "scale", report.as_dict())
+
+    print()
+    print("Full-system PI refresh cost (totals over "
+          f"{report.rounds} refreshes, milliseconds):")
+    print(
+        format_table(
+            ["n", "incremental", "per-query (est)", "shared recompute",
+             "speedup", "max rel diff"],
+            [
+                (
+                    p.n,
+                    f"{p.incremental_seconds * 1e3:.3f}",
+                    f"{p.per_query_seconds_estimated * 1e3:.1f}",
+                    f"{p.shared_recompute_seconds * 1e3:.3f}",
+                    f"{p.speedup_vs_per_query:.0f}x",
+                    f"{p.max_rel_diff:.2e}",
+                )
+                for p in report.points
+            ],
+        )
+    )
+
+    # Identical estimates: every query, every refresh, both paths.
+    assert report.max_rel_diff <= 1e-9, (
+        f"incremental and recomputed estimates diverge: {report.max_rel_diff:.3e}"
+    )
+
+    # Headline speed-up at n=5,000 (and everywhere else it is swept: the
+    # baseline is quadratic in n, so the gap only widens with n).
+    if 5000 in sizes:
+        point = report.point(5000)
+        assert point.speedup_vs_per_query >= 10.0, (
+            f"only {point.speedup_vs_per_query:.1f}x at n=5000"
+        )
+    largest = report.point(max(sizes))
+    if max(sizes) >= 1000:
+        assert largest.speedup_vs_per_query >= 10.0, (
+            f"only {largest.speedup_vs_per_query:.1f}x at n={largest.n}"
+        )
+
+    # The incremental refresh itself must not blow up with n: across the
+    # sweep its cost stays far below quadratic growth (it is O(n); allow
+    # generous constant-factor noise on top).
+    smallest = report.point(min(sizes))
+    if largest.n >= 4 * smallest.n:
+        growth = largest.n / smallest.n
+        base = max(smallest.incremental_seconds, 1e-6)
+        ratio = largest.incremental_seconds / base
+        assert ratio < growth**2 / 2, (
+            f"incremental refresh scaled {ratio:.1f}x for {growth:.0f}x input"
+        )

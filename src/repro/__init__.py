@@ -23,9 +23,10 @@ See ``README.md`` for a tour, ``DESIGN.md`` for the system inventory and
 """
 
 from repro.core.forecast import AdaptiveForecaster, WorkloadForecast
+from repro.core.incremental import IncrementalSchedule
 from repro.core.model import QuerySnapshot, SystemSnapshot
 from repro.core.multi_query import MultiQueryProgressIndicator
-from repro.core.projection import project
+from repro.core.projection import project, set_default_backend, use_backend
 from repro.core.single_query import SingleQueryProgressIndicator
 from repro.core.standard_case import standard_case
 from repro.engine import (
@@ -65,6 +66,7 @@ __all__ = [
     "ExecutionCheckpoint",
     "FaultInjector",
     "FaultPlan",
+    "IncrementalSchedule",
     "LostWorkCase",
     "MemoryBudgetExceeded",
     "MemoryGovernor",
@@ -90,5 +92,7 @@ __all__ = [
     "plan_maintenance",
     "project",
     "random_fault_plan",
+    "set_default_backend",
     "standard_case",
+    "use_backend",
 ]

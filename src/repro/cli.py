@@ -18,6 +18,10 @@ Commands
     Chaos/recovery demo: inject crashes, stalls, brownouts and corrupted
     statistics into a workload protected by retries and the runaway-query
     watchdog, then print the merged recovery timeline.
+``scale``
+    Concurrency-scalability demo: time a full-system PI refresh served
+    from the shared incremental schedule against per-query recomputation
+    across a sweep of concurrency levels (``--json`` persists the report).
 ``shell``
     Interactive SQL shell over a generated TPC-R database.
 """
@@ -103,6 +107,28 @@ def build_parser() -> argparse.ArgumentParser:
     faults.add_argument(
         "--checkpoint-interval", type=float, default=25.0,
         help="checkpoint cadence in work units for the --engine demo",
+    )
+
+    scale = sub.add_parser(
+        "scale",
+        help="shared-schedule vs per-query recomputation scalability sweep",
+    )
+    scale.add_argument(
+        "--sizes", default=None,
+        help="comma-separated concurrency levels (default: 100,500,1000,5000,10000)",
+    )
+    scale.add_argument(
+        "--rounds", type=int, default=3,
+        help="full-system refreshes timed per concurrency level",
+    )
+    scale.add_argument(
+        "--sample", type=int, default=32,
+        help="queries measured for the per-query recompute baseline",
+    )
+    scale.add_argument("--seed", type=int, default=0)
+    scale.add_argument(
+        "--json", default=None,
+        help="also merge the report into this JSON file (e.g. BENCH_scale.json)",
     )
 
     shell = sub.add_parser(
@@ -453,6 +479,55 @@ def cmd_faults(args: argparse.Namespace) -> int:
     return 0
 
 
+def cmd_scale(args: argparse.Namespace) -> int:
+    """Time shared-schedule refreshes against per-query recomputation."""
+    from repro.experiments.reporting import format_table
+    from repro.sim.scale import DEFAULT_SIZES, merge_bench_json, run_scale
+
+    if args.sizes:
+        try:
+            sizes = tuple(int(p) for p in args.sizes.split(",") if p.strip())
+        except ValueError:
+            print(f"error: bad --sizes {args.sizes!r}", file=sys.stderr)
+            return 1
+    else:
+        sizes = DEFAULT_SIZES
+    try:
+        report = run_scale(
+            sizes, seed=args.seed, rounds=args.rounds, sample=args.sample
+        )
+    except ValueError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 1
+
+    print(f"full-system PI refresh, totals over {report.rounds} refreshes:")
+    print(
+        format_table(
+            ["n", "incremental (ms)", "per-query est (ms)",
+             "one recompute (ms)", "speedup", "max rel diff"],
+            [
+                (
+                    p.n,
+                    f"{p.incremental_seconds * 1e3:.3f}",
+                    f"{p.per_query_seconds_estimated * 1e3:.1f}",
+                    f"{p.shared_recompute_seconds * 1e3:.3f}",
+                    f"{p.speedup_vs_per_query:.0f}x",
+                    f"{p.max_rel_diff:.2e}",
+                )
+                for p in report.points
+            ],
+        )
+    )
+    print(
+        "(per-query baseline measured on "
+        f"{report.sample} sampled queries, extrapolated to n)"
+    )
+    if args.json:
+        merge_bench_json(args.json, "scale", report.as_dict())
+        print(f"merged 'scale' section into {args.json}")
+    return 0
+
+
 def cmd_report(args: argparse.Namespace) -> int:
     """Generate the full Markdown reproduction report."""
     from repro.experiments.full_report import ReportConfig, generate_report
@@ -525,6 +600,8 @@ def main(argv: Sequence[str] | None = None) -> int:
         return cmd_report(args)
     if args.command == "faults":
         return cmd_faults(args)
+    if args.command == "scale":
+        return cmd_scale(args)
     if args.command == "shell":
         return cmd_shell(args)
     raise AssertionError(f"unhandled command {args.command!r}")

@@ -6,9 +6,13 @@ substrate-independent form:
 * :mod:`repro.core.model` -- snapshots of queries and of the whole system.
 * :mod:`repro.core.standard_case` -- the Section 2.2 closed-form stage
   algorithm for ``n`` concurrent queries under weighted fair sharing.
+* :mod:`repro.core.incremental` -- the shared, incrementally-maintained
+  stage schedule: amortized ``O(log n)`` updates serve all concurrent PIs
+  from one structure (see ``docs/PERFORMANCE.md``).
 * :mod:`repro.core.projection` -- an event-driven forward projection that
   generalises the standard case to non-empty admission queues (Section 2.3)
-  and predicted future arrivals (Section 2.4).
+  and predicted future arrivals (Section 2.4), with interchangeable
+  incremental / reference backends.
 * :mod:`repro.core.single_query` -- the single-query baseline PI
   (``t = c / s``) the paper compares against.
 * :mod:`repro.core.multi_query` -- the multi-query progress indicator.
@@ -25,16 +29,25 @@ from repro.core.forecast import (
     OnlineMeanEstimator,
     WorkloadForecast,
 )
+from repro.core.incremental import IncrementalSchedule, incremental_schedule_of
 from repro.core.metrics import relative_error
 from repro.core.model import QuerySnapshot, SystemSnapshot
 from repro.core.multi_query import MultiQueryEstimate, MultiQueryProgressIndicator
-from repro.core.projection import ProjectedQuery, ProjectionResult, project
+from repro.core.projection import (
+    ProjectedQuery,
+    ProjectionResult,
+    default_backend,
+    project,
+    set_default_backend,
+    use_backend,
+)
 from repro.core.single_query import SingleQueryProgressIndicator, SpeedMonitor
 from repro.core.standard_case import Stage, StandardCaseResult, standard_case
 from repro.core.validation import finite_snapshots, validate_finite, validate_snapshots
 
 __all__ = [
     "AdaptiveForecaster",
+    "IncrementalSchedule",
     "MultiQueryEstimate",
     "MultiQueryProgressIndicator",
     "OnlineArrivalRateEstimator",
@@ -48,10 +61,14 @@ __all__ = [
     "StandardCaseResult",
     "SystemSnapshot",
     "WorkloadForecast",
+    "default_backend",
     "finite_snapshots",
+    "incremental_schedule_of",
     "project",
     "relative_error",
+    "set_default_backend",
     "standard_case",
+    "use_backend",
     "validate_finite",
     "validate_snapshots",
 ]

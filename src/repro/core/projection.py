@@ -20,16 +20,66 @@ point are irrelevant.
 With an empty queue and no forecast the projection is equivalent to
 :func:`repro.core.standard_case.standard_case` (a property the test suite
 verifies).
+
+Two interchangeable *backends* drive the active set:
+
+* ``"incremental"`` (the default) keeps the running queries in a shared
+  :class:`~repro.core.incremental.IncrementalSchedule`: each event costs
+  ``O(log n)`` instead of the reference engine's ``O(n)``, so a whole
+  projection is ``O((n + events) log n)``.
+* ``"reference"`` is the direct event loop matching the paper's
+  derivation step for step -- ``O(n)`` per event.  It is kept verbatim
+  as the oracle for the differential test suite.
+
+Both produce the same estimates (within floating-point slack; the
+differential suite asserts agreement to 1e-9) and each is individually
+deterministic: same inputs, same backend, bit-identical outputs.
 """
 
 from __future__ import annotations
 
+from contextlib import contextmanager
 from dataclasses import dataclass
 from typing import Iterable, Iterator, Sequence
 
 from repro.core.forecast import WorkloadForecast
+from repro.core.incremental import IncrementalSchedule
 from repro.core.model import QuerySnapshot
 from repro.core.validation import validate_finite, validate_snapshots
+
+#: Recognised projection backends.
+BACKENDS = ("incremental", "reference")
+
+_default_backend = "incremental"
+
+
+def default_backend() -> str:
+    """The backend used when :func:`project` is called without one."""
+    return _default_backend
+
+
+def set_default_backend(backend: str) -> None:
+    """Set the process-wide default projection backend.
+
+    The incremental backend is the default; switching to ``"reference"``
+    routes every PI in the process through the original full-recompute
+    event loop (useful for differential debugging and A/B timing).
+    """
+    global _default_backend
+    if backend not in BACKENDS:
+        raise ValueError(f"unknown backend {backend!r}; expected one of {BACKENDS}")
+    _default_backend = backend
+
+
+@contextmanager
+def use_backend(backend: str):
+    """Context manager form of :func:`set_default_backend`."""
+    previous = _default_backend
+    set_default_backend(backend)
+    try:
+        yield
+    finally:
+        set_default_backend(previous)
 
 #: Numerical slack used when comparing event times.
 _EPS = 1e-12
@@ -61,6 +111,89 @@ class _Waiting:
     weight: float
     virtual: bool
     arrived_at: float
+
+
+class _ReferenceEngine:
+    """Active set as a flat job list: ``O(n)`` per event (the oracle).
+
+    This is the paper-faithful loop kept verbatim for differential
+    testing: every event recomputes the minimum ``c/w`` ratio and charges
+    work to every active job individually.
+    """
+
+    def __init__(self, processing_rate: float) -> None:
+        self._rate = processing_rate
+        self._jobs: list[_Job] = []
+
+    def __len__(self) -> int:
+        return len(self._jobs)
+
+    def virtual_count(self) -> int:
+        return sum(1 for j in self._jobs if j.virtual)
+
+    def add(self, query_id: str, cost: float, weight: float, virtual: bool) -> None:
+        self._jobs.append(_Job(query_id, cost, weight, virtual))
+
+    def finish_dt(self) -> float:
+        """Time until the earliest active completion, or ``inf``."""
+        if not self._jobs:
+            return float("inf")
+        total = sum(j.weight for j in self._jobs)
+        if total <= 0:  # pragma: no cover - weights are validated > 0
+            return float("inf")
+        min_ratio = min(j.remaining / j.weight for j in self._jobs)
+        return max(min_ratio * total / self._rate, 0.0)
+
+    def advance(self, dt: float, clock_after: float) -> list[tuple[str, bool]]:
+        """Charge *dt* seconds of work; retire and return finished jobs."""
+        total = sum(j.weight for j in self._jobs)
+        if dt > 0 and self._jobs and total > 0:
+            for j in self._jobs:
+                j.remaining -= self._rate * (j.weight / total) * dt
+        slack = _EPS * max(1.0, clock_after)
+        done = [j for j in self._jobs if j.remaining <= slack]
+        if done:
+            done_ids = {id(j) for j in done}
+            self._jobs = [j for j in self._jobs if id(j) not in done_ids]
+        return [(j.query_id, j.virtual) for j in done]
+
+
+class _IncrementalEngine:
+    """Active set as a shared schedule: ``O(log n)`` per event."""
+
+    def __init__(self, processing_rate: float) -> None:
+        self._schedule = IncrementalSchedule(processing_rate)
+        self._virtual_ids: set[str] = set()
+
+    def __len__(self) -> int:
+        return len(self._schedule)
+
+    def virtual_count(self) -> int:
+        return len(self._virtual_ids)
+
+    def add(self, query_id: str, cost: float, weight: float, virtual: bool) -> None:
+        self._schedule.add(QuerySnapshot(query_id, cost, weight=weight))
+        if virtual:
+            self._virtual_ids.add(query_id)
+
+    def finish_dt(self) -> float:
+        head = self._schedule.next_finish()
+        return head[0] if head is not None else float("inf")
+
+    def advance(self, dt: float, clock_after: float) -> list[tuple[str, bool]]:
+        del clock_after  # completion slack is the schedule's concern
+        out = []
+        for _, qid in self._schedule.advance(dt):
+            virtual = qid in self._virtual_ids
+            self._virtual_ids.discard(qid)
+            out.append((qid, virtual))
+        return out
+
+
+_ENGINES = {
+    "incremental": _IncrementalEngine,
+    "reference": _ReferenceEngine,
+}
 
 
 @dataclass(frozen=True)
@@ -122,6 +255,7 @@ def project(
     multiprogramming_limit: int | None = None,
     forecast: WorkloadForecast | None = None,
     extra_arrivals: Iterable[tuple[float, QuerySnapshot]] = (),
+    backend: str | None = None,
 ) -> ProjectionResult:
     """Project the execution of the current workload forward in time.
 
@@ -142,6 +276,11 @@ def project(
     extra_arrivals:
         Known one-off future arrivals as ``(time, snapshot)`` pairs -- used
         by workload-management what-if analyses.
+    backend:
+        ``"incremental"`` (shared-schedule engine, ``O(log n)`` per
+        event), ``"reference"`` (the original ``O(n)``-per-event loop),
+        or ``None`` to use the process default (see
+        :func:`set_default_backend`).
 
     Returns
     -------
@@ -167,10 +306,17 @@ def project(
         )
     validate_snapshots((q for _, q in extra_arrivals), where="extra_arrivals")
     mpl = multiprogramming_limit
+    if backend is None:
+        backend = _default_backend
+    try:
+        engine = _ENGINES[backend](processing_rate)
+    except KeyError:
+        raise ValueError(
+            f"unknown backend {backend!r}; expected one of {BACKENDS}"
+        ) from None
 
-    active: list[_Job] = [
-        _Job(q.query_id, q.remaining_cost, q.weight, virtual=False) for q in running
-    ]
+    for q in running:
+        engine.add(q.query_id, q.remaining_cost, q.weight, virtual=False)
     waiting: list[_Waiting] = [
         _Waiting(q.query_id, q.remaining_cost, q.weight, virtual=False, arrived_at=0.0)
         for q in queued
@@ -185,10 +331,10 @@ def project(
     next_virtual = next(virtual_stream, None)
     virtual_seq = 0
 
-    real_outstanding = len(active) + len(waiting) + len(pending)
+    real_outstanding = len(running) + len(waiting) + len(pending)
     finish_times: dict[str, float] = {}
-    started_at: dict[str, float] = {j.query_id: 0.0 for j in active}
-    arrived_at: dict[str, float] = {j.query_id: 0.0 for j in active}
+    started_at: dict[str, float] = {q.query_id: 0.0 for q in running}
+    arrived_at: dict[str, float] = {q.query_id: 0.0 for q in running}
     arrived_at.update({w.query_id: 0.0 for w in waiting})
 
     clock = 0.0
@@ -196,9 +342,9 @@ def project(
 
     def admit() -> None:
         """Move queued jobs into the active set while slots are available."""
-        while waiting and (mpl is None or len(active) < mpl):
+        while waiting and (mpl is None or len(engine) < mpl):
             w = waiting.pop(0)
-            active.append(_Job(w.query_id, w.cost, w.weight, w.virtual))
+            engine.add(w.query_id, w.cost, w.weight, w.virtual)
             if not w.virtual:
                 started_at[w.query_id] = clock
 
@@ -212,13 +358,8 @@ def project(
                 "forecast load is likely far above capacity"
             )
 
-        total_weight = sum(j.weight for j in active)
-
         # Earliest completion among active jobs.
-        finish_dt = float("inf")
-        if active and total_weight > 0:
-            min_ratio = min(j.remaining / j.weight for j in active)
-            finish_dt = max(min_ratio * total_weight / processing_rate, 0.0)
+        finish_dt = engine.finish_dt()
 
         # Next arrival (known one-off or virtual forecast).
         arrival_t = float("inf")
@@ -232,22 +373,13 @@ def project(
             raise ProjectionError("projection stalled: outstanding work cannot run")
 
         dt = min(finish_dt, arrival_dt)
-        if dt > 0 and active and total_weight > 0:
-            for j in active:
-                j.remaining -= processing_rate * (j.weight / total_weight) * dt
         clock += dt
+        for qid, virtual in engine.advance(dt, clock):
+            if not virtual:
+                finish_times[qid] = clock
+                real_outstanding -= 1
 
-        if finish_dt <= arrival_dt:
-            # Completion event: retire every job that has (numerically) hit 0.
-            slack = _EPS * max(1.0, clock)
-            done = [j for j in active if j.remaining <= slack]
-            done_ids = {id(j) for j in done}
-            active[:] = [j for j in active if id(j) not in done_ids]
-            for j in done:
-                if not j.virtual:
-                    finish_times[j.query_id] = clock
-                    real_outstanding -= 1
-        else:
+        if arrival_dt <= dt:
             # Arrival event: enqueue the arriving query, then try to admit.
             if pending_idx < len(pending) and pending[pending_idx][0] <= arrival_t:
                 _, qid, cost, weight = pending[pending_idx]
@@ -256,7 +388,7 @@ def project(
                 arrived_at[qid] = clock
             elif next_virtual is not None:
                 _, cost, weight = next_virtual
-                n_virtual = sum(1 for j in active if j.virtual) + sum(
+                n_virtual = engine.virtual_count() + sum(
                     1 for w in waiting if w.virtual
                 )
                 if n_virtual < _MAX_VIRTUAL_ACTIVE:

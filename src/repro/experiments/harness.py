@@ -27,6 +27,9 @@ from repro.sim.rdbms import SimulatedRDBMS
 SINGLE_QUERY = "single-query"
 MULTI_QUERY = "multi-query"
 MULTI_QUERY_NO_QUEUE = "multi-query-no-queue"
+#: Estimates served from the RDBMS's shared incremental schedule (one
+#: structure answering every concurrent PI; see ``docs/PERFORMANCE.md``).
+SHARED_SCHEDULE = "shared-schedule"
 
 
 class PIHarness:
@@ -46,6 +49,13 @@ class PIHarness:
         ``multi-query`` indicator (queue-aware, no forecast).
     with_single:
         Whether to run a per-query single-query PI alongside.
+    with_shared_schedule:
+        Whether to also record the ``shared-schedule`` series: per-query
+        remaining times served directly from the RDBMS's shared
+        incremental schedule (:meth:`SimulatedRDBMS.remaining_times`).
+        One amortized ``O(log n)``-maintained structure answers every
+        running query's PI, instead of each indicator re-solving the
+        whole system per sample.
     """
 
     def __init__(
@@ -55,12 +65,14 @@ class PIHarness:
         speed_window: float = 10.0,
         multi_indicators: dict[str, MultiQueryProgressIndicator] | None = None,
         with_single: bool = True,
+        with_shared_schedule: bool = False,
     ) -> None:
         if interval <= 0:
             raise ValueError("interval must be > 0")
         self.rdbms = rdbms
         self.speed_window = speed_window
         self.with_single = with_single
+        self.with_shared_schedule = with_shared_schedule
         if multi_indicators is None:
             multi_indicators = {MULTI_QUERY: MultiQueryProgressIndicator()}
         self.multi_indicators = dict(multi_indicators)
@@ -107,6 +119,11 @@ class PIHarness:
                 estimate = indicator.estimate(snapshot)
                 for qid, seconds in estimate.remaining_seconds.items():
                     rdbms.traces.for_query(qid).record_estimate(name, t, seconds)
+        if self.with_shared_schedule:
+            for qid, seconds in rdbms.remaining_times().items():
+                rdbms.traces.for_query(qid).record_estimate(
+                    SHARED_SCHEDULE, t, seconds
+                )
 
     def sample_now(self) -> None:
         """Take one sample immediately (e.g. at time 0 before running)."""

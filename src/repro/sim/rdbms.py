@@ -31,7 +31,9 @@ import math
 from dataclasses import dataclass, replace
 from typing import Callable, Iterable, Literal, Sequence
 
+from repro.core.incremental import IncrementalSchedule
 from repro.core.model import SystemSnapshot
+from repro.core.standard_case import standard_case
 from repro.engine.errors import EngineError
 from repro.sim.arrivals import ArrivalSchedule
 from repro.sim.jobs import Job, SyntheticJob
@@ -118,6 +120,9 @@ class SimulatedRDBMS:
         self._event_seq = 0
         self._estimate_corruption: dict[str | None, float] = {}
         self._rejecting_arrivals = False
+        #: The shared incremental schedule serving all PIs, built lazily
+        #: and maintained across steps; None when invalidated.
+        self._shared_schedule: IncrementalSchedule | None = None
         self.traces = TraceSet()
         #: Called with (time, query_id) when a query finishes.
         self.on_finish: list[Callable[[float, str], None]] = []
@@ -193,6 +198,123 @@ class SimulatedRDBMS:
     def current_speeds(self) -> dict[str, float]:
         """Instantaneous per-query speeds, U/s."""
         return self.speed_model.speeds(self._running, self.processing_rate)
+
+    # ------------------------------------------------------------------
+    # Shared incremental schedule (one structure serves all PIs)
+    # ------------------------------------------------------------------
+
+    @property
+    def shared_schedule_supported(self) -> bool:
+        """Whether the running mix can be served by the shared schedule.
+
+        True only under pure weighted fair sharing (the paper's
+        Assumptions 1+3) with analytically-predictable synthetic jobs.
+        Engine jobs, degraded speed models and fault-injection overlays
+        (which replace ``speed_model`` with a
+        :class:`~repro.sim.scheduler.ScaledSpeedModel`) make the shared
+        schedule's predictions diverge from execution, so those
+        configurations fall back to full recomputation.
+        """
+        return type(self.speed_model) is WeightedFairSharing and all(
+            isinstance(j, SyntheticJob) for j in self._running
+        )
+
+    def shared_schedule(self) -> IncrementalSchedule | None:
+        """The shared :class:`IncrementalSchedule` over the running set.
+
+        Built lazily the first time a reader needs it, then maintained
+        incrementally across admissions, completions, blocks and
+        priority changes -- amortized ``O(log n)`` per change instead of
+        an ``O(n log n)`` rebuild per PI refresh.  Every concurrent PI
+        is served from this one structure.
+
+        Returns ``None`` when the current configuration is unsupported
+        (see :attr:`shared_schedule_supported`) or a running job carries
+        a non-finite estimate; callers fall back to
+        :func:`~repro.core.standard_case.standard_case`.
+
+        The schedule reads the jobs' own uncorrupted estimates (the
+        engine-internal view); :meth:`corrupt_estimates` only affects
+        :meth:`snapshot`, i.e. what external PIs observe.
+        """
+        if not self.shared_schedule_supported:
+            self._shared_schedule = None
+            return None
+        if self._shared_schedule is None:
+            sched = IncrementalSchedule(self.processing_rate)
+            try:
+                for job in self._running:
+                    sched.add(job.snapshot())
+            except ValueError:
+                return None
+            self._shared_schedule = sched
+        return self._shared_schedule
+
+    def remaining_time_of(self, query_id: str) -> float:
+        """Remaining time of one *running* query under the current mix.
+
+        Served from the shared schedule in ``O(log n)`` when available,
+        falling back to a fresh standard-case solve.  Raises
+        :class:`KeyError` for unknown queries and :class:`ValueError`
+        when the query is not currently running.
+        """
+        record = self.record(query_id)
+        if record.status != "running":
+            raise ValueError(f"query {query_id!r} is {record.status}, not running")
+        sched = self.shared_schedule()
+        if sched is not None:
+            return sched.remaining_time_of(query_id)
+        snaps = [j.snapshot() for j in self._running]
+        result = standard_case(snaps, self.processing_rate, include_stages=False)
+        return result.remaining_times[query_id]
+
+    def remaining_times(self) -> dict[str, float]:
+        """Remaining times of every running query, in one ``O(n)`` sweep."""
+        sched = self.shared_schedule()
+        if sched is not None:
+            return sched.remaining_times()
+        if not self._running:
+            return {}
+        snaps = [j.snapshot() for j in self._running]
+        result = standard_case(snaps, self.processing_rate, include_stages=False)
+        return dict(result.remaining_times)
+
+    def _invalidate_schedule(self) -> None:
+        self._shared_schedule = None
+
+    def _schedule_admit(self, job: Job) -> None:
+        """Mirror an admission into the shared schedule, if one is live."""
+        if self._shared_schedule is None:
+            return
+        if not isinstance(job, SyntheticJob):
+            self._invalidate_schedule()
+            return
+        try:
+            self._shared_schedule.add(job.snapshot())
+        except ValueError:
+            self._invalidate_schedule()
+
+    def _sync_schedule(self, dt: float, finished: list[Job]) -> None:
+        """Advance the shared schedule alongside one simulation step.
+
+        The queries the schedule retires must exactly match the jobs the
+        simulator just finished; any divergence (changed speed model,
+        numerical disagreement) invalidates the schedule so the next
+        reader rebuilds from ground truth.
+        """
+        if not self.shared_schedule_supported:
+            self._invalidate_schedule()
+            return
+        schedule = self._shared_schedule
+        assert schedule is not None
+        finished_ids = {j.query_id for j in finished}
+        if dt > 0:
+            for _, qid in schedule.advance(dt):
+                if qid not in finished_ids:
+                    self._invalidate_schedule()
+                    return
+        for qid in finished_ids:
+            schedule.discard(qid)
 
     # ------------------------------------------------------------------
     # Workload submission
@@ -413,6 +535,8 @@ class SimulatedRDBMS:
         if record.status != "running":
             raise ValueError(f"query {query_id!r} is {record.status}, not running")
         self._running = [j for j in self._running if j.query_id != query_id]
+        if self._shared_schedule is not None:
+            self._shared_schedule.discard(query_id)
         self._blocked[query_id] = record.job
         record.status = "blocked"
         if admit_replacement:
@@ -438,6 +562,11 @@ class SimulatedRDBMS:
         job.weight = weight_for_priority(priority) if weight is None else float(weight)
         if job.weight <= 0:
             raise ValueError("weight must be > 0")
+        if self._shared_schedule is not None and record.status == "running":
+            try:
+                self._shared_schedule.reweight(query_id, job.weight)
+            except (KeyError, ValueError):
+                self._invalidate_schedule()
 
     def drain(self, rejecting: bool = True) -> None:
         """Operation O1 of the maintenance problem: reject new arrivals."""
@@ -490,6 +619,7 @@ class SimulatedRDBMS:
         while self._queue and (mpl is None or len(self._running) < mpl):
             job = self._queue.pop(0)
             self._running.append(job)
+            self._schedule_admit(job)
             record = self._records[job.query_id]
             record.status = "running"
             if record.trace.started_at is None:
@@ -593,6 +723,8 @@ class SimulatedRDBMS:
         else:
             finished = [j for j in self._running if j.finished]
         self._clock += dt
+        if self._shared_schedule is not None:
+            self._sync_schedule(dt, finished)
 
         for job, exc in failed:
             self._running = [j for j in self._running if j.query_id != job.query_id]
@@ -653,6 +785,8 @@ class SimulatedRDBMS:
         self._running = [j for j in self._running if j.query_id != query_id]
         self._queue = [j for j in self._queue if j.query_id != query_id]
         self._blocked.pop(query_id, None)
+        if self._shared_schedule is not None:
+            self._shared_schedule.discard(query_id)
 
     def _record_trace_point(self) -> None:
         speeds = self.current_speeds()

@@ -1,0 +1,269 @@
+"""Scalability harness: one shared schedule vs per-PI recomputation.
+
+The paper argues (Section 4.3) that the standard-case algorithm is cheap
+because "the effective n ... is likely to be small".  This harness probes
+the opposite regime: hundreds to tens of thousands of *concurrent* queries,
+each wanting a progress estimate on every refresh.
+
+Two ways to refresh every PI in the system:
+
+* **per-query recomputation** -- the naive deployment: each of the ``n``
+  PIs independently re-runs :func:`~repro.core.standard_case.standard_case`
+  over the whole mix, ``O(n^2 log n)`` per full-system refresh;
+* **shared incremental schedule** -- all PIs are served from the
+  simulator's single :class:`~repro.core.incremental.IncrementalSchedule`
+  (maintained across steps in amortized ``O(log n)`` per structural
+  change), so a full-system refresh is one ``O(n)`` sweep.
+
+:func:`run_scale` drives a live :class:`~repro.sim.rdbms.SimulatedRDBMS`
+(so schedule *maintenance* -- admissions, aborts, finishes -- is part of
+what is exercised), times both refresh paths, verifies they agree to
+floating-point tolerance and returns a :class:`ScaleReport`.
+``benchmarks/test_bench_scale_concurrency.py`` persists the report to
+``BENCH_scale.json``.
+
+The per-query baseline is *sampled*: at large ``n``, timing all ``n``
+independent recomputations would take minutes, so ``sample`` queries are
+measured and the total is extrapolated linearly (each recomputation does
+identical work, so the extrapolation is exact up to timer noise).  Reports
+flag this with ``extrapolated=True``.  The single full recomputation both
+paths are verified against is also timed (``shared_recompute_seconds``) --
+the honest middle ground of "recompute once, share the result", which the
+incremental schedule still beats because it never re-sorts.
+"""
+
+from __future__ import annotations
+
+import json
+import random
+import time
+from dataclasses import asdict, dataclass
+from pathlib import Path
+from typing import Sequence
+
+from repro.core.standard_case import standard_case
+from repro.sim.jobs import SyntheticJob
+from repro.sim.rdbms import SimulatedRDBMS
+
+#: Default concurrency sweep.
+DEFAULT_SIZES = (100, 500, 1000, 5000, 10000)
+
+
+@dataclass(frozen=True)
+class ScalePoint:
+    """Measurements for one concurrency level ``n``.
+
+    All ``*_seconds`` figures are totals over ``rounds`` full-system
+    refreshes.
+    """
+
+    n: int
+    rounds: int
+    #: How many queries the per-query baseline actually timed.
+    sampled_queries: int
+    #: Whether ``per_query_seconds_estimated`` was extrapolated from a
+    #: sample rather than measured over all ``n`` queries.
+    extrapolated: bool
+    #: Refreshing all ``n`` PIs from the shared incremental schedule.
+    incremental_seconds: float
+    #: Measured time for ``sampled_queries`` independent recomputations.
+    per_query_seconds_measured: float
+    #: ``per_query_seconds_measured`` scaled to all ``n`` queries.
+    per_query_seconds_estimated: float
+    #: One full standard-case solve per round, shared by every PI.
+    shared_recompute_seconds: float
+    #: Full-system refresh speed-up vs independent per-query recomputation.
+    speedup_vs_per_query: float
+    #: Speed-up vs a single shared recomputation per refresh.
+    speedup_vs_shared_recompute: float
+    #: Largest |incremental - reference| over every query and round.
+    max_abs_diff: float
+    #: Same, scaled by ``max(1, |reference|)``.
+    max_rel_diff: float
+
+
+@dataclass(frozen=True)
+class ScaleReport:
+    """Output of :func:`run_scale`."""
+
+    sizes: tuple[int, ...]
+    seed: int
+    rounds: int
+    sample: int
+    points: tuple[ScalePoint, ...]
+
+    @property
+    def max_rel_diff(self) -> float:
+        """Worst relative disagreement across the whole sweep."""
+        return max((p.max_rel_diff for p in self.points), default=0.0)
+
+    def point(self, n: int) -> ScalePoint:
+        """The measurement for concurrency level *n*."""
+        for p in self.points:
+            if p.n == n:
+                return p
+        raise KeyError(f"no scale point for n={n}")
+
+    def as_dict(self) -> dict:
+        """JSON-serialisable form (the ``BENCH_scale.json`` schema)."""
+        return {
+            "sizes": list(self.sizes),
+            "seed": self.seed,
+            "rounds": self.rounds,
+            "sample": self.sample,
+            "points": [asdict(p) for p in self.points],
+        }
+
+
+def _build_rdbms(n: int, seed: int) -> SimulatedRDBMS:
+    """``n`` concurrent synthetic queries under weighted fair sharing.
+
+    ``processing_rate = n`` keeps remaining times O(cost) regardless of
+    concurrency, so virtual-time magnitudes (and hence FP error scales)
+    are comparable across the sweep.
+    """
+    rng = random.Random(seed)
+    rdbms = SimulatedRDBMS(processing_rate=float(n))
+    for i in range(n):
+        rdbms.submit(
+            SyntheticJob(
+                f"q{i}",
+                rng.uniform(50.0, 150.0),
+                priority=rng.choice((0, 1, 2)),
+            )
+        )
+    return rdbms
+
+
+def _measure_point(n: int, seed: int, rounds: int, sample: int) -> ScalePoint:
+    rdbms = _build_rdbms(n, seed)
+    rng = random.Random(seed + 1)
+    # Cold build of the shared schedule happens here, outside the timed
+    # region: it is paid once per workload, not once per refresh.
+    if rdbms.shared_schedule() is None:  # pragma: no cover - defensive
+        raise RuntimeError("shared schedule unsupported in scale harness")
+
+    churn = max(1, n // 200)
+    fresh = 0
+    inc_total = 0.0
+    per_q_total = 0.0
+    shared_total = 0.0
+    max_abs = 0.0
+    max_rel = 0.0
+    sampled = min(sample, n)
+
+    for _ in range(rounds):
+        # Structural churn: aborts and arrivals between refreshes, so the
+        # timed refresh rides on an incrementally *maintained* schedule,
+        # not a freshly built one.
+        running = list(rdbms.running)
+        for job in rng.sample(running, min(churn, len(running))):
+            rdbms.abort(job.query_id)
+        for _ in range(churn):
+            rdbms.submit(
+                SyntheticJob(
+                    f"fresh{fresh}",
+                    rng.uniform(50.0, 150.0),
+                    priority=rng.choice((0, 1, 2)),
+                )
+            )
+            fresh += 1
+        rdbms.run_until(rdbms.clock + 0.5)
+
+        # Refresh path 1: every PI served from the shared schedule.
+        start = time.perf_counter()
+        incremental = rdbms.remaining_times()
+        inc_total += time.perf_counter() - start
+
+        snaps = [j.snapshot() for j in rdbms.running]
+        ids = [s.query_id for s in snaps]
+
+        # Refresh path 2 (baseline): each PI independently re-solves the
+        # whole system; measured on a sample, extrapolated linearly.
+        chosen = rng.sample(ids, min(sampled, len(ids)))
+        start = time.perf_counter()
+        for qid in chosen:
+            result = standard_case(
+                snaps, rdbms.processing_rate, include_stages=False
+            )
+            result.remaining_times[qid]
+        per_q_total += time.perf_counter() - start
+
+        # Refresh path 3: recompute once, share the result.  Also the
+        # reference the incremental answers are verified against.
+        start = time.perf_counter()
+        reference = standard_case(
+            snaps, rdbms.processing_rate, include_stages=False
+        ).remaining_times
+        shared_total += time.perf_counter() - start
+
+        for qid, expected in reference.items():
+            diff = abs(incremental[qid] - expected)
+            max_abs = max(max_abs, diff)
+            max_rel = max(max_rel, diff / max(1.0, abs(expected)))
+
+    per_q_estimated = per_q_total * (n / sampled)
+    return ScalePoint(
+        n=n,
+        rounds=rounds,
+        sampled_queries=sampled,
+        extrapolated=sampled < n,
+        incremental_seconds=inc_total,
+        per_query_seconds_measured=per_q_total,
+        per_query_seconds_estimated=per_q_estimated,
+        shared_recompute_seconds=shared_total,
+        speedup_vs_per_query=per_q_estimated / max(inc_total, 1e-12),
+        speedup_vs_shared_recompute=shared_total / max(inc_total, 1e-12),
+        max_abs_diff=max_abs,
+        max_rel_diff=max_rel,
+    )
+
+
+def run_scale(
+    sizes: Sequence[int] = DEFAULT_SIZES,
+    seed: int = 0,
+    rounds: int = 3,
+    sample: int = 32,
+) -> ScaleReport:
+    """Sweep the concurrency levels in *sizes* and measure both paths.
+
+    Deterministic given (*sizes*, *seed*) up to wall-clock timing noise:
+    the workloads, churn and verification values are seeded; only the
+    ``*_seconds`` figures vary between runs.
+    """
+    if not sizes:
+        raise ValueError("sizes must not be empty")
+    if any(n < 1 for n in sizes):
+        raise ValueError(f"sizes must all be >= 1, got {tuple(sizes)}")
+    if rounds < 1:
+        raise ValueError("rounds must be >= 1")
+    if sample < 1:
+        raise ValueError("sample must be >= 1")
+    points = tuple(
+        _measure_point(n, seed, rounds, sample) for n in sizes
+    )
+    return ScaleReport(
+        sizes=tuple(sizes), seed=seed, rounds=rounds, sample=sample,
+        points=points,
+    )
+
+
+def merge_bench_json(path: str | Path, section: str, payload: dict) -> dict:
+    """Replace *section* of the JSON report at *path*, keeping the rest.
+
+    Benches run in any order (or alone); each owns one top-level section
+    of ``BENCH_scale.json`` and must not clobber the others.  Corrupt or
+    non-object content is discarded rather than crashing a bench run.
+    """
+    path = Path(path)
+    data: dict = {}
+    if path.exists():
+        try:
+            loaded = json.loads(path.read_text())
+        except ValueError:
+            loaded = None
+        if isinstance(loaded, dict):
+            data = loaded
+    data[section] = payload
+    path.write_text(json.dumps(data, indent=2, sort_keys=True) + "\n")
+    return data

@@ -73,6 +73,16 @@ class RunawayQueryWatchdog:
         aborted -- well before the RDBMS's hard deadline enforcement
         would kill it at expiry.  Purely predictive: with no usable PI
         estimate the hard enforcement remains the only backstop.
+    use_shared_schedule:
+        Serve estimates from the RDBMS's shared incremental schedule
+        (:meth:`SimulatedRDBMS.remaining_times`) when it is available,
+        instead of re-running the PI per check -- ``O(n)`` per tick off
+        one incrementally-maintained structure rather than a full
+        re-solve.  Off by default: the shared schedule reads the
+        engine-internal (uncorrupted) estimates, so with it on the
+        watchdog never sees corrupted statistics and the observed-work
+        fallback path is not exercised.  The PI remains the fallback
+        whenever the schedule is unsupported.
 
     Call :meth:`attach` once before running the simulation.
     """
@@ -85,6 +95,7 @@ class RunawayQueryWatchdog:
         pi: MultiQueryProgressIndicator | None = None,
         demote_priority: int = -2,
         enforce_deadlines: bool = False,
+        use_shared_schedule: bool = False,
     ) -> None:
         if budget_seconds is not None and (
             not math.isfinite(budget_seconds) or budget_seconds <= 0
@@ -104,6 +115,7 @@ class RunawayQueryWatchdog:
         self._pi = pi if pi is not None else MultiQueryProgressIndicator()
         self._demote_priority = demote_priority
         self._enforce_deadlines = enforce_deadlines
+        self._use_shared_schedule = use_shared_schedule
         self._demoted: set[str] = set()
         self._attached = False
         #: Chronological log of enforcement actions.
@@ -142,6 +154,11 @@ class RunawayQueryWatchdog:
 
     def _estimates(self) -> dict[str, float] | None:
         """PI remaining-time estimates, or ``None`` if the PI is unusable."""
+        if (
+            self._use_shared_schedule
+            and self._rdbms.shared_schedule() is not None
+        ):
+            return self._rdbms.remaining_times()
         try:
             estimate = self._pi.estimate(self._rdbms.snapshot())
         except ValueError:

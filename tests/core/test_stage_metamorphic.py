@@ -1,0 +1,120 @@
+"""Metamorphic properties of the stage schedule (Section 2.2).
+
+Three relations that must hold for *any* workload, checked against both
+implementations of the standard case -- the closed-form oracle
+(:func:`standard_case`) and the shared :class:`IncrementalSchedule`:
+
+1. **Weight-scale invariance**: multiplying every weight by the same
+   ``k > 0`` changes nothing -- fair sharing only sees weight *ratios*.
+2. **Cost monotonicity**: adding remaining cost to one query never
+   decreases *any* query's finish time (the slowed query obviously, and
+   everyone scheduled around it can only be pushed later or left alone).
+3. **Finish-order law**: completion order is ascending ``c/w`` ratio,
+   ties broken by query id (the paper's Observation in Section 2.2).
+"""
+
+import math
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.incremental import IncrementalSchedule
+from repro.core.model import QuerySnapshot
+from repro.core.standard_case import standard_case
+
+TOL = 1e-9
+
+
+@st.composite
+def workloads(draw, min_n=1, max_n=10):
+    n = draw(st.integers(min_n, max_n))
+    return [
+        QuerySnapshot(
+            f"q{i}",
+            draw(st.floats(0.0, 1000.0, allow_nan=False, allow_infinity=False)),
+            weight=draw(
+                st.floats(0.05, 16.0, allow_nan=False, allow_infinity=False)
+            ),
+        )
+        for i in range(n)
+    ]
+
+
+rates = st.floats(0.1, 100.0, allow_nan=False, allow_infinity=False)
+scales = st.floats(0.01, 100.0, allow_nan=False, allow_infinity=False)
+
+
+def both_remaining_times(queries, rate):
+    """Remaining times via the oracle and via the shared schedule."""
+    oracle = standard_case(queries, rate, include_stages=False).remaining_times
+    incremental = IncrementalSchedule(rate, queries).remaining_times()
+    return oracle, incremental
+
+
+@settings(deadline=None)
+@given(queries=workloads(), rate=rates, k=scales)
+def test_uniform_weight_scaling_changes_nothing(queries, rate, k):
+    scaled = [
+        QuerySnapshot(q.query_id, q.remaining_cost, weight=q.weight * k)
+        for q in queries
+    ]
+    for impl_base, impl_scaled in zip(
+        both_remaining_times(queries, rate),
+        both_remaining_times(scaled, rate),
+    ):
+        for q in queries:
+            base = impl_base[q.query_id]
+            after = impl_scaled[q.query_id]
+            assert math.isclose(base, after, rel_tol=1e-6, abs_tol=1e-6), (
+                f"{q.query_id}: {base!r} became {after!r} under x{k} weights"
+            )
+
+
+@settings(deadline=None)
+@given(
+    data=st.data(),
+    queries=workloads(),
+    rate=rates,
+    extra=st.floats(0.001, 500.0, allow_nan=False, allow_infinity=False),
+)
+def test_adding_cost_never_speeds_anyone_up(data, queries, rate, extra):
+    slowed_id = data.draw(
+        st.sampled_from([q.query_id for q in queries]), label="slowed"
+    )
+    slowed = [
+        QuerySnapshot(
+            q.query_id,
+            q.remaining_cost + (extra if q.query_id == slowed_id else 0.0),
+            weight=q.weight,
+        )
+        for q in queries
+    ]
+    for impl_base, impl_slowed in zip(
+        both_remaining_times(queries, rate),
+        both_remaining_times(slowed, rate),
+    ):
+        for q in queries:
+            before = impl_base[q.query_id]
+            after = impl_slowed[q.query_id]
+            assert after >= before - TOL * max(1.0, abs(before)), (
+                f"{q.query_id} got faster ({before!r} -> {after!r}) after "
+                f"adding {extra} cost to {slowed_id}"
+            )
+
+
+@settings(deadline=None)
+@given(queries=workloads(), rate=rates)
+def test_finish_order_is_ascending_cost_weight_ratio(queries, rate):
+    expected = tuple(
+        q.query_id
+        for q in sorted(
+            queries, key=lambda q: (q.remaining_cost / q.weight, q.query_id)
+        )
+    )
+    oracle = standard_case(queries, rate, include_stages=False)
+    assert oracle.finish_order == expected
+    sched = IncrementalSchedule(rate, queries)
+    assert sched.finish_order() == expected
+    # And actually *running* the schedule retires queries in that order.
+    drained = sched.advance(oracle.remaining_times[expected[-1]] + 1.0)
+    assert tuple(qid for _, qid in drained) == expected

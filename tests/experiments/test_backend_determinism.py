@@ -1,0 +1,127 @@
+"""Seeded-determinism regression: both backends, byte-identical reruns.
+
+Two guarantees, per projection backend:
+
+* **Reproducibility**: the same MCQ / NAQ / SCQ configuration and seed
+  produce *byte-identical* traces and estimate series on every rerun
+  (the incremental schedule uses seeded treap priorities precisely so
+  that identical op sequences yield identical floats).
+* **Backend agreement**: the incremental and reference backends produce
+  the same estimate series to floating-point tolerance (bit-identity
+  across different algorithms is not a meaningful ask; 1e-9 relative
+  agreement is the contract the differential suite enforces).
+"""
+
+import math
+
+import pytest
+
+from repro.core.multi_query import MultiQueryProgressIndicator
+from repro.core.projection import BACKENDS, default_backend, use_backend
+from repro.experiments.harness import MULTI_QUERY
+from repro.experiments.mcq import MCQConfig, run_mcq
+from repro.experiments.naq import NAQConfig, run_naq
+from repro.experiments.scq import SCQConfig, simulate_scq_run
+
+MCQ_CONFIG = MCQConfig(n_queries=6, max_size=40, sample_interval=2.0, seed=11)
+SCQ_CONFIG = SCQConfig(n_initial=6, runs=1, seed=7)
+
+
+def _canon_mcq(result) -> str:
+    return repr(
+        (
+            result.focus_query,
+            result.finish_time,
+            result.actual,
+            sorted((name, list(s)) for name, s in result.estimates.items()),
+            result.speed,
+            sorted(result.finish_times.items()),
+        )
+    )
+
+
+def _canon_naq(result) -> str:
+    return repr(
+        (
+            sorted((name, list(s)) for name, s in result.estimates.items()),
+            result.q1_finish,
+            result.q3_start,
+            result.q3_finish,
+        )
+    )
+
+
+def _canon_scq(run) -> str:
+    estimate = MultiQueryProgressIndicator().estimate(run.snapshot0)
+    return repr(
+        (
+            run.snapshot0,
+            sorted(run.speeds0.items()),
+            sorted(run.actual_finish.items()),
+            run.initial_ids,
+            run.arrival_times,
+            sorted(estimate.remaining_seconds.items()),
+        )
+    )
+
+
+EXPERIMENTS = {
+    "mcq": lambda: _canon_mcq(run_mcq(MCQ_CONFIG)),
+    "naq": lambda: _canon_naq(run_naq(NAQConfig())),
+    "scq": lambda: _canon_scq(simulate_scq_run(SCQ_CONFIG, lam=0.05, seed=3)),
+}
+
+
+@pytest.mark.parametrize("backend", BACKENDS)
+@pytest.mark.parametrize("experiment", sorted(EXPERIMENTS))
+def test_same_seed_is_byte_identical(backend, experiment):
+    runner = EXPERIMENTS[experiment]
+    with use_backend(backend):
+        first = runner()
+        second = runner()
+    assert first == second, (
+        f"{experiment} under {backend!r} backend is not reproducible"
+    )
+
+
+def test_use_backend_restores_default():
+    before = default_backend()
+    with use_backend("reference"):
+        assert default_backend() == "reference"
+        with use_backend("incremental"):
+            assert default_backend() == "incremental"
+        assert default_backend() == "reference"
+    assert default_backend() == before
+
+
+def test_backends_agree_on_mcq_series():
+    results = {}
+    for backend in BACKENDS:
+        with use_backend(backend):
+            results[backend] = run_mcq(MCQ_CONFIG)
+    inc, ref = results["incremental"], results["reference"]
+    assert inc.focus_query == ref.focus_query
+    # The simulation itself is backend-independent: identical timelines.
+    assert inc.finish_time == ref.finish_time
+    assert inc.finish_times == ref.finish_times
+    inc_series = inc.estimates[MULTI_QUERY]
+    ref_series = ref.estimates[MULTI_QUERY]
+    assert len(inc_series) == len(ref_series)
+    for (t1, v1), (t2, v2) in zip(inc_series, ref_series):
+        assert t1 == t2
+        assert math.isclose(v1, v2, rel_tol=1e-9, abs_tol=1e-6), (
+            f"estimate at t={t1}: incremental={v1!r} reference={v2!r}"
+        )
+
+
+def test_explicit_backend_overrides_default():
+    pi_ref = MultiQueryProgressIndicator(backend="reference")
+    pi_inc = MultiQueryProgressIndicator(backend="incremental")
+    pi_default = MultiQueryProgressIndicator()
+    assert pi_ref.backend == "reference"
+    assert pi_inc.backend == "incremental"
+    with use_backend("reference"):
+        assert pi_default.backend == "reference"
+        assert pi_inc.backend == "incremental"
+    with pytest.raises(ValueError, match="unknown backend"):
+        MultiQueryProgressIndicator(backend="treap")

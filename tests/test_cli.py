@@ -100,6 +100,30 @@ class TestFaults:
         )[1]
 
 
+class TestScale:
+    def test_small_sweep(self, capsys, tmp_path):
+        out_json = tmp_path / "bench.json"
+        code = main([
+            "scale", "--sizes", "30,60", "--rounds", "1",
+            "--sample", "5", "--json", str(out_json),
+        ])
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "full-system PI refresh" in out
+        assert "speedup" in out
+        import json
+
+        data = json.loads(out_json.read_text())
+        assert [p["n"] for p in data["scale"]["points"]] == [30, 60]
+        assert data["scale"]["points"][0]["max_rel_diff"] <= 1e-9
+
+    def test_bad_flags_report_clean_errors(self, capsys):
+        assert main(["scale", "--sizes", "ten,20"]) == 1
+        assert "error:" in capsys.readouterr().err
+        assert main(["scale", "--sizes", "10", "--rounds", "0"]) == 1
+        assert "error:" in capsys.readouterr().err
+
+
 class TestExperiments:
     def test_table1(self, capsys):
         assert main(["experiment", "table1"]) == 0
