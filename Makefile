@@ -1,6 +1,6 @@
 # Convenience targets for the reproduction package.
 
-.PHONY: install test bench bench-smoke chaos scale coverage report examples all
+.PHONY: install test bench bench-smoke chaos scale coverage report observe examples all
 
 install:
 	pip install -e . || python setup.py develop
@@ -32,6 +32,12 @@ coverage:
 
 report:
 	python -m repro report --out REPORT.md
+
+# Observed seeded MCQ: accuracy summary + JSONL trace + metrics merge,
+# then schema-check the trace (see docs/OBSERVABILITY.md).
+observe:
+	python -m repro report --observe --trace trace.jsonl --metrics-json BENCH_obs.json
+	python -m repro report --validate-trace trace.jsonl
 
 examples:
 	for f in examples/*.py; do echo "== $$f"; python $$f > /dev/null || exit 1; done

@@ -1,0 +1,134 @@
+"""Overhead gate for the observability layer (docs/OBSERVABILITY.md).
+
+Instrumentation must be free when disabled: every hot-path hook compiles
+down to one ``self._obs is not None`` identity check.  This bench measures
+that claim two ways and fails if the disabled path costs more than 5%:
+
+* **refresh path** -- ``rdbms.remaining_times()`` (instrumented, obs
+  disabled) vs a replica of the pre-instrumentation refresh (same
+  ``shared_schedule()`` dispatch, no obs guards) at n = 2,000 live
+  queries, best-of-k;
+* **full run** -- an identical simulated workload driven to completion
+  with observability disabled vs enabled-with-memory-sink, reported for
+  context (the enabled path is allowed to cost more; only the disabled
+  path is gated).
+
+Run with ``pytest -m scale benchmarks/test_bench_obs_overhead.py``.
+"""
+
+import time
+
+import pytest
+
+from repro.obs import observed
+from repro.sim.rdbms import SimulatedRDBMS, make_synthetic_workload
+
+#: Disabled instrumentation may cost at most this fraction over untraced.
+OVERHEAD_GATE = 0.05
+
+N_QUERIES = 2000
+ROUNDS = 200
+BEST_OF = 5
+
+
+def _loaded_rdbms(n=N_QUERIES):
+    rdbms = SimulatedRDBMS(processing_rate=50.0)
+    jobs = make_synthetic_workload(
+        [10.0 + (i % 7) for i in range(n)],
+        priorities=[i % 3 for i in range(n)],
+    )
+    for job in jobs:
+        rdbms.submit(job)
+    rdbms.shared_schedule()  # build once so timing sees steady state
+    return rdbms
+
+
+def _best_of(fn, k=BEST_OF):
+    best = float("inf")
+    for _ in range(k):
+        t0 = time.perf_counter()
+        fn()
+        best = min(best, time.perf_counter() - t0)
+    return best
+
+
+def _min_pair_ratio(fn_a, fn_b, k=BEST_OF):
+    """Minimum a/b time ratio over k back-to-back pairs.
+
+    Scheduler noise and CPU frequency drift only ever *inflate* a single
+    measurement, so the smallest observed ratio is the tightest available
+    estimate of the intrinsic cost ratio: a genuine overhead above the
+    gate would show up in every pair.
+    """
+    best_ratio = float("inf")
+    best_a = best_b = None
+    for _ in range(k):
+        t0 = time.perf_counter()
+        fn_a()
+        a = time.perf_counter() - t0
+        t0 = time.perf_counter()
+        fn_b()
+        b = time.perf_counter() - t0
+        if a / b < best_ratio:
+            best_ratio, best_a, best_b = a / b, a, b
+    return best_ratio, best_a, best_b
+
+
+@pytest.mark.scale
+def test_disabled_refresh_overhead_under_gate():
+    rdbms = _loaded_rdbms()
+    assert rdbms.obs is None
+    sched = rdbms.shared_schedule()
+    assert sched is not None
+
+    def refresh_instrumented():
+        for _ in range(ROUNDS):
+            rdbms.remaining_times()
+
+    def refresh_untraced():
+        # The refresh path exactly as it was before instrumentation:
+        # schedule dispatch included, obs guards absent.
+        for _ in range(ROUNDS):
+            live = rdbms.shared_schedule()
+            if live is not None:
+                live.remaining_times()
+
+    # Warm both paths before timing.
+    refresh_instrumented()
+    refresh_untraced()
+    ratio, instrumented, untraced = _min_pair_ratio(
+        refresh_instrumented, refresh_untraced, k=9
+    )
+    overhead = ratio - 1.0
+    print()
+    print(f"refresh x{ROUNDS} at n={N_QUERIES}: "
+          f"instrumented(disabled)={instrumented * 1e3:.2f}ms "
+          f"untraced={untraced * 1e3:.2f}ms "
+          f"overhead={overhead * 100:+.2f}%")
+    assert overhead <= OVERHEAD_GATE, (
+        f"disabled instrumentation overhead {overhead:.2%} exceeds "
+        f"{OVERHEAD_GATE:.0%} gate"
+    )
+
+
+@pytest.mark.scale
+def test_full_run_disabled_vs_enabled_reported():
+    def drive():
+        rdbms = _loaded_rdbms(n=300)
+        t = 0.0
+        while rdbms.running or rdbms.queued:
+            t += 1.0
+            rdbms.run_until(t)
+            rdbms.remaining_times()
+
+    disabled = _best_of(lambda: drive(), k=3)
+    def drive_enabled():
+        with observed():
+            drive()
+    enabled = _best_of(drive_enabled, k=3)
+    print()
+    print(f"full run n=300: disabled={disabled * 1e3:.1f}ms "
+          f"enabled={enabled * 1e3:.1f}ms "
+          f"(tracing cost x{enabled / disabled:.2f})")
+    # Sanity only: enabled tracing must stay within an order of magnitude.
+    assert enabled < disabled * 10

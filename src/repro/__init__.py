@@ -16,10 +16,13 @@ Public API re-exports the pieces a downstream user typically needs:
   :class:`FaultInjector`, :class:`RetryPolicy`, :class:`RetryController`,
   :class:`RunawayQueryWatchdog`; work-preserving recovery:
   :class:`ExecutionCheckpoint`, :class:`CancellationToken`,
-  :class:`MemoryGovernor`.
+  :class:`MemoryGovernor`;
+* observability: :class:`Observability`, :class:`AccuracyTracker`,
+  :class:`MetricsRegistry`, :class:`Tracer`, :func:`observed`.
 
-See ``README.md`` for a tour, ``DESIGN.md`` for the system inventory and
-``docs/RESILIENCE.md`` for the fault/recovery model.
+See ``README.md`` for a tour, ``DESIGN.md`` for the system inventory,
+``docs/RESILIENCE.md`` for the fault/recovery model and
+``docs/OBSERVABILITY.md`` for the tracing/metrics/accuracy layer.
 """
 
 from repro.core.forecast import AdaptiveForecaster, WorkloadForecast
@@ -47,6 +50,13 @@ from repro.faults.plan import (
     random_fault_plan,
 )
 from repro.faults.retry import RetryController, RetryPolicy
+from repro.obs import (
+    AccuracyTracker,
+    MetricsRegistry,
+    Observability,
+    Tracer,
+    observed,
+)
 from repro.sim.jobs import EngineJob, SyntheticJob
 from repro.sim.rdbms import SimulatedRDBMS
 from repro.wm.maintenance import LostWorkCase, plan_maintenance
@@ -58,6 +68,7 @@ from repro.wm.watchdog import RunawayQueryWatchdog
 __version__ = "1.0.0"
 
 __all__ = [
+    "AccuracyTracker",
     "AdaptiveForecaster",
     "Brownout",
     "CancellationToken",
@@ -70,7 +81,9 @@ __all__ = [
     "LostWorkCase",
     "MemoryBudgetExceeded",
     "MemoryGovernor",
+    "MetricsRegistry",
     "MultiQueryProgressIndicator",
+    "Observability",
     "QueryCancelled",
     "QueryCrash",
     "QuerySnapshot",
@@ -83,12 +96,14 @@ __all__ = [
     "StatsCorruption",
     "SyntheticJob",
     "SystemSnapshot",
+    "Tracer",
     "WorkloadForecast",
     "__version__",
     "choose_victim",
     "choose_victim_for_all",
     "choose_victims",
     "exact_maintenance_plan",
+    "observed",
     "plan_maintenance",
     "project",
     "random_fault_plan",

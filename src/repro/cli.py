@@ -13,7 +13,11 @@ Commands
     ``lambda``, ``maintenance``, ``table1``) and print the reproduced
     series/rows (``--csv`` also exports the data).
 ``report``
-    Run the full evaluation and write a Markdown report.
+    Run the full evaluation and write a Markdown report.  With
+    ``--observe``, instead run one observed seeded MCQ experiment and
+    print its deterministic trace/metrics/accuracy summary (optionally
+    writing the JSONL event trace); ``--validate-trace`` checks an
+    existing trace file against the event schema.
 ``faults``
     Chaos/recovery demo: inject crashes, stalls, brownouts and corrupted
     statistics into a workload protected by retries and the runaway-query
@@ -82,6 +86,25 @@ def build_parser() -> argparse.ArgumentParser:
     rep.add_argument("--out", default="REPORT.md", help="output file path")
     rep.add_argument("--runs", type=int, default=8, help="runs to average over")
     rep.add_argument("--seed", type=int, default=42)
+    rep.add_argument(
+        "--observe", action="store_true",
+        help="instead run one observed seeded MCQ and print its "
+             "trace/metrics/accuracy summary (deterministic)",
+    )
+    rep.add_argument(
+        "--trace", default=None, metavar="PATH",
+        help="with --observe: also write the run's JSONL event trace here",
+    )
+    rep.add_argument(
+        "--metrics-json", default=None, metavar="PATH",
+        help="with --observe: merge the run's metrics into this bench "
+             "JSON file (e.g. BENCH_scale.json)",
+    )
+    rep.add_argument(
+        "--validate-trace", default=None, metavar="PATH",
+        help="validate an existing JSONL trace file against the event "
+             "schema and exit (no run)",
+    )
 
     faults = sub.add_parser(
         "faults",
@@ -529,7 +552,31 @@ def cmd_scale(args: argparse.Namespace) -> int:
 
 
 def cmd_report(args: argparse.Namespace) -> int:
-    """Generate the full Markdown reproduction report."""
+    """Generate the Markdown report, or (``--observe``) an observed-run
+    trace/metrics/accuracy summary, or validate an existing trace file."""
+    if args.validate_trace is not None:
+        from repro.obs.tracer import TraceSchemaError, validate_trace_file
+
+        try:
+            count = validate_trace_file(args.validate_trace)
+        except (OSError, TraceSchemaError) as exc:
+            print(f"error: {exc}", file=sys.stderr)
+            return 1
+        print(f"{args.validate_trace}: {count} events, schema ok")
+        return 0
+
+    if args.observe:
+        from repro.obs.report import format_observed_run, run_observed_mcq
+
+        run = run_observed_mcq(seed=args.seed, trace_path=args.trace)
+        print(format_observed_run(run))
+        if args.trace:
+            print(f"\nwrote trace to {args.trace} ({run.events} events)")
+        if args.metrics_json:
+            run.obs.metrics.merge_into(args.metrics_json)
+            print(f"merged 'metrics' section into {args.metrics_json}")
+        return 0
+
     from repro.experiments.full_report import ReportConfig, generate_report
 
     text = generate_report(ReportConfig(runs=args.runs, seed=args.seed))

@@ -76,12 +76,25 @@ class WorkloadForecast:
 NO_FORECAST = WorkloadForecast(arrival_rate=0.0, average_cost=0.0)
 
 
+#: Upper bound on the estimated arrival rate (arrivals/second).  A window
+#: whose arrivals all share one timestamp has zero span, and the naive
+#: ``(n - 1) / span`` estimate diverges; capping keeps the burst reading
+#: finite *and* small enough that projections stay tractable (the virtual
+#: arrival interval ``1 / rate`` never drops below a microsecond).
+BURST_RATE_CAP = 1e6
+
+
 class OnlineArrivalRateEstimator:
     """Estimate the arrival rate from observed arrival timestamps.
 
     Uses a sliding window of the most recent ``window`` arrivals: the rate is
     the number of observed inter-arrival gaps divided by the observation
     span.  With fewer than two observations the estimate is ``None``.
+
+    A burst of simultaneous arrivals (all windowed timestamps equal, so the
+    span is zero) reports the capped rate :data:`BURST_RATE_CAP` rather than
+    ``None``: the rate is at its *highest* in that moment, and returning
+    ``None`` would silently disable forecasting exactly when it matters.
     """
 
     def __init__(self, window: int = 50) -> None:
@@ -105,9 +118,10 @@ class OnlineArrivalRateEstimator:
         if len(self._times) < 2:
             return None
         span = self._times[-1] - self._times[0]
-        if span <= 0:
-            return None
-        return (len(self._times) - 1) / span
+        gaps = len(self._times) - 1
+        if span <= 0 or gaps / span > BURST_RATE_CAP:
+            return BURST_RATE_CAP
+        return gaps / span
 
 
 class OnlineMeanEstimator:

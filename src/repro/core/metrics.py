@@ -97,18 +97,31 @@ class StepSeries:
         """Observed values."""
         return list(self._values)
 
-    def at(self, time: float) -> float:
-        """Value in effect at *time* (last observation carried forward)."""
+    def at(self, time: float, carry_back: bool = False) -> float:
+        """Value in effect at *time* (last observation carried forward).
+
+        A *time* before the first observation raises by default; with
+        ``carry_back=True`` the first observed value is extended backwards
+        instead -- the right reading for queries observed mid-run.
+        """
         if not self._times:
             raise ValueError("empty series")
         idx = bisect_right(self._times, time) - 1
         if idx < 0:
+            if carry_back:
+                return self._values[0]
             raise ValueError(f"time {time} precedes first observation")
         return self._values[idx]
 
-    def sample(self, times: Iterable[float]) -> list[float]:
-        """Resample the series at each of *times*."""
-        return [self.at(t) for t in times]
+    def sample(self, times: Iterable[float], carry_back: bool = True) -> list[float]:
+        """Resample the series at each of *times*.
+
+        Grid points before the first observation take the first observed
+        value (queries arriving mid-run start their series late); pass
+        ``carry_back=False`` to get the strict pre-fix behaviour that
+        raises instead.
+        """
+        return [self.at(t, carry_back=carry_back) for t in times]
 
     def first_time(self) -> float:
         """Time of the first observation."""

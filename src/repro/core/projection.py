@@ -315,6 +315,12 @@ def project(
             f"unknown backend {backend!r}; expected one of {BACKENDS}"
         ) from None
 
+    from repro.obs.runtime import current as _current_obs
+
+    obs = _current_obs()
+    if obs is not None:
+        obs.metrics.counter(f"projection.backend.{backend}").inc()
+
     for q in running:
         engine.add(q.query_id, q.remaining_cost, q.weight, virtual=False)
     waiting: list[_Waiting] = [
@@ -408,4 +414,16 @@ def project(
         for qid, t_fin in finish_times.items()
     }
     quiescent = max(finish_times.values(), default=0.0)
+    if obs is not None:
+        # virtual_time is None: a projection is a pure algorithm call with
+        # no simulation clock of its own (it starts at a relative t=0).
+        obs.metrics.histogram("projection.events").observe(events)
+        obs.tracer.emit(
+            "projection.run",
+            None,
+            backend=backend,
+            events=events,
+            queries=len(projected),
+            quiescent_time=quiescent,
+        )
     return ProjectionResult(queries=projected, quiescent_time=quiescent)

@@ -28,6 +28,7 @@ from typing import Iterator, Optional
 from repro.engine.errors import ExecutionError
 from repro.engine.operators.base import Operator, PlanState, WorkAccount
 from repro.engine.progress import ProgressTracker
+from repro.obs.runtime import Observability, resolve
 
 _SENTINEL = object()
 
@@ -62,6 +63,7 @@ class QueryExecution:
         account: WorkAccount,
         sql: str = "",
         checkpoint_interval: Optional[float] = None,
+        obs: Optional[Observability] = None,
     ) -> None:
         if checkpoint_interval is not None and not (
             math.isfinite(checkpoint_interval) and checkpoint_interval > 0
@@ -87,6 +89,8 @@ class QueryExecution:
         self._next_checkpoint_at = (
             checkpoint_interval if checkpoint_interval is not None else math.inf
         )
+        self._obs = resolve(obs)
+        self._pressure_seen = 0
 
     @property
     def finished(self) -> bool:
@@ -133,6 +137,13 @@ class QueryExecution:
         )
         self.last_checkpoint = ckpt
         self.checkpoints_taken += 1
+        if self._obs is not None:
+            # Engine executions have no simulation clock: virtual_time=None.
+            self._obs.metrics.counter("executor.checkpoints").inc()
+            self._obs.tracer.emit(
+                "executor.checkpoint", None,
+                work_done=ckpt.work_done, rows=ckpt.rows_emitted,
+            )
         return ckpt
 
     def restore(self, ckpt: ExecutionCheckpoint) -> None:
@@ -156,6 +167,12 @@ class QueryExecution:
         self.restored_from = ckpt
         self.last_checkpoint = ckpt
         self.progress.note_restore(ckpt.work_done)
+        if self._obs is not None:
+            self._obs.metrics.counter("executor.restores").inc()
+            self._obs.tracer.emit(
+                "executor.restore", None,
+                work_done=ckpt.work_done, rows=ckpt.rows_emitted,
+            )
         if self.checkpoint_interval is not None:
             self._next_checkpoint_at = (
                 self.account.total + self.checkpoint_interval
@@ -219,6 +236,24 @@ class QueryExecution:
             self._maybe_checkpoint()
 
         actual = self.account.total - start
+        if self._obs is not None:
+            self._obs.metrics.histogram("executor.step_work").observe(actual)
+            pressure = self.progress.memory_pressure_events()
+            if pressure > self._pressure_seen:
+                self._obs.metrics.counter("executor.memory_pressure").inc(
+                    pressure - self._pressure_seen
+                )
+                self._obs.tracer.emit(
+                    "executor.memory_pressure", None,
+                    events=pressure, work_done=self.account.total,
+                )
+                self._pressure_seen = pressure
+            if self._finished:
+                self._obs.metrics.counter("executor.finished").inc()
+                self._obs.tracer.emit(
+                    "executor.finish", None,
+                    work_done=self.account.total, rows=len(self.rows),
+                )
         if self._finished:
             # Pay down debt with the work actually performed this step.
             used = self._debt + (consumed_at_finish or actual)

@@ -20,6 +20,7 @@ from __future__ import annotations
 from typing import Iterable
 
 from repro.core.multi_query import MultiQueryProgressIndicator
+from repro.core.projection import BACKENDS
 from repro.core.single_query import SingleQueryProgressIndicator
 from repro.sim.rdbms import SimulatedRDBMS
 
@@ -56,6 +57,11 @@ class PIHarness:
         One amortized ``O(log n)``-maintained structure answers every
         running query's PI, instead of each indicator re-solving the
         whole system per sample.
+    with_backend_agreement:
+        Whether to additionally sample one multi-query PI per projection
+        backend (``backend:incremental`` / ``backend:reference`` series),
+        feeding the observability layer's backend-agreement telemetry.
+        Only meaningful when the RDBMS carries an observability bundle.
     """
 
     def __init__(
@@ -66,6 +72,7 @@ class PIHarness:
         multi_indicators: dict[str, MultiQueryProgressIndicator] | None = None,
         with_single: bool = True,
         with_shared_schedule: bool = False,
+        with_backend_agreement: bool = False,
     ) -> None:
         if interval <= 0:
             raise ValueError("interval must be > 0")
@@ -76,6 +83,12 @@ class PIHarness:
         if multi_indicators is None:
             multi_indicators = {MULTI_QUERY: MultiQueryProgressIndicator()}
         self.multi_indicators = dict(multi_indicators)
+        self._backend_indicators: dict[str, MultiQueryProgressIndicator] = {}
+        if with_backend_agreement:
+            self._backend_indicators = {
+                f"backend:{b}": MultiQueryProgressIndicator(backend=b)
+                for b in BACKENDS
+            }
         self._single: dict[str, SingleQueryProgressIndicator] = {}
         self._single_attempts: dict[str, int] = {}
         rdbms.add_sampler(interval, self._sample)
@@ -92,6 +105,14 @@ class PIHarness:
         job = self.rdbms.record(query_id).job
         for indicator in self.multi_indicators.values():
             indicator.observe_arrival(time, job.estimated_remaining_cost(), job.weight)
+
+    def _record(
+        self, rdbms: SimulatedRDBMS, qid: str, name: str, t: float, seconds: float
+    ) -> None:
+        """Record one estimate into the trace and the accuracy telemetry."""
+        rdbms.traces.for_query(qid).record_estimate(name, t, seconds)
+        if rdbms.obs is not None:
+            rdbms.obs.accuracy.observe(qid, name, t, seconds)
 
     def _sample(self, rdbms: SimulatedRDBMS) -> None:
         t = rdbms.clock
@@ -110,20 +131,21 @@ class PIHarness:
                 pi.observe(t, job.completed_work)
                 est = pi.estimate(t, job.estimated_remaining_cost())
                 if est is not None:
-                    rdbms.traces.for_query(job.query_id).record_estimate(
-                        SINGLE_QUERY, t, est.remaining_seconds
+                    self._record(
+                        rdbms, job.query_id, SINGLE_QUERY, t,
+                        est.remaining_seconds,
                     )
-        if self.multi_indicators:
+        indicators = dict(self.multi_indicators)
+        indicators.update(self._backend_indicators)
+        if indicators:
             snapshot = rdbms.snapshot()
-            for name, indicator in self.multi_indicators.items():
+            for name, indicator in indicators.items():
                 estimate = indicator.estimate(snapshot)
                 for qid, seconds in estimate.remaining_seconds.items():
-                    rdbms.traces.for_query(qid).record_estimate(name, t, seconds)
+                    self._record(rdbms, qid, name, t, seconds)
         if self.with_shared_schedule:
             for qid, seconds in rdbms.remaining_times().items():
-                rdbms.traces.for_query(qid).record_estimate(
-                    SHARED_SCHEDULE, t, seconds
-                )
+                self._record(rdbms, qid, SHARED_SCHEDULE, t, seconds)
 
     def sample_now(self) -> None:
         """Take one sample immediately (e.g. at time 0 before running)."""

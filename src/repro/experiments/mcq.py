@@ -42,6 +42,10 @@ class MCQConfig:
     #: PI sampling interval, seconds.
     sample_interval: float = 2.0
     seed: int = 1
+    #: Also sample one multi-query PI per projection backend
+    #: (``backend:incremental`` / ``backend:reference``) so the
+    #: observability layer can report backend agreement.
+    with_backend_agreement: bool = False
 
 
 @dataclass
@@ -105,7 +109,11 @@ def run_mcq(config: MCQConfig = MCQConfig()) -> MCQResult:
     for job in jobs:
         rdbms.submit(job)
 
-    harness = PIHarness(rdbms, interval=config.sample_interval)
+    harness = PIHarness(
+        rdbms,
+        interval=config.sample_interval,
+        with_backend_agreement=config.with_backend_agreement,
+    )
 
     # Focus on the query with the largest remaining cost: it finishes last
     # and experiences the full speed-up as the others drain.

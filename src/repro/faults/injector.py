@@ -150,6 +150,16 @@ class FaultInjector:
                 skipped=skipped,
             )
         )
+        obs = self._rdbms.obs
+        if obs is not None:
+            obs.metrics.counter("faults.injected").inc()
+            obs.tracer.emit(
+                f"fault.{kind}",
+                self._rdbms.clock,
+                query_id,
+                detail=detail,
+                skipped=skipped,
+            )
 
     def _arm_brownout(self, fault: Brownout) -> None:
         def begin(rdbms: SimulatedRDBMS) -> None:

@@ -1,0 +1,114 @@
+"""Process-wide observability wiring with a zero-overhead disabled path.
+
+An :class:`Observability` bundles the three telemetry surfaces of one
+observed run -- a :class:`~repro.obs.tracer.Tracer`, a
+:class:`~repro.obs.metrics.MetricsRegistry` and an
+:class:`~repro.obs.accuracy.AccuracyTracker`.
+
+Instrumented constructors call :func:`resolve` **once** and store the
+result; when observability is disabled that result is ``None``, so every
+hot-path guard is a single ``if self._obs is not None`` identity check and
+the steady-state cost of the instrumentation rounds to zero (the property
+``benchmarks/test_bench_obs_overhead.py`` enforces at 5%).
+
+Typical use::
+
+    with observed() as obs:
+        run_mcq(config)
+    print(obs.metrics.as_dict())
+
+or explicitly, for code that threads the bundle through::
+
+    obs = Observability.enabled(trace_path="run.jsonl")
+    rdbms = SimulatedRDBMS(..., obs=obs)
+"""
+
+from __future__ import annotations
+
+from contextlib import contextmanager
+from pathlib import Path
+from typing import Iterator
+
+from repro.obs.accuracy import AccuracyTracker
+from repro.obs.metrics import MetricsRegistry
+from repro.obs.tracer import JsonlSink, MemorySink, Tracer
+
+
+class Observability:
+    """One run's telemetry bundle: tracer + metrics + accuracy tracker."""
+
+    def __init__(
+        self,
+        tracer: Tracer | None = None,
+        metrics: MetricsRegistry | None = None,
+        accuracy: AccuracyTracker | None = None,
+    ) -> None:
+        self.tracer = tracer if tracer is not None else Tracer(MemorySink())
+        self.metrics = metrics if metrics is not None else MetricsRegistry()
+        self.accuracy = accuracy if accuracy is not None else AccuracyTracker()
+
+    @classmethod
+    def enabled(cls, trace_path: str | Path | None = None) -> "Observability":
+        """A fresh bundle; events go to *trace_path* (JSONL) if given."""
+        sink = JsonlSink(trace_path) if trace_path is not None else MemorySink()
+        return cls(tracer=Tracer(sink))
+
+    def close(self) -> None:
+        """Flush and close the trace sink."""
+        self.tracer.close()
+
+
+#: The process-global bundle; ``None`` means observability is disabled.
+_current: Observability | None = None
+
+
+def current() -> Observability | None:
+    """The installed global bundle, or ``None`` when disabled."""
+    return _current
+
+
+def install(obs: Observability) -> Observability:
+    """Install *obs* as the process-global bundle and return it."""
+    global _current
+    _current = obs
+    return obs
+
+
+def uninstall() -> None:
+    """Disable global observability (instrumented objects built afterwards
+    see ``None``; already-built objects keep the bundle they resolved)."""
+    global _current
+    _current = None
+
+
+def resolve(obs: Observability | None) -> Observability | None:
+    """The bundle an instrumented constructor should store.
+
+    An explicitly passed bundle wins; otherwise the global one (usually
+    ``None``).  Constructors call this once and cache the result so hot
+    paths never consult the global again.
+    """
+    return obs if obs is not None else _current
+
+
+@contextmanager
+def observed(
+    trace_path: str | Path | None = None,
+    obs: Observability | None = None,
+) -> Iterator[Observability]:
+    """Install a bundle for the duration of a ``with`` block.
+
+    Restores the previously installed bundle (or disabled state) on exit
+    and closes the bundle's sink.
+    """
+    bundle = obs if obs is not None else Observability.enabled(trace_path)
+    previous = _current
+    install(bundle)
+    try:
+        yield bundle
+    finally:
+        if previous is None:
+            uninstall()
+        else:
+            install(previous)
+        bundle.close()

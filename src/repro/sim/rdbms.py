@@ -35,6 +35,7 @@ from repro.core.incremental import IncrementalSchedule
 from repro.core.model import SystemSnapshot
 from repro.core.standard_case import standard_case
 from repro.engine.errors import EngineError
+from repro.obs.runtime import Observability, resolve
 from repro.sim.arrivals import ArrivalSchedule
 from repro.sim.jobs import Job, SyntheticJob
 from repro.sim.scheduler import SpeedModel, WeightedFairSharing
@@ -88,6 +89,10 @@ class SimulatedRDBMS:
     quantum:
         Time-slice upper bound (seconds) used when jobs with unpredictable
         completion (engine jobs) are running.
+    obs:
+        Optional :class:`~repro.obs.runtime.Observability` bundle; defaults
+        to the process-global one (usually ``None`` = disabled).  Resolved
+        once here so the hot paths only pay an identity check.
     """
 
     def __init__(
@@ -96,6 +101,7 @@ class SimulatedRDBMS:
         multiprogramming_limit: int | None = None,
         speed_model: SpeedModel | None = None,
         quantum: float = 0.25,
+        obs: Observability | None = None,
     ) -> None:
         if processing_rate <= 0:
             raise ValueError("processing_rate must be > 0")
@@ -107,6 +113,7 @@ class SimulatedRDBMS:
         self.multiprogramming_limit = multiprogramming_limit
         self.speed_model = speed_model or WeightedFairSharing()
         self.quantum = quantum
+        self._obs = resolve(obs)
 
         self._clock = 0.0
         self._running: list[Job] = []
@@ -134,6 +141,34 @@ class SimulatedRDBMS:
         #: Called with (time, query_id, attempt) when a failed or aborted
         #: query is resubmitted for another attempt.
         self.on_resubmit: list[Callable[[float, str, int], None]] = []
+
+    # ------------------------------------------------------------------
+    # Observability (no-ops unless a bundle was resolved at construction)
+    # ------------------------------------------------------------------
+
+    @property
+    def obs(self) -> Observability | None:
+        """The observability bundle this instance reports to (or ``None``)."""
+        return self._obs
+
+    def _emit(self, event: str, query_id: str | None = None, **fields) -> None:
+        """Emit a trace event stamped with the current virtual time.
+
+        Callers on hot paths must guard with ``if self._obs is not None``
+        *before* building keyword arguments, so the disabled path never
+        allocates.
+        """
+        self._obs.tracer.emit(event, self._clock, query_id, **fields)
+
+    def _count(self, name: str) -> None:
+        self._obs.metrics.counter(name).inc()
+
+    def _observe_population(self) -> None:
+        """Refresh the population gauges after a membership change."""
+        m = self._obs.metrics
+        m.gauge("rdbms.running").set(len(self._running))
+        m.gauge("rdbms.queued").set(len(self._queue))
+        m.gauge("rdbms.blocked").set(len(self._blocked))
 
     # ------------------------------------------------------------------
     # Introspection
@@ -238,7 +273,7 @@ class SimulatedRDBMS:
         :meth:`snapshot`, i.e. what external PIs observe.
         """
         if not self.shared_schedule_supported:
-            self._shared_schedule = None
+            self._invalidate_schedule()
             return None
         if self._shared_schedule is None:
             sched = IncrementalSchedule(self.processing_rate)
@@ -248,6 +283,9 @@ class SimulatedRDBMS:
             except ValueError:
                 return None
             self._shared_schedule = sched
+            if self._obs is not None:
+                self._count("rdbms.schedule.builds")
+                self._emit("schedule.build", size=len(self._running))
         return self._shared_schedule
 
     def remaining_time_of(self, query_id: str) -> float:
@@ -272,7 +310,11 @@ class SimulatedRDBMS:
         """Remaining times of every running query, in one ``O(n)`` sweep."""
         sched = self.shared_schedule()
         if sched is not None:
+            if self._obs is not None:
+                self._count("rdbms.refresh.shared")
             return sched.remaining_times()
+        if self._obs is not None:
+            self._count("rdbms.refresh.recompute")
         if not self._running:
             return {}
         snaps = [j.snapshot() for j in self._running]
@@ -280,6 +322,9 @@ class SimulatedRDBMS:
         return dict(result.remaining_times)
 
     def _invalidate_schedule(self) -> None:
+        if self._shared_schedule is not None and self._obs is not None:
+            self._count("rdbms.schedule.invalidations")
+            self._emit("schedule.invalidate")
         self._shared_schedule = None
 
     def _schedule_admit(self, job: Job) -> None:
@@ -333,6 +378,10 @@ class SimulatedRDBMS:
             record.deadline_at = self._clock + job.deadline
         self._records[job.query_id] = record
         self._queue.append(job)
+        if self._obs is not None:
+            self._count("rdbms.submitted")
+            self._emit("query.submit", job.query_id,
+                       cost=job.estimated_remaining_cost(), weight=job.weight)
         for cb in self.on_arrival:
             cb(self._clock, job.query_id)
         self._admit()
@@ -403,6 +452,11 @@ class SimulatedRDBMS:
         record.status = "aborted"
         record.trace.aborted_at = self._clock
         record.trace.record_fault(self._clock, "abort", reason)
+        if self._obs is not None:
+            self._count("rdbms.aborted")
+            self._emit("query.abort", query_id, reason=reason,
+                       rollback_overhead=rollback_overhead)
+            self._observe_population()
         if rollback_overhead > 0:
             rollback = SyntheticJob(
                 f"__rollback_{query_id}",
@@ -429,6 +483,10 @@ class SimulatedRDBMS:
         record.error = reason
         record.trace.failed_at = self._clock
         record.trace.record_fault(self._clock, "crash", reason)
+        if self._obs is not None:
+            self._count("rdbms.failed")
+            self._emit("query.fail", query_id, reason=reason)
+            self._observe_population()
         for cb in self.on_failure:
             cb(self._clock, query_id, reason)
         self._admit()
@@ -465,6 +523,9 @@ class SimulatedRDBMS:
             self._clock, "retry", f"attempt {record.attempts} resubmitted"
         )
         self._queue.append(job)
+        if self._obs is not None:
+            self._count("rdbms.resubmitted")
+            self._emit("query.resubmit", job.query_id, attempt=record.attempts)
         for cb in self.on_resubmit:
             cb(self._clock, job.query_id, record.attempts)
         self._admit()
@@ -539,6 +600,11 @@ class SimulatedRDBMS:
             self._shared_schedule.discard(query_id)
         self._blocked[query_id] = record.job
         record.status = "blocked"
+        if self._obs is not None:
+            self._count("rdbms.blocked_actions")
+            self._emit("query.block", query_id,
+                       admit_replacement=admit_replacement)
+            self._observe_population()
         if admit_replacement:
             self._admit()
 
@@ -550,6 +616,9 @@ class SimulatedRDBMS:
         job = self._blocked.pop(query_id)
         self._queue.insert(0, job)
         record.status = "queued"
+        if self._obs is not None:
+            self._count("rdbms.unblocked_actions")
+            self._emit("query.unblock", query_id)
         self._admit()
 
     def set_priority(self, query_id: str, priority: int, weight: float | None = None):
@@ -616,6 +685,7 @@ class SimulatedRDBMS:
 
     def _admit(self) -> None:
         mpl = self.multiprogramming_limit
+        admitted = False
         while self._queue and (mpl is None or len(self._running) < mpl):
             job = self._queue.pop(0)
             self._running.append(job)
@@ -624,6 +694,15 @@ class SimulatedRDBMS:
             record.status = "running"
             if record.trace.started_at is None:
                 record.trace.started_at = self._clock
+            admitted = True
+            if self._obs is not None:
+                self._count("rdbms.admitted")
+                self._emit("query.admit", job.query_id,
+                           queue_wait=self._clock - record.trace.submitted_at
+                           if record.trace.submitted_at is not None else 0.0)
+                self._obs.accuracy.mark_started(job.query_id, self._clock)
+        if admitted and self._obs is not None:
+            self._observe_population()
 
     def _next_pending_time(self) -> float:
         if self._pending_idx < len(self._pending):
@@ -733,6 +812,9 @@ class SimulatedRDBMS:
             record.error = str(exc)
             record.trace.failed_at = self._clock
             record.trace.record_fault(self._clock, "runtime-error", str(exc))
+            if self._obs is not None:
+                self._count("rdbms.failed")
+                self._emit("query.fail", job.query_id, reason=str(exc))
             for cb in self.on_failure:
                 cb(self._clock, job.query_id, str(exc))
         if failed:
@@ -745,10 +827,21 @@ class SimulatedRDBMS:
             record.status = "finished"
             record.trace.finished_at = self._clock
             record.trace.work.append(self._clock, job.completed_work)
+            if self._obs is not None:
+                self._count("rdbms.finished")
+                started = record.trace.started_at
+                if started is not None:
+                    self._obs.metrics.histogram("rdbms.query_lifetime").observe(
+                        self._clock - started
+                    )
+                self._emit("query.finish", job.query_id, attempts=record.attempts)
+                self._obs.accuracy.mark_finished(job.query_id, self._clock)
             for cb in self.on_finish:
                 cb(self._clock, job.query_id)
         if finished:
             self._admit()
+        if (failed or finished) and self._obs is not None:
+            self._observe_population()
 
         # Expire deadlines after retiring completions, so a query that
         # finishes exactly at its deadline counts as finished.

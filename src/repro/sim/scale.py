@@ -34,8 +34,11 @@ incremental schedule still beats because it never re-sorts.
 
 from __future__ import annotations
 
+import contextlib
 import json
+import os
 import random
+import tempfile
 import time
 from dataclasses import asdict, dataclass
 from pathlib import Path
@@ -254,6 +257,10 @@ def merge_bench_json(path: str | Path, section: str, payload: dict) -> dict:
     Benches run in any order (or alone); each owns one top-level section
     of ``BENCH_scale.json`` and must not clobber the others.  Corrupt or
     non-object content is discarded rather than crashing a bench run.
+
+    The write is atomic (temp file in the same directory + ``os.replace``)
+    so concurrent CI jobs never leave a half-written report; the merge
+    itself is still last-writer-wins per section.
     """
     path = Path(path)
     data: dict = {}
@@ -265,5 +272,15 @@ def merge_bench_json(path: str | Path, section: str, payload: dict) -> dict:
         if isinstance(loaded, dict):
             data = loaded
     data[section] = payload
-    path.write_text(json.dumps(data, indent=2, sort_keys=True) + "\n")
+    fd, tmp_name = tempfile.mkstemp(
+        dir=path.parent, prefix=path.name + ".", suffix=".tmp"
+    )
+    try:
+        with os.fdopen(fd, "w") as tmp:
+            tmp.write(json.dumps(data, indent=2, sort_keys=True) + "\n")
+        os.replace(tmp_name, path)
+    except BaseException:
+        with contextlib.suppress(OSError):
+            os.unlink(tmp_name)
+        raise
     return data

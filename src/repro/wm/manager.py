@@ -96,6 +96,21 @@ class AdaptiveMaintenanceManager:
                 aborted=plan.aborts,
             )
         )
+        obs = self.rdbms.obs
+        if obs is not None:
+            obs.metrics.counter("manager.revisions").inc()
+            if plan.aborts:
+                obs.metrics.counter("manager.revision_aborts").inc(
+                    len(plan.aborts)
+                )
+            obs.tracer.emit(
+                "manager.revise",
+                now,
+                projected_drain=plan.projected_quiescent_time,
+                time_left=time_left,
+                aborted=len(plan.aborts),
+                aborted_ids=",".join(plan.aborts),
+            )
 
     def finish(self) -> tuple[str, ...]:
         """Operation O3 at the deadline: abort whatever is still unfinished.

@@ -246,3 +246,17 @@ class RunawayQueryWatchdog:
                 reason=reason,
             )
         )
+        obs = self._rdbms.obs
+        if obs is not None:
+            # The decision plus the snapshot that justified it, so a trace
+            # reader can audit every enforcement after the fact.
+            obs.metrics.counter(f"watchdog.{action}").inc()
+            obs.tracer.emit(
+                f"watchdog.{action}",
+                time,
+                query_id,
+                estimated_remaining=est,
+                used_fallback=used_fallback,
+                budget=self._budget,
+                reason=reason,
+            )

@@ -7,6 +7,7 @@ from hypothesis import given, settings
 from hypothesis import strategies as st
 
 from repro.core.forecast import (
+    BURST_RATE_CAP,
     NO_FORECAST,
     AdaptiveForecaster,
     OnlineArrivalRateEstimator,
@@ -73,11 +74,28 @@ class TestArrivalRateEstimator:
         with pytest.raises(ValueError):
             e.observe(9.0)
 
-    def test_simultaneous_arrivals_give_none(self):
+    def test_simultaneous_arrivals_give_capped_rate(self):
+        # A zero-span burst must not disable forecasting: the rate is at
+        # its highest right then.  It reports the finite cap instead.
         e = OnlineArrivalRateEstimator()
         e.observe(1.0)
         e.observe(1.0)
-        assert e.rate() is None
+        assert e.rate() == BURST_RATE_CAP
+        assert math.isfinite(e.rate())
+
+    def test_near_zero_span_capped(self):
+        e = OnlineArrivalRateEstimator()
+        e.observe(1.0)
+        e.observe(1.0 + 1e-12)
+        assert e.rate() == BURST_RATE_CAP
+
+    def test_cap_feeds_projection_safe_rate(self):
+        # The capped rate keeps virtual arrival intervals >= 1 microsecond,
+        # so downstream projections cannot explode their event budget.
+        e = OnlineArrivalRateEstimator()
+        e.observe(2.0)
+        e.observe(2.0)
+        assert 1.0 / e.rate() >= 1e-6
 
     def test_window_validation(self):
         with pytest.raises(ValueError):
@@ -157,3 +175,23 @@ class TestAdaptiveForecaster:
     def test_prior_property(self):
         prior = self._prior()
         assert AdaptiveForecaster(prior).prior is prior
+
+    @pytest.mark.parametrize("prior_rate", [0.01, 1.0])
+    def test_converges_from_wrong_prior_either_direction(self, prior_rate):
+        # Figures 8-10 adaptivity: whether the prior lambda' is 10x too
+        # low or 10x too high, enough evidence pulls the blend to the
+        # measured rate and each new observation moves it closer.
+        f = AdaptiveForecaster(
+            self._prior(rate=prior_rate, cost=50.0),
+            prior_strength=10.0,
+            rate_window=2500,
+        )
+        true_rate = 0.1
+        gaps = []
+        for i in range(2000):
+            f.observe_arrival(i / true_rate, cost=20.0)
+            gaps.append(abs(f.current().arrival_rate - true_rate))
+        assert f.current().arrival_rate == pytest.approx(true_rate, rel=0.1)
+        assert f.current().average_cost == pytest.approx(20.0, rel=0.1)
+        # Error shrinks as evidence accumulates (compare decade averages).
+        assert sum(gaps[-100:]) / 100 < sum(gaps[10:110]) / 100

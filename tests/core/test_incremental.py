@@ -9,7 +9,10 @@ time accounting, rebasing and determinism.
 import math
 
 import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
 
+import repro.core.incremental as incremental
 from repro.core.incremental import IncrementalSchedule, incremental_schedule_of
 from repro.core.model import QuerySnapshot
 from repro.core.standard_case import standard_case
@@ -223,6 +226,79 @@ class TestRebase:
         assert "slow" in sched
         assert sched.virtual_time == 0.0  # auto-rebased
         assert sched.remaining_time_of("slow") == pytest.approx(0.3, rel=1e-6)
+
+
+_QUERY_SPECS = st.lists(
+    st.tuples(
+        st.floats(min_value=0.5, max_value=50.0),  # cost
+        st.floats(min_value=0.25, max_value=4.0),  # weight
+    ),
+    min_size=1,
+    max_size=6,
+)
+_STEPS = st.lists(
+    st.floats(min_value=0.1, max_value=5.0), min_size=1, max_size=5
+)
+
+
+class TestRebaseTransparency:
+    """The rebase behind ``_AUTO_REBASE_AT`` must be invisible to readers."""
+
+    @given(specs=_QUERY_SPECS, steps=_STEPS)
+    @settings(max_examples=50)
+    def test_explicit_rebase_leaves_reads_unchanged(self, specs, steps):
+        sched = IncrementalSchedule(
+            2.0, [q(f"q{i}", c, w) for i, (c, w) in enumerate(specs)]
+        )
+        for dt in steps:
+            sched.advance(dt)
+        before_rt = sched.remaining_times()
+        before_order = sched.finish_order()
+        before_quiet = sched.quiescent_time()
+        sched.rebase()
+        assert sched.virtual_time == 0.0
+        assert sched.finish_order() == before_order
+        assert sched.quiescent_time() == pytest.approx(
+            before_quiet, rel=1e-9, abs=1e-9
+        )
+        after = sched.remaining_times()
+        assert after.keys() == before_rt.keys()
+        for qid, rt in before_rt.items():
+            assert after[qid] == pytest.approx(rt, rel=1e-9, abs=1e-9)
+
+    @given(specs=_QUERY_SPECS, steps=_STEPS)
+    @settings(max_examples=50)
+    def test_auto_rebase_every_advance_matches_lazy_schedule(
+        self, specs, steps
+    ):
+        # Force the _AUTO_REBASE_AT trigger after every advance on one twin
+        # and leave the other at the (unreachable here) default: completions
+        # and remaining-time reads must agree to 1e-9 throughout.
+        def build():
+            return IncrementalSchedule(
+                2.0, [q(f"q{i}", c, w) for i, (c, w) in enumerate(specs)]
+            )
+
+        eager, lazy = build(), build()
+        saved = incremental._AUTO_REBASE_AT
+        eager_fin = []
+        try:
+            incremental._AUTO_REBASE_AT = 0.0
+            for dt in steps:
+                eager_fin.extend(eager.advance(dt))
+        finally:
+            incremental._AUTO_REBASE_AT = saved
+        lazy_fin = []
+        for dt in steps:
+            lazy_fin.extend(lazy.advance(dt))
+        assert [i for _, i in eager_fin] == [i for _, i in lazy_fin]
+        for (ta, _), (tb, _) in zip(eager_fin, lazy_fin):
+            assert ta == pytest.approx(tb, rel=1e-9, abs=1e-9)
+        lazy_rt = lazy.remaining_times()
+        eager_rt = eager.remaining_times()
+        assert eager_rt.keys() == lazy_rt.keys()
+        for qid, rt in lazy_rt.items():
+            assert eager_rt[qid] == pytest.approx(rt, rel=1e-9, abs=1e-9)
 
 
 class TestDeterminism:

@@ -61,6 +61,17 @@ class TestMeans:
         with pytest.raises(ValueError):
             mean_finite([float("nan")])
 
+    def test_mean_finite_nan_treated_like_inf(self):
+        # NaN and inf are both "estimator declined": dropped without a cap,
+        # clamped to the cap with one.  NaN must never propagate to the mean.
+        assert mean_finite([1.0, float("nan"), 3.0]) == 2.0
+        capped = mean_finite([1.0, float("nan"), float("inf")], cap=5.0)
+        assert capped == pytest.approx((1.0 + 5.0 + 5.0) / 3)
+        assert not math.isnan(capped)
+
+    def test_mean_finite_negative_inf_also_capped(self):
+        assert mean_finite([float("-inf")], cap=7.0) == 7.0
+
 
 class TestStepSeries:
     def test_last_observation_carried_forward(self):
@@ -97,6 +108,23 @@ class TestStepSeries:
     def test_sample(self):
         s = StepSeries([(0.0, 0.0), (2.0, 2.0), (4.0, 4.0)])
         assert s.sample([0.5, 2.5, 4.5]) == [0.0, 2.0, 4.0]
+
+    def test_sample_carries_first_value_back(self):
+        # Regression: a grid starting before the first observation used to
+        # raise ValueError; carry-back now answers with the first value.
+        s = StepSeries([(5.0, 7.0), (8.0, 2.0)])
+        assert s.sample([0.0, 4.9, 5.0, 9.0]) == [7.0, 7.0, 7.0, 2.0]
+
+    def test_sample_strict_mode_still_raises(self):
+        s = StepSeries([(5.0, 7.0)])
+        with pytest.raises(ValueError):
+            s.sample([0.0], carry_back=False)
+
+    def test_at_carry_back_opt_in(self):
+        s = StepSeries([(5.0, 7.0)])
+        assert s.at(0.0, carry_back=True) == 7.0
+        with pytest.raises(ValueError):
+            s.at(0.0)
 
     def test_iteration_and_accessors(self):
         pts = [(0.0, 1.0), (1.0, 2.0)]

@@ -111,6 +111,25 @@ class TestMergeBenchJson:
         data = merge_bench_json(path, "scale", {"ok": True})
         assert data == {"scale": {"ok": True}}
 
+    def test_write_is_atomic_on_failure(self, tmp_path):
+        # Regression: a crash mid-write used to leave a truncated file.
+        # The merge now goes through a temp file + os.replace, so a failed
+        # serialisation must leave the previous contents untouched and no
+        # temp droppings behind.
+        path = tmp_path / "BENCH_scale.json"
+        merge_bench_json(path, "scale", {"keep": 1})
+        before = path.read_text()
+        with pytest.raises(TypeError):
+            merge_bench_json(path, "scale", {"bad": object()})
+        assert path.read_text() == before
+        assert [p.name for p in tmp_path.iterdir()] == [path.name]
+
+    def test_no_temp_files_left_on_success(self, tmp_path):
+        path = tmp_path / "BENCH_scale.json"
+        merge_bench_json(path, "scale", {"a": 1})
+        merge_bench_json(path, "scale", {"a": 2})
+        assert [p.name for p in tmp_path.iterdir()] == [path.name]
+
 
 class TestSharedScheduleIntegration:
     def _rdbms(self, n=12, mpl=None, rate=2.0):

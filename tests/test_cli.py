@@ -159,3 +159,54 @@ class TestExperiments:
             ["experiment", "maintenance", "--runs", "2", "--csv", str(out)]
         ) == 0
         assert out.read_text().count("\n") >= 5
+
+
+class TestObservedReport:
+    def test_observe_prints_accuracy_summary(self, capsys):
+        assert main(["report", "--observe", "--seed", "1"]) == 0
+        out = capsys.readouterr().out
+        assert "observed MCQ run" in out
+        assert "trace events:" in out
+        assert "rdbms.finished" in out
+        assert "backends:" in out or "profile" in out
+
+    def test_observe_is_deterministic(self, capsys):
+        assert main(["report", "--observe", "--seed", "2"]) == 0
+        first = capsys.readouterr().out
+        assert main(["report", "--observe", "--seed", "2"]) == 0
+        assert capsys.readouterr().out == first
+
+    def test_observe_trace_and_metrics_outputs(self, capsys, tmp_path):
+        trace = tmp_path / "t.jsonl"
+        bench = tmp_path / "BENCH_obs.json"
+        code = main([
+            "report", "--observe",
+            "--trace", str(trace),
+            "--metrics-json", str(bench),
+        ])
+        assert code == 0
+        out = capsys.readouterr().out
+        assert f"wrote trace to {trace}" in out
+        assert f"merged 'metrics' section into {bench}" in out
+        import json
+
+        data = json.loads(bench.read_text())
+        assert data["metrics"]["counters"]["rdbms.finished"] == 10.0
+
+    def test_validate_trace_round_trip(self, capsys, tmp_path):
+        trace = tmp_path / "t.jsonl"
+        assert main(["report", "--observe", "--trace", str(trace)]) == 0
+        capsys.readouterr()
+        assert main(["report", "--validate-trace", str(trace)]) == 0
+        out = capsys.readouterr().out
+        assert "schema ok" in out
+
+    def test_validate_trace_rejects_garbage(self, capsys, tmp_path):
+        bad = tmp_path / "bad.jsonl"
+        bad.write_text("not json\n")
+        assert main(["report", "--validate-trace", str(bad)]) == 1
+        assert "error:" in capsys.readouterr().err
+
+    def test_validate_trace_missing_file(self, capsys, tmp_path):
+        assert main(["report", "--validate-trace", str(tmp_path / "no.jsonl")]) == 1
+        assert "error:" in capsys.readouterr().err
