@@ -1,6 +1,6 @@
 # Convenience targets for the reproduction package.
 
-.PHONY: install test bench bench-smoke chaos scale coverage report observe examples all
+.PHONY: install test bench bench-smoke bench-engine chaos scale coverage report observe examples all
 
 install:
 	pip install -e . || python setup.py develop
@@ -16,6 +16,13 @@ bench:
 # container has no pytest-timeout plugin).
 bench-smoke:
 	timeout 300 pytest benchmarks -q -k "fig1_ or engine_throughput" --benchmark-only
+
+# Row-vs-batch engine throughput gate: times both execution modes,
+# asserts batch >= 2x row on the scan-heavy queries with identical rows
+# and work totals, and writes BENCH_engine.json.  Runs without
+# --benchmark-only so the gate test (plain assertions) executes.
+bench-engine:
+	timeout 300 pytest benchmarks/test_bench_engine_throughput.py -q
 
 chaos:
 	pytest -m chaos tests/

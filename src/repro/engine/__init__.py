@@ -20,6 +20,10 @@ It is a real (if small) database engine:
 * :mod:`repro.engine.progress` -- the per-query progress tracker (refined
   remaining cost), the single-query machinery of [11, 12] both PIs build on.
 * :mod:`repro.engine.database` -- the user-facing :class:`Database` facade.
+* :mod:`repro.engine.mode` -- the execution-mode switch: ``"batch"``
+  (vectorized, the default: operators process ~1024-row vectors) or
+  ``"row"`` (tuple-at-a-time Volcano iteration, kept as the differential
+  oracle).  Both modes produce identical rows and identical work totals.
 """
 
 from repro.engine.cancel import CancellationToken
@@ -36,13 +40,23 @@ from repro.engine.errors import (
 )
 from repro.engine.executor import ExecutionCheckpoint, QueryExecution
 from repro.engine.memory import MemoryGovernor, MemoryPressureEvent
+from repro.engine.mode import (
+    DEFAULT_BATCH_SIZE,
+    EXECUTION_MODES,
+    default_execution_mode,
+    resolve_execution_mode,
+    set_default_execution_mode,
+    use_execution_mode,
+)
 from repro.engine.schema import Column, TableSchema
 
 __all__ = [
     "CancellationToken",
     "CatalogError",
     "Column",
+    "DEFAULT_BATCH_SIZE",
     "Database",
+    "EXECUTION_MODES",
     "EngineError",
     "ExecutionCheckpoint",
     "ExecutionError",
@@ -55,4 +69,8 @@ __all__ = [
     "QueryExecution",
     "SqlTypeError",
     "TableSchema",
+    "default_execution_mode",
+    "resolve_execution_mode",
+    "set_default_execution_mode",
+    "use_execution_mode",
 ]

@@ -20,6 +20,9 @@ class Table:
     heap: HeapFile
     indexes: dict[str, BTreeIndex] = field(default_factory=dict)
     stats: TableStats | None = None
+    #: Catalog mutation hook (bumps the stats epoch); None for detached
+    #: tables built outside a catalog.
+    on_mutation: Any = field(default=None, repr=False, compare=False)
 
     @property
     def name(self) -> str:
@@ -34,6 +37,8 @@ class Table:
             pos = self.schema.column_position(index.column)
             index.insert(row[pos], rid)
         self.stats = None  # stored stats are stale now
+        if self.on_mutation is not None:
+            self.on_mutation()
         return rid
 
     def insert_many(self, rows: Iterable[Sequence[Any]]) -> int:
@@ -61,6 +66,13 @@ class Catalog:
             raise CatalogError("page_capacity must be >= 1")
         self.page_capacity = page_capacity
         self._tables: dict[str, Table] = {}
+        #: Monotonic counter bumped on any schema or data mutation; plan
+        #: caches key on it so stale plans are never replayed.
+        self.stats_epoch = 0
+
+    def bump_stats_epoch(self) -> None:
+        """Invalidate cached plans: a table, index, or row set changed."""
+        self.stats_epoch += 1
 
     def create_table(self, schema: TableSchema) -> Table:
         """Register a new table.
@@ -73,8 +85,13 @@ class Catalog:
         key = schema.name.lower()
         if key in self._tables:
             raise CatalogError(f"table {schema.name!r} already exists")
-        table = Table(schema=schema, heap=HeapFile(self.page_capacity))
+        table = Table(
+            schema=schema,
+            heap=HeapFile(self.page_capacity),
+            on_mutation=self.bump_stats_epoch,
+        )
         self._tables[key] = table
+        self.bump_stats_epoch()
         return table
 
     def drop_table(self, name: str) -> None:
@@ -89,6 +106,7 @@ class Catalog:
         if key not in self._tables:
             raise CatalogError(f"no table {name!r}")
         del self._tables[key]
+        self.bump_stats_epoch()
 
     def table(self, name: str) -> Table:
         """Look up a table by (case-insensitive) name.
@@ -131,4 +149,5 @@ class Catalog:
         for rid, row in table.heap.scan_rows():
             index.insert(row[pos], rid)
         table.indexes[key] = index
+        self.bump_stats_epoch()
         return index

@@ -12,6 +12,14 @@
 DDL and DML run eagerly; ``prepare`` returns a steppable
 :class:`~repro.engine.executor.QueryExecution` for cooperative execution
 (what the simulator timeshares and progress indicators observe).
+
+Repeated statements are cheap: parsed ASTs are memoized by SQL text, and
+for subquery-free statements :meth:`Database.query` also pools the bound
+physical plan, keyed on ``(sql, execution mode)`` and validated against
+the catalog's ``stats_epoch`` -- any DDL, DML, or ANALYZE bumps the epoch
+and invalidates stale plans.  Pooled plans are reset before reuse (work
+account zeroed, materialized caches dropped) so a cache hit is
+work-for-work identical to a fresh plan.
 """
 
 from __future__ import annotations
@@ -23,22 +31,131 @@ from repro.engine.catalog import Catalog, Table
 from repro.engine.errors import PlanError
 from repro.engine.executor import QueryExecution
 from repro.engine.memory import MemoryGovernor
-from repro.engine.expr import Env, bind_expr, BindContext, Layout
-from repro.engine.operators.base import WorkAccount
+from repro.engine.expr import Env, bind_expr, expr_contains_subquery, BindContext, Layout
+from repro.engine.mode import resolve_execution_mode
+from repro.engine.operators.base import Operator, WorkAccount
+from repro.engine.operators.transforms import Materialize
 from repro.engine.planner import Planner
 from repro.engine.schema import Column, TableSchema
 from repro.engine.sql import ast, parse_statement
 from repro.engine.stats import analyze_table
 from repro.engine.storage import DEFAULT_PAGE_CAPACITY
 from repro.engine.types import SqlType
+from repro.obs.runtime import resolve as _resolve_obs
+
+#: Plan-pool size cap; the pool is cleared wholesale past this (simple,
+#: and the workloads this engine serves repeat a small set of templates).
+_PLAN_POOL_LIMIT = 256
+
+
+def _statement_is_poolable(statement: ast.Select | ast.Union) -> bool:
+    """Whether a statement's physical plan is safe to pool.
+
+    Subquery-containing plans register per-subquery cost/materialization
+    records against their account at bind time; pooling them would need
+    those reset too.  They are rare in the workloads and stay unpooled.
+    """
+    if isinstance(statement, ast.Union):
+        if any(expr_contains_subquery(o.expr) for o in statement.order_by):
+            return False
+        return all(_statement_is_poolable(b) for b in statement.branches)
+
+    def from_item_ok(item: object) -> bool:
+        if isinstance(item, ast.TableRef):
+            return True
+        if isinstance(item, ast.DerivedTable):
+            return False
+        if isinstance(item, ast.Join):
+            if item.condition is not None and expr_contains_subquery(item.condition):
+                return False
+            return from_item_ok(item.left) and from_item_ok(item.right)
+        return False
+
+    exprs: list[ast.Expr] = [it.expr for it in statement.items]
+    if statement.where is not None:
+        exprs.append(statement.where)
+    exprs.extend(statement.group_by)
+    if statement.having is not None:
+        exprs.append(statement.having)
+    exprs.extend(o.expr for o in statement.order_by)
+    if any(expr_contains_subquery(e) for e in exprs):
+        return False
+    return all(from_item_ok(item) for item in statement.from_items)
+
+
+def _clear_materialized(root: Operator) -> None:
+    """Drop Materialize caches so a pooled plan re-charges like a fresh one."""
+    if isinstance(root, Materialize):
+        root._cache = None
+    for child in root.children():
+        _clear_materialized(child)
 
 
 class Database:
     """An in-memory SQL database with a steppable executor."""
 
-    def __init__(self, page_capacity: int = DEFAULT_PAGE_CAPACITY) -> None:
+    def __init__(
+        self,
+        page_capacity: int = DEFAULT_PAGE_CAPACITY,
+        execution_mode: Optional[str] = None,
+        batch_size: Optional[int] = None,
+    ) -> None:
+        if execution_mode is not None:
+            resolve_execution_mode(execution_mode)  # validate eagerly
         self.catalog = Catalog(page_capacity=page_capacity)
         self.planner = Planner(self.catalog)
+        #: Default execution mode for this database's queries (``None``
+        #: defers to the module-level default at call time).
+        self.execution_mode = execution_mode
+        #: Default vector width for batch-mode executions (``None`` =
+        #: engine default).
+        self.batch_size = batch_size
+        self._statement_cache: dict[str, ast.Select | ast.Union] = {}
+        self._plan_pool: dict[tuple[str, str], tuple[int, Operator, WorkAccount]] = {}
+        #: Plan-pool hits/misses (``query()`` only; ``prepare`` always replans).
+        self.plan_cache_hits = 0
+        self.plan_cache_misses = 0
+        #: Statement (parse) cache hits.
+        self.statement_cache_hits = 0
+
+    # ------------------------------------------------------------------
+    # Plan cache
+    # ------------------------------------------------------------------
+
+    def _resolve_mode(self, execution_mode: Optional[str]) -> str:
+        return resolve_execution_mode(
+            execution_mode if execution_mode is not None else self.execution_mode
+        )
+
+    def _parse_query(self, sql: str) -> ast.Select | ast.Union:
+        """Parse a SELECT/UNION through the statement cache."""
+        cached = self._statement_cache.get(sql)
+        if cached is not None:
+            self.statement_cache_hits += 1
+            return cached
+        statement = parse_statement(sql)
+        if not isinstance(statement, (ast.Select, ast.Union)):
+            raise PlanError("requires a SELECT (or UNION) statement")
+        self._statement_cache[sql] = statement
+        if len(self._statement_cache) > _PLAN_POOL_LIMIT:
+            self._statement_cache.clear()
+            self._statement_cache[sql] = statement
+        return statement
+
+    def invalidate_plan_cache(self) -> None:
+        """Drop all cached statements and pooled plans."""
+        self._statement_cache.clear()
+        self._plan_pool.clear()
+
+    def _note_plan_cache(self, hit: bool) -> None:
+        if hit:
+            self.plan_cache_hits += 1
+        else:
+            self.plan_cache_misses += 1
+        obs = _resolve_obs(None)
+        if obs is not None:
+            name = "engine.plan_cache.hit" if hit else "engine.plan_cache.miss"
+            obs.metrics.counter(name).inc()
 
     # ------------------------------------------------------------------
     # Statement execution
@@ -83,12 +200,52 @@ class Database:
             return root.explain()
         raise PlanError(f"unsupported statement {type(statement).__name__}")
 
-    def query(self, sql: str) -> list[tuple]:
-        """Run a SELECT (or UNION) to completion and return its rows."""
-        statement = parse_statement(sql)
-        if not isinstance(statement, (ast.Select, ast.Union)):
-            raise PlanError("query() requires a SELECT statement")
-        return self._run_query(statement, sql)
+    def query(
+        self, sql: str, execution_mode: Optional[str] = None
+    ) -> list[tuple]:
+        """Run a SELECT (or UNION) to completion and return its rows.
+
+        Synchronous queries go through the plan pool: a repeated
+        subquery-free statement at an unchanged stats epoch reuses its
+        bound plan instead of re-parsing and re-planning.
+        """
+        statement = self._parse_query(sql)
+        mode = self._resolve_mode(execution_mode)
+        key = (sql, mode)
+        epoch = self.catalog.stats_epoch
+        entry = self._plan_pool.get(key)
+        if entry is not None and entry[0] == epoch:
+            self._note_plan_cache(hit=True)
+            _, root, account = entry
+            account.total = 0.0
+            _clear_materialized(root)
+            execution = QueryExecution(
+                root=root,
+                account=account,
+                sql=sql,
+                execution_mode=mode,
+                batch_size=self.batch_size,
+            )
+            return execution.run_to_completion()
+        self._note_plan_cache(hit=False)
+        account = WorkAccount()
+        if isinstance(statement, ast.Union):
+            root = self.planner.plan_union(statement, account)
+        else:
+            root = self.planner.plan_select(statement, account)
+        execution = QueryExecution(
+            root=root,
+            account=account,
+            sql=sql,
+            execution_mode=mode,
+            batch_size=self.batch_size,
+        )
+        rows = execution.run_to_completion()
+        if _statement_is_poolable(statement):
+            if len(self._plan_pool) >= _PLAN_POOL_LIMIT:
+                self._plan_pool.clear()
+            self._plan_pool[key] = (epoch, root, account)
+        return rows
 
     def prepare(
         self,
@@ -96,8 +253,13 @@ class Database:
         checkpoint_interval: Optional[float] = None,
         cancel_token: Optional["CancellationToken"] = None,
         memory_budget: Optional[int] = None,
+        execution_mode: Optional[str] = None,
+        batch_size: Optional[int] = None,
     ) -> QueryExecution:
         """Plan a SELECT (or UNION) and return a steppable execution handle.
+
+        Always plans fresh (executions are concurrent and stateful); only
+        the parsed statement is cached.
 
         Parameters
         ----------
@@ -108,10 +270,13 @@ class Database:
         memory_budget:
             Soft per-query buffered-row budget; buffering operators
             degrade gracefully past it (see :mod:`repro.engine.memory`).
+        execution_mode:
+            ``"batch"`` (vectorized) or ``"row"``; defaults to the
+            database's mode, then the engine-wide default.
+        batch_size:
+            Vector width for batch mode.
         """
-        statement = parse_statement(sql)
-        if not isinstance(statement, (ast.Select, ast.Union)):
-            raise PlanError("prepare() requires a SELECT statement")
+        statement = self._parse_query(sql)
         memory = MemoryGovernor(memory_budget) if memory_budget is not None else None
         account = WorkAccount(cancel_token=cancel_token, memory=memory)
         if isinstance(statement, ast.Union):
@@ -123,6 +288,8 @@ class Database:
             account=account,
             sql=sql,
             checkpoint_interval=checkpoint_interval,
+            execution_mode=self._resolve_mode(execution_mode),
+            batch_size=batch_size if batch_size is not None else self.batch_size,
         )
 
     def explain(self, sql: str) -> str:
@@ -143,7 +310,13 @@ class Database:
             root = self.planner.plan_union(statement, account)
         else:
             root = self.planner.plan_select(statement, account)
-        execution = QueryExecution(root=root, account=account, sql=sql)
+        execution = QueryExecution(
+            root=root,
+            account=account,
+            sql=sql,
+            execution_mode=self._resolve_mode(None),
+            batch_size=self.batch_size,
+        )
         return execution.run_to_completion()
 
     def _run_update(self, statement: ast.Update) -> int:
@@ -228,6 +401,7 @@ class Database:
                 index.insert(row[index_positions[name]], rid)
         table.indexes = fresh
         table.stats = None
+        self.catalog.bump_stats_epoch()
 
     def _run_insert(self, statement: ast.Insert) -> int:
         table = self.catalog.table(statement.table)
@@ -272,9 +446,11 @@ class Database:
         """Collect statistics for one table (or all tables)."""
         if table_name is not None:
             analyze_table(self.catalog.table(table_name))
+            self.catalog.bump_stats_epoch()
             return
         for table in self.catalog.tables():
             analyze_table(table)
+        self.catalog.bump_stats_epoch()
 
     def insert_rows(self, table_name: str, rows: Sequence[Sequence[Any]]) -> int:
         """Bulk-insert Python values directly (bypasses SQL parsing)."""

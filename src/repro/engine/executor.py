@@ -26,7 +26,13 @@ from dataclasses import dataclass, field
 from typing import Iterator, Optional
 
 from repro.engine.errors import ExecutionError
-from repro.engine.operators.base import Operator, PlanState, WorkAccount
+from repro.engine.mode import DEFAULT_BATCH_SIZE, resolve_execution_mode
+from repro.engine.operators.base import (
+    Operator,
+    PlanState,
+    WorkAccount,
+    configure_batch_size,
+)
 from repro.engine.progress import ProgressTracker
 from repro.obs.runtime import Observability, resolve
 
@@ -47,6 +53,11 @@ class ExecutionCheckpoint:
     work_done: float
     rows: tuple[tuple, ...]
     plan_state: PlanState = field(repr=False)
+    #: Charged-but-unpaid work at snapshot time.  Batch mode charges in
+    #: spikes and repays from later budgets; preserving the debt keeps a
+    #: restored run time-conserving (it still owes the scheduler what the
+    #: crashed attempt had banked).
+    debt: float = 0.0
 
     @property
     def rows_emitted(self) -> int:
@@ -64,17 +75,27 @@ class QueryExecution:
         sql: str = "",
         checkpoint_interval: Optional[float] = None,
         obs: Optional[Observability] = None,
+        execution_mode: Optional[str] = None,
+        batch_size: Optional[int] = None,
     ) -> None:
         if checkpoint_interval is not None and not (
             math.isfinite(checkpoint_interval) and checkpoint_interval > 0
         ):
             raise ExecutionError("checkpoint_interval must be finite and > 0")
+        #: ``"batch"`` or ``"row"`` (module default when not passed).
+        self.execution_mode = resolve_execution_mode(execution_mode)
+        self.batch_size = batch_size if batch_size is not None else DEFAULT_BATCH_SIZE
+        if self.execution_mode == "batch":
+            configure_batch_size(root, self.batch_size)
         self.root = root
         self.account = account
         self.sql = sql
         self.checkpoint_interval = checkpoint_interval
         self.progress = ProgressTracker(
-            root, account, optimizer_estimate=root.est_cost
+            root,
+            account,
+            optimizer_estimate=root.est_cost,
+            outstanding_debt=lambda: self._debt,
         )
         self.rows: list[tuple] = []
         #: Most recent checkpoint taken (by cadence or explicitly).
@@ -89,6 +110,12 @@ class QueryExecution:
         self._next_checkpoint_at = (
             checkpoint_interval if checkpoint_interval is not None else math.inf
         )
+        #: Paid-work cadence mark: keeps checkpoints flowing while a
+        #: batch-mode execution is repaying banked debt (charged work --
+        #: the other cadence -- stands still during repayment).
+        self._next_paid_checkpoint_at = (
+            checkpoint_interval if checkpoint_interval is not None else math.inf
+        )
         self._obs = resolve(obs)
         self._pressure_seen = 0
 
@@ -101,6 +128,17 @@ class QueryExecution:
     def work_done(self) -> float:
         """Total work charged so far, in U's."""
         return self.account.total
+
+    @property
+    def paid_work(self) -> float:
+        """Work the scheduler has actually paid for, in U's.
+
+        Charged work minus the banked overshoot debt.  In row mode the
+        two are nearly equal; in batch mode this is the smooth,
+        budget-conserving counter schedulers and speed monitors should
+        read (charged work moves in batch-sized spikes).
+        """
+        return max(self.account.total - self._debt, 0.0)
 
     @property
     def cancel_token(self):
@@ -134,9 +172,13 @@ class QueryExecution:
             work_done=self.account.total,
             rows=tuple(self.rows),
             plan_state=plan_state,
+            debt=self._debt,
         )
         self.last_checkpoint = ckpt
         self.checkpoints_taken += 1
+        self._next_paid_checkpoint_at = (
+            self.paid_work + (self.checkpoint_interval or math.inf)
+        )
         if self._obs is not None:
             # Engine executions have no simulation clock: virtual_time=None.
             self._obs.metrics.counter("executor.checkpoints").inc()
@@ -163,6 +205,7 @@ class QueryExecution:
             )
         self.root.restore(ckpt.plan_state)
         self.account.credit(ckpt.work_done)
+        self._debt = ckpt.debt
         self.rows = list(ckpt.rows)
         self.restored_from = ckpt
         self.last_checkpoint = ckpt
@@ -176,6 +219,9 @@ class QueryExecution:
         if self.checkpoint_interval is not None:
             self._next_checkpoint_at = (
                 self.account.total + self.checkpoint_interval
+            )
+            self._next_paid_checkpoint_at = (
+                self.paid_work + self.checkpoint_interval
             )
 
     def _maybe_checkpoint(self) -> None:
@@ -215,25 +261,52 @@ class QueryExecution:
             # Charges also check the token; this catches zero-work pulls.
             self.account.cancel_token.raise_if_cancelled()
         if self._iterator is None:
-            self._iterator = self.root.rows(None)
+            if self.execution_mode == "batch":
+                self._iterator = self.root.batches(None)
+            else:
+                self._iterator = self.root.rows(None)
 
         if self._debt >= budget:
-            # Still paying off a previous overshoot.
+            # Still paying off a previous overshoot.  Refresh the stored
+            # checkpoint on the paid-work cadence so a crash mid-repayment
+            # does not fall back to a snapshot with the full spike's debt.
             self._debt -= budget
+            if self.paid_work >= self._next_paid_checkpoint_at:
+                self.checkpoint()
             return budget
 
-        effective = budget - self._debt
+        debt_start = self._debt
+        effective = budget - debt_start
         start = self.account.total
         consumed_at_finish: Optional[float] = None
-        while self.account.total - start < effective:
-            row = next(self._iterator, _SENTINEL)
-            if row is _SENTINEL:
-                self._finished = True
-                self.progress.mark_finished()
-                consumed_at_finish = self.account.total - start
-                break
-            self.rows.append(row)
-            self._maybe_checkpoint()
+        # Inside the loop, none of this step's budget counts as paid yet:
+        # keep the banked-debt view current so a cadence checkpoint taken
+        # mid-spike records the full outstanding debt (a restore must not
+        # forgive work the scheduler never paid for).
+        if self.execution_mode == "batch":
+            # Same loop, batch-granular: rows land in bulk and cadence
+            # checkpoints are taken at batch boundaries.
+            while self.account.total - start < effective:
+                batch = next(self._iterator, _SENTINEL)
+                if batch is _SENTINEL:
+                    self._finished = True
+                    self.progress.mark_finished()
+                    consumed_at_finish = self.account.total - start
+                    break
+                self.rows.extend(batch)
+                self._debt = debt_start + (self.account.total - start)
+                self._maybe_checkpoint()
+        else:
+            while self.account.total - start < effective:
+                row = next(self._iterator, _SENTINEL)
+                if row is _SENTINEL:
+                    self._finished = True
+                    self.progress.mark_finished()
+                    consumed_at_finish = self.account.total - start
+                    break
+                self.rows.append(row)
+                self._debt = debt_start + (self.account.total - start)
+                self._maybe_checkpoint()
 
         actual = self.account.total - start
         if self._obs is not None:
@@ -256,11 +329,11 @@ class QueryExecution:
                 )
         if self._finished:
             # Pay down debt with the work actually performed this step.
-            used = self._debt + (consumed_at_finish or actual)
+            used = debt_start + (consumed_at_finish or actual)
             self._debt = 0.0
             return min(used, budget)
         # Ran past the budget: bank the overshoot as debt.
-        self._debt = max(actual - effective, 0.0)
+        self._debt = max(debt_start + actual - budget, 0.0)
         return budget
 
     def run_to_completion(self, chunk: float = 1000.0) -> list[tuple]:

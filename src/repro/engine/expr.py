@@ -7,6 +7,19 @@ for correlated subqueries) and return a Python value.
 Semantics follow SQL: three-valued logic for AND/OR/NOT, NULL propagation
 through arithmetic and comparisons, ``LIKE`` with ``%``/``_`` wildcards,
 and integer/float arithmetic with true division yielding floats.
+
+Every bound closure also carries a **batch form** as a ``.batch``
+attribute: ``fn.batch(rows, outer_env) -> list`` evaluates the expression
+over a whole list of row tuples at once, with slot indices resolved at
+bind time and no per-row :class:`Env` allocation.  The batch form is
+compiled once alongside the row form and preserves SQL semantics exactly,
+including *selective* evaluation: AND/OR right-hand sides, CASE branches
+and IN-list items are only evaluated on the subset of rows where row mode
+would have evaluated them, so data-dependent errors (e.g. a division by
+zero in a dead branch) surface identically in both modes.  Expressions
+containing subqueries fall back to a row-at-a-time loop over the *same*
+bound closure, which keeps subquery compilation (and its cost accounting)
+single-shot.
 """
 
 from __future__ import annotations
@@ -110,8 +123,76 @@ class Env:
         return env
 
 
-#: A bound expression: Env -> value.
+#: A bound expression: Env -> value.  Carries a ``.batch`` attribute with
+#: the vectorized form (see :func:`batch_eval`).
 BoundExpr = Callable[[Env], Any]
+
+#: The batch form of a bound expression: (rows, outer_env) -> list of values,
+#: one per input row.
+BatchExpr = Callable[[Sequence[tuple], Optional[Env]], list]
+
+
+def batch_eval(fn: BoundExpr, rows: Sequence[tuple], outer_env: Optional[Env] = None) -> list:
+    """Evaluate *fn* over a batch of rows.
+
+    Uses the compiled batch form when present; hand-built closures (plain
+    lambdas without a ``.batch`` attribute) fall back to a row loop.
+    """
+    batch = getattr(fn, "batch", None)
+    if batch is not None:
+        return batch(rows, outer_env)
+    return [fn(Env(row, outer_env)) for row in rows]
+
+
+def slot_expr(idx: int) -> BoundExpr:
+    """A dual-form closure reading row slot *idx*.
+
+    The planner uses this for hidden sort/projection slots so they
+    vectorize like ordinary bound column references.
+    """
+
+    def fn(env: Env) -> Any:
+        return env.row[idx]
+
+    fn.batch = lambda rows, outer_env: [row[idx] for row in rows]
+    return fn
+
+
+_SUBQUERY_NODES = (ast.ScalarSubquery, ast.ExistsSubquery, ast.InSubquery)
+
+
+def expr_contains_subquery(expr: ast.Expr) -> bool:
+    """Whether *expr* nests a subquery anywhere."""
+    if isinstance(expr, _SUBQUERY_NODES):
+        return True
+    if isinstance(expr, ast.BinaryOp):
+        return expr_contains_subquery(expr.left) or expr_contains_subquery(expr.right)
+    if isinstance(expr, ast.UnaryOp):
+        return expr_contains_subquery(expr.operand)
+    if isinstance(expr, ast.FunctionCall):
+        return any(expr_contains_subquery(a) for a in expr.args)
+    if isinstance(expr, ast.IsNull):
+        return expr_contains_subquery(expr.operand)
+    if isinstance(expr, ast.InList):
+        return expr_contains_subquery(expr.operand) or any(
+            expr_contains_subquery(item) for item in expr.items
+        )
+    if isinstance(expr, ast.Between):
+        return any(
+            expr_contains_subquery(e) for e in (expr.operand, expr.low, expr.high)
+        )
+    if isinstance(expr, ast.Like):
+        return expr_contains_subquery(expr.operand) or expr_contains_subquery(
+            expr.pattern
+        )
+    if isinstance(expr, ast.Case):
+        if any(
+            expr_contains_subquery(c) or expr_contains_subquery(v)
+            for c, v in expr.whens
+        ):
+            return True
+        return expr.else_ is not None and expr_contains_subquery(expr.else_)
+    return False
 
 
 class BindContext:
@@ -222,11 +303,42 @@ SCALAR_FUNCTIONS: dict[str, Callable] = {
 def bind_expr(expr: ast.Expr, ctx: BindContext) -> BoundExpr:
     """Compile *expr* into a closure over :class:`Env`.
 
+    The returned closure also carries the compiled batch form as a
+    ``.batch`` attribute (see module docstring).  Subquery-containing
+    expressions get a row-loop batch form over the *same* closure so the
+    subquery is compiled (and its cost registered) exactly once.
+
     Raises
     ------
     PlanError
         On unknown columns/functions or aggregates in a scalar context.
     """
+    fn = _bind_row(expr, ctx)
+    if expr_contains_subquery(expr):
+        fn.batch = _row_loop_batch(fn)
+    else:
+        fn.batch = _bind_batch(expr, ctx)
+    if isinstance(expr, ast.ColumnRef):
+        depth, idx = ctx.resolve(expr.name, expr.qualifier)
+        if depth == 0:
+            # Bare current-row column: operators with tight per-row loops
+            # (hash join build/probe, grouped aggregation) index the tuple
+            # directly instead of materialising a key column.
+            fn.slot = idx
+    return fn
+
+
+def _row_loop_batch(fn: BoundExpr) -> BatchExpr:
+    """Batch form that loops the row closure (subquery fallback)."""
+
+    def _loop(rows: Sequence[tuple], outer_env: Optional[Env]) -> list:
+        return [fn(Env(row, outer_env)) for row in rows]
+
+    return _loop
+
+
+def _bind_row(expr: ast.Expr, ctx: BindContext) -> BoundExpr:
+    """Compile the row-at-a-time form of *expr*."""
     if isinstance(expr, ast.Literal):
         value = expr.value
         return lambda env: value
@@ -241,7 +353,7 @@ def bind_expr(expr: ast.Expr, ctx: BindContext) -> BoundExpr:
         return _bind_binary(expr, ctx)
 
     if isinstance(expr, ast.UnaryOp):
-        operand = bind_expr(expr.operand, ctx)
+        operand = _bind_row(expr.operand, ctx)
         if expr.op == "NOT":
             def _not(env, operand=operand):
                 v = operand(env)
@@ -272,7 +384,7 @@ def bind_expr(expr: ast.Expr, ctx: BindContext) -> BoundExpr:
         fn = SCALAR_FUNCTIONS.get(name)
         if fn is None:
             raise PlanError(f"unknown function {name!r}")
-        args = [bind_expr(a, ctx) for a in expr.args]
+        args = [_bind_row(a, ctx) for a in expr.args]
 
         def _call(env, fn=fn, args=args):
             try:
@@ -283,14 +395,14 @@ def bind_expr(expr: ast.Expr, ctx: BindContext) -> BoundExpr:
         return _call
 
     if isinstance(expr, ast.IsNull):
-        operand = bind_expr(expr.operand, ctx)
+        operand = _bind_row(expr.operand, ctx)
         if expr.negated:
             return lambda env: operand(env) is not None
         return lambda env: operand(env) is None
 
     if isinstance(expr, ast.InList):
-        operand = bind_expr(expr.operand, ctx)
-        items = [bind_expr(i, ctx) for i in expr.items]
+        operand = _bind_row(expr.operand, ctx)
+        items = [_bind_row(i, ctx) for i in expr.items]
         negated = expr.negated
 
         def _in(env, operand=operand, items=items, negated=negated):
@@ -312,9 +424,9 @@ def bind_expr(expr: ast.Expr, ctx: BindContext) -> BoundExpr:
         return _in
 
     if isinstance(expr, ast.Between):
-        operand = bind_expr(expr.operand, ctx)
-        low = bind_expr(expr.low, ctx)
-        high = bind_expr(expr.high, ctx)
+        operand = _bind_row(expr.operand, ctx)
+        low = _bind_row(expr.low, ctx)
+        high = _bind_row(expr.high, ctx)
         negated = expr.negated
 
         def _between(env):
@@ -331,8 +443,8 @@ def bind_expr(expr: ast.Expr, ctx: BindContext) -> BoundExpr:
         return _between
 
     if isinstance(expr, ast.Like):
-        operand = bind_expr(expr.operand, ctx)
-        pattern = bind_expr(expr.pattern, ctx)
+        operand = _bind_row(expr.operand, ctx)
+        pattern = _bind_row(expr.pattern, ctx)
         negated = expr.negated
         cache: dict[str, re.Pattern] = {}
 
@@ -353,8 +465,8 @@ def bind_expr(expr: ast.Expr, ctx: BindContext) -> BoundExpr:
         return _like
 
     if isinstance(expr, ast.Case):
-        whens = [(bind_expr(c, ctx), bind_expr(v, ctx)) for c, v in expr.whens]
-        else_ = bind_expr(expr.else_, ctx) if expr.else_ is not None else None
+        whens = [(_bind_row(c, ctx), _bind_row(v, ctx)) for c, v in expr.whens]
+        else_ = _bind_row(expr.else_, ctx) if expr.else_ is not None else None
 
         def _case(env):
             for cond, value in whens:
@@ -398,7 +510,7 @@ def bind_expr(expr: ast.Expr, ctx: BindContext) -> BoundExpr:
     if isinstance(expr, ast.InSubquery):
         if ctx.subquery_compiler is None:
             raise PlanError("subqueries are not allowed in this context")
-        operand = bind_expr(expr.operand, ctx)
+        operand = _bind_row(expr.operand, ctx)
         runner = ctx.subquery_compiler(expr.select, ctx)
         negated = expr.negated
 
@@ -435,8 +547,8 @@ def _require_bool(value: Any, where: str) -> None:
 
 def _bind_binary(expr: ast.BinaryOp, ctx: BindContext) -> BoundExpr:
     op = expr.op
-    left = bind_expr(expr.left, ctx)
-    right = bind_expr(expr.right, ctx)
+    left = _bind_row(expr.left, ctx)
+    right = _bind_row(expr.right, ctx)
 
     if op == "AND":
         def _and(env):
@@ -523,6 +635,336 @@ def _bind_binary(expr: ast.BinaryOp, ctx: BindContext) -> BoundExpr:
             if r == 0:
                 raise ExecutionError("modulo by zero")
             return l % r
+
+        return _arith
+
+    raise PlanError(f"unknown binary operator {op!r}")
+
+
+# ---------------------------------------------------------------------------
+# Batch compilation
+# ---------------------------------------------------------------------------
+#
+# The batch compiler mirrors _bind_row case by case.  It is only invoked on
+# subquery-free expressions (bind_expr guards), so it never touches the
+# subquery compiler.  Selective evaluation keeps error semantics aligned
+# with row mode: a sub-expression is evaluated exactly on the rows where
+# the row form would have evaluated it.
+
+_CMP_TESTS: dict[str, Callable[[int], bool]] = {
+    "=": lambda c: c == 0,
+    "<>": lambda c: c != 0,
+    "<": lambda c: c < 0,
+    "<=": lambda c: c <= 0,
+    ">": lambda c: c > 0,
+    ">=": lambda c: c >= 0,
+}
+
+
+def _bind_batch(expr: ast.Expr, ctx: BindContext) -> BatchExpr:
+    if isinstance(expr, ast.Literal):
+        value = expr.value
+        return lambda rows, outer_env: [value] * len(rows)
+
+    if isinstance(expr, ast.ColumnRef):
+        depth, idx = ctx.resolve(expr.name, expr.qualifier)
+        if depth == 0:
+            return lambda rows, outer_env: [row[idx] for row in rows]
+
+        def _outer_col(rows, outer_env, depth=depth, idx=idx):
+            if outer_env is None:
+                raise ExecutionError("correlated reference escaped its scope")
+            value = outer_env.ancestor(depth - 1).row[idx]
+            return [value] * len(rows)
+
+        return _outer_col
+
+    if isinstance(expr, ast.BinaryOp):
+        return _bind_batch_binary(expr, ctx)
+
+    if isinstance(expr, ast.UnaryOp):
+        operand = _bind_batch(expr.operand, ctx)
+        if expr.op == "NOT":
+            def _not(rows, outer_env):
+                out = []
+                for v in operand(rows, outer_env):
+                    if v is None:
+                        out.append(None)
+                    else:
+                        _require_bool(v, "NOT")
+                        out.append(not v)
+                return out
+
+            return _not
+        if expr.op == "-":
+            def _neg(rows, outer_env):
+                out = []
+                for v in operand(rows, outer_env):
+                    if v is None:
+                        out.append(None)
+                    elif not is_numeric(v):
+                        raise SqlTypeError(f"cannot negate {type(v).__name__}")
+                    else:
+                        out.append(-v)
+                return out
+
+            return _neg
+        raise PlanError(f"unknown unary operator {expr.op!r}")
+
+    if isinstance(expr, ast.FunctionCall):
+        name = expr.name.upper()
+        if name in ast.AGGREGATE_FUNCTIONS:
+            raise PlanError(f"aggregate {name} is not allowed in this context")
+        fn = SCALAR_FUNCTIONS.get(name)
+        if fn is None:
+            raise PlanError(f"unknown function {name!r}")
+        args = [_bind_batch(a, ctx) for a in expr.args]
+
+        def _call(rows, outer_env, fn=fn, args=args, name=name):
+            cols = [a(rows, outer_env) for a in args]
+            try:
+                if not cols:
+                    return [fn() for _ in rows]
+                return [fn(*vals) for vals in zip(*cols)]
+            except (TypeError, AttributeError) as exc:
+                raise SqlTypeError(f"bad arguments to {name}: {exc}") from exc
+
+        return _call
+
+    if isinstance(expr, ast.IsNull):
+        operand = _bind_batch(expr.operand, ctx)
+        if expr.negated:
+            return lambda rows, outer_env: [
+                v is not None for v in operand(rows, outer_env)
+            ]
+        return lambda rows, outer_env: [v is None for v in operand(rows, outer_env)]
+
+    if isinstance(expr, ast.InList):
+        operand = _bind_batch(expr.operand, ctx)
+        items = [_bind_batch(i, ctx) for i in expr.items]
+        negated = expr.negated
+
+        def _in(rows, outer_env):
+            values = operand(rows, outer_env)
+            n = len(values)
+            out: list = [None] * n
+            # NULL operands decide to NULL without evaluating any item.
+            pending = [i for i in range(n) if values[i] is not None]
+            saw_null = [False] * n
+            for item in items:
+                if not pending:
+                    break
+                matches = item([rows[i] for i in pending], outer_env)
+                still = []
+                for w, i in zip(matches, pending):
+                    if w is None:
+                        saw_null[i] = True
+                        still.append(i)
+                    elif compare_values(values[i], w) == 0:
+                        out[i] = not negated
+                    else:
+                        still.append(i)
+                pending = still
+            for i in pending:
+                out[i] = None if saw_null[i] else negated
+            return out
+
+        return _in
+
+    if isinstance(expr, ast.Between):
+        operand = _bind_batch(expr.operand, ctx)
+        low = _bind_batch(expr.low, ctx)
+        high = _bind_batch(expr.high, ctx)
+        negated = expr.negated
+
+        def _between(rows, outer_env):
+            values = operand(rows, outer_env)
+            lows = low(rows, outer_env)
+            highs = high(rows, outer_env)
+            out = []
+            for v, lo, hi in zip(values, lows, highs):
+                c1 = compare_values(v, lo)
+                c2 = compare_values(v, hi)
+                if c1 is None or c2 is None:
+                    out.append(None)
+                else:
+                    result = c1 >= 0 and c2 <= 0
+                    out.append((not result) if negated else result)
+            return out
+
+        return _between
+
+    if isinstance(expr, ast.Like):
+        operand = _bind_batch(expr.operand, ctx)
+        pattern = _bind_batch(expr.pattern, ctx)
+        negated = expr.negated
+        cache: dict[str, re.Pattern] = {}
+
+        def _like(rows, outer_env):
+            values = operand(rows, outer_env)
+            patterns = pattern(rows, outer_env)
+            out = []
+            for v, p in zip(values, patterns):
+                if v is None or p is None:
+                    out.append(None)
+                    continue
+                if not isinstance(v, str) or not isinstance(p, str):
+                    raise SqlTypeError("LIKE requires text operands")
+                rx = cache.get(p)
+                if rx is None:
+                    rx = re.compile(_like_to_regex(p), re.DOTALL)
+                    cache[p] = rx
+                result = rx.fullmatch(v) is not None
+                out.append((not result) if negated else result)
+            return out
+
+        return _like
+
+    if isinstance(expr, ast.Case):
+        whens = [
+            (_bind_batch(c, ctx), _bind_batch(v, ctx)) for c, v in expr.whens
+        ]
+        else_ = _bind_batch(expr.else_, ctx) if expr.else_ is not None else None
+
+        def _case(rows, outer_env):
+            n = len(rows)
+            out: list = [None] * n
+            pending = list(range(n))
+            for cond, value in whens:
+                if not pending:
+                    break
+                verdicts = cond([rows[i] for i in pending], outer_env)
+                hits = [i for i, c in zip(pending, verdicts) if c is True]
+                if hits:
+                    results = value([rows[i] for i in hits], outer_env)
+                    for i, v in zip(hits, results):
+                        out[i] = v
+                pending = [i for i, c in zip(pending, verdicts) if c is not True]
+            if else_ is not None and pending:
+                results = else_([rows[i] for i in pending], outer_env)
+                for i, v in zip(pending, results):
+                    out[i] = v
+            return out
+
+        return _case
+
+    if isinstance(expr, ast.Star):
+        raise PlanError("'*' is only allowed at the top of a select list")
+
+    raise PlanError(f"cannot bind expression {expr!r}")
+
+
+def _bind_batch_binary(expr: ast.BinaryOp, ctx: BindContext) -> BatchExpr:
+    op = expr.op
+    left = _bind_batch(expr.left, ctx)
+    right = _bind_batch(expr.right, ctx)
+
+    if op == "AND":
+        def _and(rows, outer_env):
+            lv = left(rows, outer_env)
+            n = len(lv)
+            out: list = [False] * n
+            pending = [i for i in range(n) if lv[i] is not False]
+            if pending:
+                rv = right([rows[i] for i in pending], outer_env)
+                for r, i in zip(rv, pending):
+                    if r is False:
+                        continue
+                    l = lv[i]
+                    if l is None or r is None:
+                        out[i] = None
+                    else:
+                        _require_bool(l, "AND")
+                        _require_bool(r, "AND")
+                        out[i] = True
+            return out
+
+        return _and
+
+    if op == "OR":
+        def _or(rows, outer_env):
+            lv = left(rows, outer_env)
+            n = len(lv)
+            out: list = [True] * n
+            pending = [i for i in range(n) if lv[i] is not True]
+            if pending:
+                rv = right([rows[i] for i in pending], outer_env)
+                for r, i in zip(rv, pending):
+                    if r is True:
+                        continue
+                    l = lv[i]
+                    if l is None or r is None:
+                        out[i] = None
+                    else:
+                        _require_bool(l, "OR")
+                        _require_bool(r, "OR")
+                        out[i] = False
+            return out
+
+        return _or
+
+    if op in _CMP_TESTS:
+        test = _CMP_TESTS[op]
+
+        def _cmp(rows, outer_env):
+            lv = left(rows, outer_env)
+            rv = right(rows, outer_env)
+            return [
+                None if (c := compare_values(l, r)) is None else test(c)
+                for l, r in zip(lv, rv)
+            ]
+
+        return _cmp
+
+    if op == "||":
+        def _concat(rows, outer_env):
+            lv = left(rows, outer_env)
+            rv = right(rows, outer_env)
+            out = []
+            for l, r in zip(lv, rv):
+                if l is None or r is None:
+                    out.append(None)
+                    continue
+                if not isinstance(l, str) or not isinstance(r, str):
+                    raise SqlTypeError("|| requires text operands")
+                out.append(l + r)
+            return out
+
+        return _concat
+
+    if op in ("+", "-", "*", "/", "%"):
+        if op == "+":
+            apply = lambda l, r: l + r
+        elif op == "-":
+            apply = lambda l, r: l - r
+        elif op == "*":
+            apply = lambda l, r: l * r
+        elif op == "/":
+            def apply(l, r):
+                if r == 0:
+                    raise ExecutionError("division by zero")
+                return l / r
+        else:
+            def apply(l, r):
+                if r == 0:
+                    raise ExecutionError("modulo by zero")
+                return l % r
+
+        def _arith(rows, outer_env, op=op, apply=apply):
+            lv = left(rows, outer_env)
+            rv = right(rows, outer_env)
+            out = []
+            for l, r in zip(lv, rv):
+                if l is None or r is None:
+                    out.append(None)
+                elif not is_numeric(l) or not is_numeric(r):
+                    raise SqlTypeError(
+                        f"operator {op} requires numeric operands, got "
+                        f"{type(l).__name__} and {type(r).__name__}"
+                    )
+                else:
+                    out.append(apply(l, r))
+            return out
 
         return _arith
 

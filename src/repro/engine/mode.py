@@ -1,0 +1,72 @@
+"""Execution-mode switch: vectorized batches vs. row-at-a-time.
+
+Mirrors the backend-switch pattern of :mod:`repro.core.projection`: the
+engine ships two execution modes with identical semantics -- ``"batch"``
+(MonetDB/X100-style batch-at-a-time, the default) and ``"row"`` (the
+original Volcano pull loop, kept as the differential oracle).  Both charge
+the same work units, produce the same rows and interoperate on the same
+checkpoints; see ``docs/PERFORMANCE.md``.
+
+>>> from repro.engine.mode import use_execution_mode, default_execution_mode
+>>> default_execution_mode()
+'batch'
+>>> with use_execution_mode("row"):
+...     default_execution_mode()
+'row'
+"""
+
+from __future__ import annotations
+
+from contextlib import contextmanager
+from typing import Iterator
+
+#: The available execution modes, fastest first.
+EXECUTION_MODES = ("batch", "row")
+
+#: Rows per operator output batch in vectorized execution.
+DEFAULT_BATCH_SIZE = 1024
+
+_default_mode = "batch"
+
+
+def default_execution_mode() -> str:
+    """The execution mode used when none is passed explicitly."""
+    return _default_mode
+
+
+def set_default_execution_mode(mode: str) -> None:
+    """Set the process-wide default execution mode.
+
+    Raises
+    ------
+    ValueError
+        On an unknown mode name.
+    """
+    global _default_mode
+    if mode not in EXECUTION_MODES:
+        raise ValueError(
+            f"unknown execution mode {mode!r}; expected one of {EXECUTION_MODES}"
+        )
+    _default_mode = mode
+
+
+@contextmanager
+def use_execution_mode(mode: str) -> Iterator[None]:
+    """Temporarily switch the default execution mode."""
+    previous = default_execution_mode()
+    set_default_execution_mode(mode)
+    try:
+        yield
+    finally:
+        set_default_execution_mode(previous)
+
+
+def resolve_execution_mode(mode: str | None) -> str:
+    """Validate an explicit *mode*, or fall back to the default."""
+    if mode is None:
+        return _default_mode
+    if mode not in EXECUTION_MODES:
+        raise ValueError(
+            f"unknown execution mode {mode!r}; expected one of {EXECUTION_MODES}"
+        )
+    return mode

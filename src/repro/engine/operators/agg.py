@@ -65,6 +65,44 @@ class _AggState:
             if self.extreme is None or compare_values(value, self.extreme) > 0:
                 self.extreme = value
 
+    def update_batch(self, values: list) -> None:
+        """Fold a whole column of values at once.
+
+        Equivalent to calling :meth:`update` per value, but SUM/AVG/COUNT
+        without DISTINCT use C-level builtins over the non-null values.
+        """
+        if self.seen is not None or self.spec.func in ("MIN", "MAX"):
+            for value in values:
+                self.update(value)
+            return
+        func = self.spec.func
+        if func == "COUNT":
+            self.count += len(values) - values.count(None)
+            return
+        # SUM / AVG: same accumulation order as the scalar path -- one
+        # left-to-right chain of additions -- so float totals stay
+        # bit-identical to row mode.  (A per-batch ``sum()`` would
+        # re-associate the additions and drift in the last ulps.)
+        count = self.count
+        total = self.total
+        for value in values:
+            if value is None:
+                continue
+            if not is_numeric(value):
+                raise SqlTypeError(f"{func} requires numeric input, got {value!r}")
+            count += 1
+            total = value if total is None else total + value
+        self.count = count
+        self.total = total
+
+    def update_count_star(self, n: int) -> None:
+        """Fold *n* COUNT(*) rows (each row contributes the constant 1)."""
+        if self.seen is not None:
+            for _ in range(n):
+                self.update(1)
+            return
+        self.count += n
+
     def result(self) -> Any:
         func = self.spec.func
         if func == "COUNT":
@@ -250,6 +288,156 @@ class HashAggregate(Operator):
         for row in self._pending:
             self._emitted += 1
             yield row
+
+    # ------------------------------------------------------------------
+    # Batch execution
+    # ------------------------------------------------------------------
+
+    def batches(self, outer_env: Optional[Env] = None) -> Iterator[list]:
+        from repro.engine.expr import batch_eval
+
+        resume = self._resume
+        self._resume = None
+        gov = self.account.memory
+
+        if resume is not None and resume["phase"] == "emit":
+            self._phase = "emit"
+            self._pending = list(resume["pending"])
+            self._emitted = resume["emitted"]
+            yield from self._emit_batches(self._emitted)
+            return
+
+        self._phase = "build"
+        if resume is not None and resume["phase"] == "build":
+            self._groups = {
+                k: [s.copy() for s in v] for k, v in resume["groups"].items()
+            }
+            self._order = list(resume["order"])
+            self._degraded = resume["degraded"]
+        else:
+            self._groups = {}
+            self._order = []
+            self._degraded = False
+        self._reserved = 0
+
+        group_exprs = self.group_exprs
+        aggregates = self.aggregates
+        groups = self._groups
+        global_agg = not group_exprs
+        for batch in self.child.batches(outer_env):
+            n = len(batch)
+            arg_columns = [
+                batch_eval(spec.arg, batch, outer_env)
+                if spec.arg is not None else None
+                for spec in aggregates
+            ]
+            if global_agg:
+                states = groups.get(())
+                if states is None:
+                    states = [_AggState(spec) for spec in aggregates]
+                    groups[()] = states
+                    self._order.append(())
+                    if gov is not None and not self._degraded:
+                        self._reserved += 1
+                        if not gov.reserve("HashAggregate"):
+                            self._degraded = True
+                            gov.release(self._reserved)
+                            self._reserved = 0
+                            gov.record(
+                                "HashAggregate", "degrade",
+                                "group partials over budget: spill fallback",
+                            )
+                for state, column in zip(states, arg_columns):
+                    if column is None:
+                        state.update_count_star(n)
+                    else:
+                        state.update_batch(column)
+                continue
+            key_columns = [
+                batch_eval(g, batch, outer_env) for g in group_exprs
+            ]
+            if len(key_columns) == 1:
+                keys = [(v,) for v in key_columns[0]]
+            else:
+                keys = list(zip(*key_columns))
+            # Bucket row indices by key first (insertion order = first
+            # appearance, matching row mode's group creation order), then
+            # fold each group's slice in one update_batch call.  Within a
+            # group the stream order is preserved, so float totals stay
+            # identical to per-row accumulation.
+            buckets: dict[tuple, list[int]] = {}
+            for i, key in enumerate(keys):
+                idxs = buckets.get(key)
+                if idxs is None:
+                    buckets[key] = [i]
+                else:
+                    idxs.append(i)
+            for key, idxs in buckets.items():
+                states = groups.get(key)
+                if states is None:
+                    states = [_AggState(spec) for spec in aggregates]
+                    groups[key] = states
+                    self._order.append(key)
+                    if gov is not None and not self._degraded:
+                        self._reserved += 1
+                        if not gov.reserve("HashAggregate"):
+                            self._degraded = True
+                            gov.release(self._reserved)
+                            self._reserved = 0
+                            gov.record(
+                                "HashAggregate", "degrade",
+                                "group partials over budget: spill fallback",
+                            )
+                for state, column in zip(states, arg_columns):
+                    if column is None:
+                        state.update_count_star(len(idxs))
+                    elif len(idxs) == len(keys):
+                        state.update_batch(column)
+                    else:
+                        state.update_batch([column[i] for i in idxs])
+
+        if self._degraded and gov is not None:
+            group_count = len(self._order)
+            passes = math.ceil(group_count / gov.budget_rows)
+            extra = (passes - 1) * 2.0 * math.ceil(
+                group_count / self.rows_per_page
+            )
+            if extra > 0:
+                self.account.charge(extra)
+                gov.record(
+                    "HashAggregate", "spill",
+                    f"{passes} re-aggregation passes over {group_count} "
+                    f"groups (+{extra:g} U)",
+                )
+
+        if not self._groups and not self.group_exprs:
+            self._pending = [
+                tuple(_AggState(spec).result() for spec in self.aggregates)
+            ]
+        else:
+            self._pending = [
+                key + tuple(state.result() for state in self._groups[key])
+                for key in self._order
+            ]
+        if gov is not None and self._reserved:
+            gov.release(self._reserved)
+            self._reserved = 0
+
+        self._phase = "emit"
+        self._emitted = 0
+        yield from self._emit_batches(0)
+
+    def _emit_batches(self, start: int) -> Iterator[list]:
+        cap = max(self.batch_size, 1)
+        pending = self._pending
+        total = len(pending)
+        position = start
+        while position < total:
+            end = min(position + cap, total)
+            chunk = pending[position:end]
+            self._emitted = end
+            yield chunk
+            position = end
 
     def describe(self) -> str:
         aggs = ", ".join(s.func for s in self.aggregates)

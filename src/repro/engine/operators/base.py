@@ -87,9 +87,26 @@ class Operator(abc.ABC):
         self.est_cost: float = 0.0
         self.est_rows: float = 0.0
 
+    #: Maximum rows per output batch in vectorized execution.  Configured
+    #: tree-wide by :func:`configure_batch_size` before iteration starts.
+    batch_size: int = 1024
+
     @abc.abstractmethod
     def rows(self, outer_env: Optional[Env] = None) -> Iterator[tuple]:
         """Iterate output rows, charging work as pages are touched."""
+
+    def batches(self, outer_env: Optional[Env] = None) -> Iterator[list]:
+        """Iterate output rows in batches (lists of row tuples).
+
+        Operators with a vectorized path override this.  The base
+        implementation wraps :meth:`rows` one row per batch, which keeps
+        *exact* work-charge parity with row mode for operators whose
+        charges are interleaved with their yields (index scans): a
+        consumer that stops early never triggers charges row mode would
+        not have made.
+        """
+        for row in self.rows(outer_env):
+            yield [row]
 
     def children(self) -> tuple["Operator", ...]:
         """Child operators (for plan inspection and explain output)."""
@@ -145,3 +162,12 @@ def checkpoint_child(child: Operator) -> Optional[dict[str, Any]]:
     if state is None:
         return None
     return {"child": state}
+
+
+def configure_batch_size(root: Operator, batch_size: int) -> None:
+    """Set the output batch size on every operator of a plan tree."""
+    if batch_size < 1:
+        raise ValueError("batch_size must be >= 1")
+    root.batch_size = batch_size
+    for child in root.children():
+        configure_batch_size(child, batch_size)

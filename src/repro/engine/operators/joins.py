@@ -6,7 +6,7 @@ import math
 from typing import Iterator, Optional
 
 from repro.engine.errors import SqlTypeError
-from repro.engine.expr import BoundExpr, Env
+from repro.engine.expr import BoundExpr, Env, batch_eval
 from repro.engine.operators.base import Operator
 
 
@@ -54,6 +54,35 @@ class NestedLoopJoin(Operator):
                     raise SqlTypeError("join condition must be boolean")
             if self.left_outer and not matched:
                 yield left + pad
+
+    def batches(self, outer_env: Optional[Env] = None) -> Iterator[list]:
+        # One output batch per *outer* input batch.  The inner side is
+        # rescanned per outer row exactly as in row mode (its materialized
+        # cache makes the rescans free after the first).
+        condition = self.condition
+        pad = (None,) * len(self.inner.layout)
+        for outer_batch in self.outer.batches(outer_env):
+            out = []
+            for left in outer_batch:
+                matched = False
+                for inner_batch in self.inner.batches(outer_env):
+                    combined = [left + right for right in inner_batch]
+                    if condition is None:
+                        if combined:
+                            matched = True
+                            out.extend(combined)
+                        continue
+                    verdicts = batch_eval(condition, combined, outer_env)
+                    for row, verdict in zip(combined, verdicts):
+                        if verdict is True:
+                            matched = True
+                            out.append(row)
+                        elif verdict is not False and verdict is not None:
+                            raise SqlTypeError("join condition must be boolean")
+                if self.left_outer and not matched:
+                    out.append(left + pad)
+            if out:
+                yield out
 
     def describe(self) -> str:
         if self.left_outer:
@@ -288,6 +317,179 @@ class HashJoin(Operator):
         if gov is not None and self._reserved:
             gov.release(self._reserved)
             self._reserved = 0
+
+    # ------------------------------------------------------------------
+    # Batch execution
+    # ------------------------------------------------------------------
+
+    def _clear_current(self) -> None:
+        """Reset in-flight-probe-row state at a batch boundary.
+
+        In batch mode every probe input batch is fully processed before
+        its output batch is yielded, so a checkpoint between batches has
+        no current row -- the shape row-mode restore already handles.
+        """
+        self._current = None
+        self._current_emitted = 0
+        self._current_matched = False
+        self._current_padded = False
+
+    def batches(self, outer_env: Optional[Env] = None) -> Iterator[list]:
+        resume = self._resume
+        self._resume = None
+        gov = self.account.memory
+
+        if resume is not None and resume["phase"] == "probe":
+            self._phase = "probe"
+            self._table = resume["table"]
+            self._build_count = resume["count"]
+            self._degraded = resume["degraded"]
+            self._reserved = 0
+            if resume["current"] is not None:
+                # Finish the in-flight probe row of a row-mode checkpoint.
+                self._current_emitted = resume["current_emitted"]
+                self._current_matched = resume["current_matched"]
+                self._current_padded = resume["current_padded"]
+                pending = list(self._probe_one(
+                    resume["current"], outer_env,
+                    skip=resume["current_emitted"], resuming=True,
+                ))
+                self._clear_current()
+                if pending:
+                    yield pending
+            yield from self._probe_batches(outer_env)
+            if gov is not None and self._reserved:
+                gov.release(self._reserved)
+                self._reserved = 0
+            return
+
+        self._phase = "build"
+        if resume is not None and resume["phase"] == "build":
+            self._table = {k: list(v) for k, v in resume["table"].items()}
+            self._build_count = resume["count"]
+            self._degraded = resume["degraded"]
+            self._reserved = 0
+        else:
+            self._table = {}
+            self._build_count = 0
+            self._degraded = False
+            self._reserved = 0
+
+        build_key = self.build_key
+        key_slot = getattr(build_key, "slot", None)
+        table = self._table
+        table_get = table.get
+        for batch in self.build_side.batches(outer_env):
+            if gov is None and key_slot is not None:
+                # Tightest path: bare-column key, no memory governance --
+                # index the tuple directly, skip the key column entirely.
+                # This loop carries the whole build side.
+                inserted = 0
+                for row in batch:
+                    key = row[key_slot]
+                    if key is None:
+                        continue  # NULL never joins
+                    bucket = table_get(key)
+                    if bucket is None:
+                        table[key] = [row]
+                    else:
+                        bucket.append(row)
+                    inserted += 1
+                self._build_count += inserted
+                continue
+            keys = batch_eval(build_key, batch, outer_env)
+            if gov is None:
+                inserted = 0
+                for key, row in zip(keys, batch):
+                    if key is None:
+                        continue  # NULL never joins
+                    bucket = table_get(key)
+                    if bucket is None:
+                        table[key] = [row]
+                    else:
+                        bucket.append(row)
+                    inserted += 1
+                self._build_count += inserted
+                continue
+            for key, row in zip(keys, batch):
+                if key is None:
+                    continue  # NULL never joins
+                bucket = table.get(key)
+                if bucket is None:
+                    table[key] = [row]
+                else:
+                    bucket.append(row)
+                self._build_count += 1
+                if not self._degraded:
+                    self._reserved += 1
+                    if not gov.reserve("HashJoin"):
+                        self._degraded = True
+                        gov.release(self._reserved)
+                        self._reserved = 0
+                        gov.record(
+                            "HashJoin", "degrade",
+                            "build side over budget: block-partitioned fallback",
+                        )
+
+        self.account.charge(2.0 * math.ceil(self._build_count / self.rows_per_page))
+        if self._degraded and gov is not None:
+            passes = math.ceil(self._build_count / gov.budget_rows)
+            extra = (passes - 1) * 2.0 * math.ceil(
+                self._build_count / self.rows_per_page
+            )
+            if extra > 0:
+                self.account.charge(extra)
+                gov.record(
+                    "HashJoin", "spill",
+                    f"{passes} partition passes over {self._build_count} "
+                    f"build rows (+{extra:g} U)",
+                )
+
+        self._phase = "probe"
+        yield from self._probe_batches(outer_env)
+        if gov is not None and self._reserved:
+            gov.release(self._reserved)
+            self._reserved = 0
+
+    def _probe_batches(self, outer_env: Optional[Env]) -> Iterator[list]:
+        """Probe in bulk: one output batch per probe input batch."""
+        probe_key = self.probe_key
+        residual = self.residual
+        table = self._table
+        left_outer = self.left_outer
+        pad = (None,) * len(self.build_side.layout)
+        for batch in self.probe_side.batches(outer_env):
+            keys = batch_eval(probe_key, batch, outer_env)
+            out = []
+            if residual is None:
+                emit = out.append
+                for key, left in zip(keys, batch):
+                    bucket = table.get(key) if key is not None else None
+                    if bucket:
+                        for right in bucket:
+                            emit(left + right)
+                    elif left_outer:
+                        emit(left + pad)
+            else:
+                for key, left in zip(keys, batch):
+                    matched = False
+                    if key is not None:
+                        combined = [left + right for right in table.get(key, ())]
+                        if combined:
+                            verdicts = batch_eval(residual, combined, outer_env)
+                            for row, verdict in zip(combined, verdicts):
+                                if verdict is True:
+                                    matched = True
+                                    out.append(row)
+                                elif verdict not in (False, None):
+                                    raise SqlTypeError(
+                                        "join condition must be boolean"
+                                    )
+                    if left_outer and not matched:
+                        out.append(left + pad)
+            self._clear_current()
+            if out:
+                yield out
 
     def describe(self) -> str:
         kind = "HashLeftJoin" if self.left_outer else "HashJoin"

@@ -102,6 +102,46 @@ class SeqScan(Operator):
                 self._rows_out += 1
                 yield row
 
+    def batches(self, outer_env: Optional[Env] = None) -> Iterator[list]:
+        """Page-aligned batch scan.
+
+        Batches never span pages: a page is charged exactly when its first
+        row enters a batch, so a consumer that stops early (LIMIT) charges
+        the same pages row mode would have.  ``batch_size`` only splits
+        pages that are larger than it.
+        """
+        resume = self._resume
+        self._resume = None
+        skip = resume["rows_out"] if resume else 0
+        paid = resume["pages_paid"] if resume else 0
+        self.pages_read = 0
+        self._rows_out = skip
+        cap = max(self.batch_size, 1)
+        for _, page in self.table.heap.scan_pages():
+            if paid > 0:
+                paid -= 1
+            else:
+                self.account.charge(1.0)
+            self.pages_read += 1
+            page_rows = page.rows
+            n = len(page_rows)
+            self._page_size = max(n, 1)
+            self._rows_in_page = 0
+            start = 0
+            if skip > 0:
+                start = min(skip, n)
+                skip -= start
+                self._rows_in_page = start
+            while start < n:
+                end = min(start + cap, n)
+                batch = list(page_rows[start:end])
+                # Attribute downstream work on this batch to its last row,
+                # keeping the driver fraction within one batch of truth.
+                self._rows_in_page = end
+                self._rows_out += end - start
+                yield batch
+                start = end
+
     def describe(self) -> str:
         return f"SeqScan {self.table.name} as {self.binding}"
 

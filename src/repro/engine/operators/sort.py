@@ -24,7 +24,7 @@ import heapq
 import math
 from typing import Any, Iterator, Optional, Sequence
 
-from repro.engine.expr import BoundExpr, Env
+from repro.engine.expr import BoundExpr, Env, batch_eval
 from repro.engine.operators.base import Operator
 from repro.engine.types import sort_key
 
@@ -201,6 +201,106 @@ class Sort(Operator):
         for row in self._sorted:
             self._emitted += 1
             yield row
+
+    # ------------------------------------------------------------------
+    # Batch execution
+    # ------------------------------------------------------------------
+
+    def _entries_batch(self, batch: list, outer_env) -> list[_Entry]:
+        """Decorate a whole batch of rows with their sort keys."""
+        key_columns = []
+        for expr, descending in self.keys:
+            values = batch_eval(expr, batch, outer_env)
+            if descending:
+                key_columns.append([_Desc(sort_key(v)) for v in values])
+            else:
+                key_columns.append([sort_key(v) for v in values])
+        seq = self._seq
+        entries = []
+        if len(key_columns) == 1:
+            for k, row in zip(key_columns[0], batch):
+                entries.append(((k, seq), row))
+                seq += 1
+        else:
+            for i, row in enumerate(batch):
+                entries.append(
+                    (tuple(kc[i] for kc in key_columns) + (seq,), row)
+                )
+                seq += 1
+        self._seq = seq
+        return entries
+
+    def batches(self, outer_env: Optional[Env] = None) -> Iterator[list]:
+        resume = self._resume
+        self._resume = None
+        gov = self.account.memory
+
+        if resume is not None and resume["phase"] == "emit":
+            self._phase = "emit"
+            self._sorted = list(resume["sorted"])
+            self._emitted = resume["emitted"]
+            yield from self._emit_batches(self._emitted)
+            return
+
+        self._phase = "build"
+        if resume is not None and resume["phase"] == "build":
+            self._buffer = list(resume["buffer"])
+            self._runs = [list(r) for r in resume["runs"]]
+            self._seq = resume["seq"]
+            self._degraded = resume["degraded"]
+        else:
+            self._buffer = []
+            self._runs = []
+            self._seq = 0
+            self._degraded = False
+        self._sorted = []
+        self._emitted = 0
+
+        for batch in self.child.batches(outer_env):
+            entries = self._entries_batch(batch, outer_env)
+            if gov is None:
+                self._buffer.extend(entries)
+                continue
+            # Same per-row reserve/spill cadence as row mode.
+            for entry in entries:
+                self._buffer.append(entry)
+                if not gov.reserve("Sort"):
+                    if not self._degraded:
+                        self._degraded = True
+                        gov.record(
+                            "Sort", "degrade",
+                            "buffer over budget: external-merge fallback",
+                        )
+                    self._spill_current_buffer()
+
+        total_rows = self._seq
+        self.account.charge(2.0 * math.ceil(total_rows / self.rows_per_page))
+
+        if self._runs:
+            if self._buffer:
+                self._spill_current_buffer()
+            self._sorted = [row for _, row in heapq.merge(*self._runs)]
+            self._runs = []
+        else:
+            self._sorted = [row for _, row in sorted(self._buffer)]
+            if gov is not None:
+                gov.release(len(self._buffer))
+            self._buffer = []
+
+        self._phase = "emit"
+        yield from self._emit_batches(0)
+
+    def _emit_batches(self, start: int) -> Iterator[list]:
+        cap = max(self.batch_size, 1)
+        sorted_rows = self._sorted
+        total = len(sorted_rows)
+        position = start
+        while position < total:
+            end = min(position + cap, total)
+            chunk = sorted_rows[position:end]
+            self._emitted = end
+            yield chunk
+            position = end
 
     def describe(self) -> str:
         directions = ", ".join("DESC" if d else "ASC" for _, d in self.keys)

@@ -14,7 +14,7 @@ import math
 from typing import Iterator, Optional, Sequence
 
 from repro.engine.errors import SqlTypeError
-from repro.engine.expr import BoundExpr, Env, Layout
+from repro.engine.expr import BoundExpr, Env, Layout, batch_eval
 from repro.engine.operators.base import Operator, WorkAccount, checkpoint_child
 
 __all__ = [
@@ -49,6 +49,14 @@ class SingleRow(Operator):
             return
         self._done = True
         yield ()
+
+    def batches(self, outer_env: Optional[Env] = None) -> Iterator[list]:
+        resume = self._resume
+        self._resume = None
+        if resume is not None and resume["done"]:
+            return
+        self._done = True
+        yield [()]
 
     def describe(self) -> str:
         return "SingleRow"
@@ -85,6 +93,26 @@ class Filter(Operator):
                     "expected boolean"
                 )
 
+    def batches(self, outer_env: Optional[Env] = None) -> Iterator[list]:
+        # One output batch per input batch, never coalescing across input
+        # batches: this operator never pulls input row mode would not have
+        # touched, so charge totals match under early exit (LIMIT).
+        predicate = self.predicate
+        for batch in self.child.batches(outer_env):
+            verdicts = batch_eval(predicate, batch, outer_env)
+            out = []
+            keep = out.append
+            for row, verdict in zip(batch, verdicts):
+                if verdict is True:
+                    keep(row)
+                elif verdict is not False and verdict is not None:
+                    raise SqlTypeError(
+                        f"WHERE/ON predicate returned {type(verdict).__name__}, "
+                        "expected boolean"
+                    )
+            if out:
+                yield out
+
     def describe(self) -> str:
         return f"Filter {self.label}".rstrip()
 
@@ -119,6 +147,15 @@ class Project(Operator):
         for row in self.child.rows(outer_env):
             env = Env(row, outer_env)
             yield tuple(e(env) for e in exprs)
+
+    def batches(self, outer_env: Optional[Env] = None) -> Iterator[list]:
+        exprs = self.exprs
+        for batch in self.child.batches(outer_env):
+            if not exprs:
+                yield [() for _ in batch]
+                continue
+            columns = [batch_eval(e, batch, outer_env) for e in exprs]
+            yield list(zip(*columns))
 
     def describe(self) -> str:
         names = ", ".join(s.name for s in self.layout.slots)
@@ -165,6 +202,15 @@ class Limit(Operator):
         self._resume = None
         self._produced = int(resume["produced"]) if resume else 0
         self._skipped = int(resume["skipped"]) if resume else 0
+        if (
+            resume is not None
+            and self.limit is not None
+            and self._produced >= self.limit
+        ):
+            # Checkpointed with the limit already satisfied: pulling the
+            # child again could charge a page the uninterrupted run never
+            # touched.
+            return
         for row in self.child.rows(outer_env):
             if self._skipped < self.offset:
                 self._skipped += 1
@@ -173,6 +219,38 @@ class Limit(Operator):
                 return
             self._produced += 1
             yield row
+
+    def batches(self, outer_env: Optional[Env] = None) -> Iterator[list]:
+        # Mirrors rows(): the stop check runs after pulling a batch, so a
+        # LIMIT that is already satisfied still touches exactly the input
+        # (and charges exactly the pages) the row loop would have.
+        resume = self._resume
+        self._resume = None
+        self._produced = int(resume["produced"]) if resume else 0
+        self._skipped = int(resume["skipped"]) if resume else 0
+        if (
+            resume is not None
+            and self.limit is not None
+            and self._produced >= self.limit
+        ):
+            return
+        for batch in self.child.batches(outer_env):
+            out = batch
+            if self._skipped < self.offset:
+                drop = min(self.offset - self._skipped, len(out))
+                self._skipped += drop
+                out = out[drop:]
+            if self.limit is not None:
+                room = self.limit - self._produced
+                if room <= 0:
+                    return
+                if len(out) > room:
+                    out = out[:room]
+            if out:
+                self._produced += len(out)
+                yield out
+            if self.limit is not None and self._produced >= self.limit:
+                return
 
     def describe(self) -> str:
         return f"Limit {self.limit} offset {self.offset}"
@@ -218,6 +296,27 @@ class Distinct(Operator):
                     reserved += 1
                 seen.add(row)
                 yield row
+        if gov is not None and reserved:
+            gov.release(reserved)
+
+    def batches(self, outer_env: Optional[Env] = None) -> Iterator[list]:
+        resume = self._resume
+        self._resume = None
+        gov = self.account.memory
+        self._seen = set(resume["seen"]) if resume else set()
+        seen = self._seen
+        reserved = 0
+        for batch in self.child.batches(outer_env):
+            out = []
+            for row in batch:
+                if row not in seen:
+                    if gov is not None:
+                        gov.reserve("Distinct")
+                        reserved += 1
+                    seen.add(row)
+                    out.append(row)
+            if out:
+                yield out
         if gov is not None and reserved:
             gov.release(reserved)
 
@@ -269,6 +368,14 @@ class Concat(Operator):
         for i in range(start, len(self._children)):
             self._active = i
             yield from self._children[i].rows(outer_env)
+
+    def batches(self, outer_env: Optional[Env] = None) -> Iterator[list]:
+        resume = self._resume
+        self._resume = None
+        start = resume["active"] if resume else 0
+        for i in range(start, len(self._children)):
+            self._active = i
+            yield from self._children[i].batches(outer_env)
 
     def describe(self) -> str:
         return f"Concat ({len(self._children)} branches)"
@@ -337,6 +444,34 @@ class Materialize(Operator):
         for row in self._cache[start:]:
             self._handed += 1
             yield row
+
+    def batches(self, outer_env: Optional[Env] = None) -> Iterator[list]:
+        resume = self._resume
+        self._resume = None
+        start = 0
+        if resume is not None and resume["cache"] is not None:
+            self._cache = list(resume["cache"])
+            start = int(resume["handed"])
+        if self._cache is None:
+            cache: list[tuple] = []
+            for batch in self.child.batches(outer_env):
+                cache.extend(batch)
+            self.account.charge(2.0 * self.spill_pages(len(cache)))
+            gov = self.account.memory
+            if gov is not None and cache:
+                gov.reserve("Materialize", len(cache))
+            self._cache = cache
+        self._handed = start
+        cap = max(self.batch_size, 1)
+        cache = self._cache
+        total = len(cache)
+        position = start
+        while position < total:
+            end = min(position + cap, total)
+            chunk = cache[position:end]
+            self._handed = end
+            yield chunk
+            position = end
 
     def describe(self) -> str:
         return "Materialize"

@@ -39,6 +39,7 @@ from repro.engine.expr import (
     Env,
     Layout,
     bind_expr,
+    slot_expr,
 )
 from repro.engine.operators.agg import AggSpec, HashAggregate
 from repro.engine.operators.base import Operator, WorkAccount
@@ -238,9 +239,7 @@ class Planner:
             plan.est_rows = max(child.est_rows * 0.5, min(child.est_rows, 1.0))
 
         if sort_slots:
-            keys = [
-                ((lambda env, i=i: env.row[i]), desc) for i, desc in sort_slots
-            ]
+            keys = [(slot_expr(i), desc) for i, desc in sort_slots]
             child = plan
             plan = Sort(child, keys, rows_per_page=self.catalog.page_capacity)
             est = costmodel.sort(
@@ -255,7 +254,7 @@ class Planner:
             keep = list(range(visible))
             plan = Project(
                 child,
-                [(lambda env, i=i: env.row[i]) for i in keep],
+                [slot_expr(i) for i in keep],
                 Layout(child.layout.slots[:visible]),
             )
             plan.est_cost, plan.est_rows = child.est_cost, child.est_rows
@@ -319,7 +318,7 @@ class Planner:
                         "ORDER BY on a UNION must reference output column names"
                     )
                 idx = out_layout.resolve(item.expr.name, None)
-                keys.append(((lambda env, i=idx: env.row[i]), item.descending))
+                keys.append((slot_expr(idx), item.descending))
             child = plan
             plan = Sort(child, keys, rows_per_page=self.catalog.page_capacity)
             est = costmodel.sort(

@@ -16,11 +16,23 @@ extrapolation are blended linearly to avoid wild small-sample swings.
 
 Plans without a sequential scan (pure index lookups) fall back to the
 optimizer estimate, floored at the work already done.
+
+**Batch (vectorized) execution.**  In batch mode work is charged in
+batch-sized spikes: a single root pull can consume many driver pages at
+once, and the executor banks the overshoot as *debt* that later budgets
+repay.  Charged-but-unpaid work is still remaining work from the
+scheduler's point of view, so the tracker accepts an
+``outstanding_debt`` supplier and adds it to the remaining-cost
+estimate (and subtracts it from the completed fraction).  Row-mode
+executions carry near-zero debt, so their estimates are unchanged;
+batch-mode estimates stay accurate to within one batch of the driver
+scan instead of collapsing to zero the moment the driver's pages have
+been pre-charged.
 """
 
 from __future__ import annotations
 
-from typing import Optional
+from typing import Callable, Optional
 
 from repro.engine.operators.base import Operator, WorkAccount
 from repro.engine.operators.scans import SeqScan
@@ -46,6 +58,7 @@ class ProgressTracker:
         account: WorkAccount,
         optimizer_estimate: float,
         blend_until: float = 0.05,
+        outstanding_debt: Optional[Callable[[], float]] = None,
     ) -> None:
         if optimizer_estimate < 0:
             raise ValueError("optimizer_estimate must be >= 0")
@@ -58,6 +71,13 @@ class ProgressTracker:
         self._driver = find_driver_scan(root)
         self._finished = False
         self._restored_work = 0.0
+        self._outstanding_debt = outstanding_debt
+
+    def _debt(self) -> float:
+        """Charged-but-unpaid work banked by the executor (0 without one)."""
+        if self._outstanding_debt is None:
+            return 0.0
+        return max(self._outstanding_debt(), 0.0)
 
     @property
     def work_done(self) -> float:
@@ -115,14 +135,23 @@ class ProgressTracker:
         return max(blended, done)
 
     def estimated_remaining_cost(self) -> float:
-        """Refined remaining cost in U's (the PI's ``c``)."""
+        """Refined remaining cost in U's (the PI's ``c``).
+
+        Includes the executor's outstanding work debt: in batch mode a
+        pull can pre-charge a whole batch of work that the scheduler has
+        not yet paid for, and that work is still ahead of the query.
+        """
         if self._finished:
             return 0.0
-        return max(self.estimated_total_cost() - self.work_done, 0.0)
+        remaining = max(self.estimated_total_cost() - self.work_done, 0.0)
+        return remaining + self._debt()
 
     def completed_fraction(self) -> float:
         """Fraction of the (refined) total completed so far."""
+        if self._finished:
+            return 1.0
         total = self.estimated_total_cost()
         if total <= 0:
-            return 1.0 if self._finished else 0.0
-        return min(self.work_done / total, 1.0)
+            return 0.0
+        paid = max(self.work_done - self._debt(), 0.0)
+        return min(paid / total, 1.0)

@@ -49,7 +49,11 @@ def make_job(db: Database, query_id: str, i: int, config: "EngineMCQConfig") -> 
         return engine_job(db, query_id, i, checkpoint_interval=interval)
 
     def prepare():
-        return db.prepare(sql, checkpoint_interval=interval)
+        return db.prepare(
+            sql,
+            checkpoint_interval=interval,
+            execution_mode=config.execution_mode,
+        )
 
     return EngineJob(query_id, prepare(), prepare=prepare)
 
@@ -75,6 +79,10 @@ class EngineMCQConfig:
     #: Work-preserving checkpoint cadence (U's) for every engine execution,
     #: or None to run without checkpoints.
     checkpoint_interval: float | None = None
+    #: ``"batch"`` / ``"row"`` engine execution, or None for the engine
+    #: default.  Both modes are work-identical; this switches the
+    #: vectorized fast path on or off for the whole run.
+    execution_mode: str | None = None
     seed: int = 11
 
 
@@ -110,7 +118,9 @@ def build_database(config: EngineMCQConfig) -> tuple[Database, list[int]]:
     """Create the TPC-R data with Zipf-distributed part sizes."""
     rng = random.Random(config.seed)
     tpcr = TpcrConfig(scale=config.scale, seed=config.seed)
-    db = Database(page_capacity=tpcr.page_capacity)
+    db = Database(
+        page_capacity=tpcr.page_capacity, execution_mode=config.execution_mode
+    )
     build_lineitem(db, tpcr, rng)
     sampler = ZipfSampler.over_range(config.zipf_a, config.max_size, rng)
     sizes = [int(sampler.sample()) for _ in range(config.n_queries)]

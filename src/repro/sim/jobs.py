@@ -216,7 +216,10 @@ class EngineJob(Job):
 
     @property
     def completed_work(self) -> float:
-        return self._execution.work_done
+        # Paid (budget-conserving) work, not charged work: batch-mode
+        # executions charge in spikes and repay from later budgets, and
+        # the simulator's accounting must move with the budgets it grants.
+        return self._execution.paid_work
 
     @property
     def finished(self) -> bool:

@@ -127,6 +127,10 @@ class SimulatedRDBMS:
         self._event_seq = 0
         self._estimate_corruption: dict[str | None, float] = {}
         self._rejecting_arrivals = False
+        #: Memoized earliest live deadline (None = dirty).  ``_step``
+        #: consults it up to three times per slice; recomputing the O(n)
+        #: record scan each time dominated large-population runs.
+        self._deadline_cache: float | None = None
         #: The shared incremental schedule serving all PIs, built lazily
         #: and maintained across steps; None when invalidated.
         self._shared_schedule: IncrementalSchedule | None = None
@@ -376,6 +380,7 @@ class SimulatedRDBMS:
         record = QueryRecord(job=job, status="queued", trace=trace)
         if job.deadline is not None:
             record.deadline_at = self._clock + job.deadline
+            self._invalidate_deadline_cache()
         self._records[job.query_id] = record
         self._queue.append(job)
         if self._obs is not None:
@@ -450,6 +455,7 @@ class SimulatedRDBMS:
             raise ValueError(f"query {query_id!r} already {record.status}")
         self._remove_everywhere(query_id)
         record.status = "aborted"
+        self._invalidate_deadline_cache()
         record.trace.aborted_at = self._clock
         record.trace.record_fault(self._clock, "abort", reason)
         if self._obs is not None:
@@ -480,6 +486,7 @@ class SimulatedRDBMS:
             raise ValueError(f"query {query_id!r} already {record.status}")
         self._remove_everywhere(query_id)
         record.status = "failed"
+        self._invalidate_deadline_cache()
         record.error = reason
         record.trace.failed_at = self._clock
         record.trace.record_fault(self._clock, "crash", reason)
@@ -514,6 +521,7 @@ class SimulatedRDBMS:
             raise RuntimeError("RDBMS is draining: resubmissions are rejected")
         record.job = job
         record.status = "queued"
+        self._invalidate_deadline_cache()
         record.error = None
         record.attempts += 1
         record.trace.attempts = record.attempts
@@ -547,6 +555,7 @@ class SimulatedRDBMS:
                 f"deadline_at {deadline_at} is in the past (clock {self._clock})"
             )
         record.deadline_at = deadline_at
+        self._invalidate_deadline_cache()
 
     def corrupt_estimates(self, factor: float, query_id: str | None = None) -> None:
         """Corrupt the remaining-cost estimates PIs read from snapshots.
@@ -715,16 +724,33 @@ class SimulatedRDBMS:
     def _next_event_time(self) -> float:
         return self._events[0][0] if self._events else math.inf
 
+    def _invalidate_deadline_cache(self) -> None:
+        """Mark the memoized earliest-deadline value stale.
+
+        Must be called whenever a record's ``deadline_at`` or terminal
+        status changes -- a stale *low* value would pin ``dt`` at zero
+        (the clock would never pass a dead deadline), a stale *high* one
+        would let an analytic jump overshoot a live deadline.
+        """
+        self._deadline_cache = None
+
     def _next_deadline_time(self) -> float:
-        """Earliest live deadline, so analytic jumps never overshoot one."""
-        return min(
-            (
-                r.deadline_at
-                for r in self._records.values()
-                if r.deadline_at is not None and not r.terminal
-            ),
-            default=math.inf,
-        )
+        """Earliest live deadline, so analytic jumps never overshoot one.
+
+        Memoized: the O(records) scan runs only after a mutation
+        (submit/resubmit/set_deadline/abort/fail/finish) dirtied the
+        cache, not on every consult within a step.
+        """
+        if self._deadline_cache is None:
+            self._deadline_cache = min(
+                (
+                    r.deadline_at
+                    for r in self._records.values()
+                    if r.deadline_at is not None and not r.terminal
+                ),
+                default=math.inf,
+            )
+        return self._deadline_cache
 
     def _enforce_deadlines(self) -> None:
         """Abort every live query whose deadline has passed."""
@@ -809,6 +835,7 @@ class SimulatedRDBMS:
             self._running = [j for j in self._running if j.query_id != job.query_id]
             record = self._records[job.query_id]
             record.status = "failed"
+            self._invalidate_deadline_cache()
             record.error = str(exc)
             record.trace.failed_at = self._clock
             record.trace.record_fault(self._clock, "runtime-error", str(exc))
@@ -825,6 +852,7 @@ class SimulatedRDBMS:
             self._running = [j for j in self._running if j.query_id != job.query_id]
             record = self._records[job.query_id]
             record.status = "finished"
+            self._invalidate_deadline_cache()
             record.trace.finished_at = self._clock
             record.trace.work.append(self._clock, job.completed_work)
             if self._obs is not None:

@@ -1,0 +1,248 @@
+"""Differential suite: vectorized (batch) vs. row-at-a-time execution.
+
+The row engine is the oracle.  For every workload template, a hypothesis
+corpus of generated SQL, and the awkward vector widths (1, 7, 1024) the
+batch engine must produce byte-identical rows and charge the identical
+work total -- including under checkpoints/restores, cancellation and
+memory pressure.  Also covers the plan cache (satellite of the same PR):
+hit/miss counters, stats-epoch invalidation, and work parity on reuse.
+"""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.engine import CancellationToken, Database, QueryCancelled
+from repro.workload.queries import join_query, paper_query, scan_query
+from repro.workload.tpcr import TpcrConfig, generate
+
+BATCH_SIZES = (1, 7, 1024)
+
+
+@pytest.fixture(scope="module")
+def dataset():
+    return generate(TpcrConfig(scale=1 / 4000, seed=3), part_sizes={1: 4})
+
+
+def run(db, sql, mode, batch_size=None, **kw):
+    ex = db.prepare(sql, execution_mode=mode, batch_size=batch_size, **kw)
+    rows = ex.run_to_completion()
+    return rows, ex.work_done, ex
+
+
+class TestWorkloadTemplates:
+    """Every workload query template, both modes, three vector widths."""
+
+    @pytest.mark.parametrize(
+        "sql",
+        [paper_query(1), join_query(1), scan_query(1)],
+        ids=["paper", "join_agg", "scan_sort"],
+    )
+    def test_rows_and_work_identical(self, dataset, sql):
+        db = dataset.db
+        oracle_rows, oracle_work, _ = run(db, sql, "row")
+        for width in BATCH_SIZES:
+            rows, work, _ = run(db, sql, "batch", batch_size=width)
+            assert rows == oracle_rows, f"width={width}"
+            assert work == oracle_work, f"width={width}"
+
+
+SQL_CORPUS = [
+    "SELECT k, v FROM t WHERE k > 0",
+    "SELECT k, v FROM t WHERE k = 2 OR v < 0",
+    "SELECT count(*), sum(v), min(v), max(k), avg(v) FROM t",
+    "SELECT k, count(*) c, sum(v) s FROM t GROUP BY k ORDER BY k",
+    "SELECT k, sum(v) s FROM t GROUP BY k HAVING count(*) > 1",
+    "SELECT DISTINCT k FROM t ORDER BY k",
+    "SELECT k, v FROM t ORDER BY v DESC, k LIMIT 5",
+    "SELECT k, v FROM t ORDER BY v LIMIT 3 OFFSET 2",
+    "SELECT a.k, b.v FROM t a JOIN t b ON a.k = b.k WHERE a.v > b.v",
+    "SELECT k FROM t WHERE k IN (1, 2, 3)",
+    "SELECT k FROM t WHERE v IS NULL",
+    "SELECT k FROM t WHERE k > 0 UNION SELECT k FROM t WHERE k < 0",
+    "SELECT k FROM t UNION ALL SELECT k FROM t ORDER BY k",
+    "SELECT abs(v), upper('x'), k * 2 + 1 FROM t WHERE k IS NOT NULL",
+    "SELECT * FROM t p WHERE p.v > (SELECT avg(v) FROM t WHERE k = p.k)",
+    "SELECT k FROM t p WHERE EXISTS "
+    "(SELECT 1 FROM t i WHERE i.k = p.k AND i.v < 0)",
+]
+
+
+@st.composite
+def small_tables(draw):
+    n = draw(st.integers(min_value=0, max_value=30))
+    return [
+        (
+            draw(st.one_of(st.none(), st.integers(-4, 4))),
+            draw(
+                st.one_of(
+                    st.none(),
+                    st.floats(-50, 50, allow_nan=False),
+                    st.integers(-50, 50),
+                )
+            ),
+        )
+        for _ in range(n)
+    ]
+
+
+class TestHypothesisCorpus:
+    @given(
+        rows=small_tables(),
+        sql=st.sampled_from(SQL_CORPUS),
+        width=st.sampled_from(BATCH_SIZES),
+        page=st.sampled_from([1, 3, 50]),
+    )
+    @settings(max_examples=120, deadline=None)
+    def test_batch_matches_row_oracle(self, rows, sql, width, page):
+        db = Database(page_capacity=page)
+        db.execute("CREATE TABLE t (k INT, v FLOAT)")
+        db.insert_rows("t", rows)
+        oracle_rows, oracle_work, _ = run(db, sql, "row")
+        got_rows, got_work, _ = run(db, sql, "batch", batch_size=width)
+        assert got_rows == oracle_rows
+        assert got_work == oracle_work
+
+
+class TestCheckpointEquivalence:
+    @pytest.mark.parametrize("width", BATCH_SIZES)
+    def test_crash_restore_matches_uninterrupted_row(self, dataset, width):
+        """Restore mid-flight in batch mode; final rows/work match row mode."""
+        db = dataset.db
+        sql = join_query(1)
+        oracle_rows, oracle_work, _ = run(db, sql, "row")
+
+        ex = db.prepare(
+            sql, checkpoint_interval=20.0,
+            execution_mode="batch", batch_size=width,
+        )
+        while not ex.finished and ex.last_checkpoint is None:
+            ex.step(10.0)
+        ckpt = ex.last_checkpoint
+        assert ckpt is not None
+
+        resumed = db.prepare(
+            sql, checkpoint_interval=20.0,
+            execution_mode="batch", batch_size=width,
+        )
+        resumed.restore(ckpt)
+        rows = resumed.run_to_completion()
+        assert rows == oracle_rows
+        assert resumed.work_done == oracle_work
+
+    def test_cross_mode_restore(self, dataset):
+        """A batch-mode checkpoint resumes under the row engine (and back)."""
+        db = dataset.db
+        sql = scan_query(1)
+        oracle_rows, oracle_work, _ = run(db, sql, "row")
+
+        ex = db.prepare(sql, checkpoint_interval=1.0, execution_mode="batch",
+                        batch_size=7)
+        ex.step(1.0)
+        ckpt = ex.last_checkpoint
+        assert ckpt is not None
+        resumed = db.prepare(sql, execution_mode="row")
+        resumed.restore(ckpt)
+        rows = resumed.run_to_completion()
+        assert rows == oracle_rows
+        assert resumed.work_done == oracle_work
+
+
+class TestCancelAndMemoryEquivalence:
+    @pytest.mark.parametrize("width", BATCH_SIZES)
+    def test_cancel_fires_in_both_modes(self, dataset, width):
+        db = dataset.db
+        sql = join_query(1)
+        for mode, bs in (("row", None), ("batch", width)):
+            tok = CancellationToken()
+            ex = db.prepare(sql, cancel_token=tok, execution_mode=mode,
+                            batch_size=bs)
+            ex.step(5.0)
+            tok.cancel("test")
+            with pytest.raises(QueryCancelled):
+                ex.step(5.0)
+            assert not ex.finished
+
+    @pytest.mark.parametrize("width", BATCH_SIZES)
+    def test_memory_pressure_equivalence(self, dataset, width):
+        """Same degradations, same extra work, same rows under a tiny budget."""
+        db = dataset.db
+        sql = join_query(1)
+        row_rows, row_work, row_ex = run(db, sql, "row", memory_budget=64)
+        rows, work, ex = run(
+            db, sql, "batch", batch_size=width, memory_budget=64
+        )
+        assert ex.progress.memory_pressure_events() > 0
+        assert (
+            ex.progress.memory_pressure_events()
+            == row_ex.progress.memory_pressure_events()
+        )
+        assert rows == row_rows
+        assert work == row_work
+
+
+class TestPlanCache:
+    def _db(self):
+        db = Database(page_capacity=4)
+        db.execute("CREATE TABLE t (k INT, v FLOAT)")
+        db.insert_rows("t", [(i % 3, float(i)) for i in range(20)])
+        return db
+
+    def test_hit_and_miss_counters(self):
+        db = self._db()
+        sql = "SELECT k, sum(v) FROM t GROUP BY k ORDER BY k"
+        first = db.query(sql)
+        assert db.plan_cache_misses >= 1
+        hits = db.plan_cache_hits
+        again = db.query(sql)
+        assert db.plan_cache_hits == hits + 1
+        assert again == first
+
+    def test_reuse_work_parity(self):
+        db = self._db()
+        sql = "SELECT k, v FROM t ORDER BY v DESC LIMIT 4"
+        ex1 = db.prepare(sql)
+        ex1.run_to_completion()
+        cold_work = ex1.work_done
+        db.query(sql)
+        cached = db.query(sql)  # pool hit: account must have been reset
+        assert cached == ex1.rows
+        ex2 = db.prepare(sql)
+        ex2.run_to_completion()
+        assert ex2.work_done == cold_work
+
+    def test_stats_epoch_invalidation(self):
+        db = self._db()
+        sql = "SELECT count(*) FROM t"
+        assert db.query(sql) == [(20,)]
+        hits = db.plan_cache_hits
+        db.insert_rows("t", [(9, 9.0)])  # bumps the stats epoch
+        assert db.query(sql) == [(21,)]
+        assert db.plan_cache_hits == hits  # stale plan was not reused
+
+    def test_modes_pooled_separately(self):
+        db = self._db()
+        sql = "SELECT k FROM t WHERE k = 1"
+        rows_b = db.query(sql, execution_mode="batch")
+        rows_r = db.query(sql, execution_mode="row")
+        assert rows_b == rows_r
+        assert db.query(sql, execution_mode="batch") == rows_b
+
+    def test_explicit_invalidate(self):
+        db = self._db()
+        sql = "SELECT k FROM t"
+        db.query(sql)
+        db.query(sql)
+        assert db.plan_cache_hits >= 1
+        db.invalidate_plan_cache()
+        misses = db.plan_cache_misses
+        db.query(sql)
+        assert db.plan_cache_misses == misses + 1
+
+    def test_subquery_statements_not_pooled(self):
+        db = self._db()
+        sql = "SELECT k FROM t p WHERE p.v > (SELECT avg(v) FROM t)"
+        first = db.query(sql)
+        hits = db.plan_cache_hits
+        assert db.query(sql) == first
+        assert db.plan_cache_hits == hits  # planned fresh both times

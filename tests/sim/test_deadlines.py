@@ -151,3 +151,84 @@ class TestSetDeadlineApi:
         rdbms.run_to_completion(max_time=100.0)
         with pytest.raises(ValueError):
             rdbms.set_deadline("q", 50.0)
+
+
+class TestDeadlineScanMemo:
+    """The memoized earliest-deadline value must track every mutation.
+
+    ``_next_deadline_time`` is consulted on every analytic jump; PR 5
+    memoizes the O(records) scan and invalidates on the mutations that
+    can move the minimum.  A stale-low value pins the clock, a
+    stale-high one overshoots a live deadline -- so the memo must equal
+    a brute-force recomputation after any state change.
+    """
+
+    @staticmethod
+    def _brute_force(rdbms):
+        import math
+
+        return min(
+            (
+                r.deadline_at
+                for r in rdbms._records.values()
+                if r.deadline_at is not None and not r.terminal
+            ),
+            default=math.inf,
+        )
+
+    def _check(self, rdbms):
+        assert rdbms._next_deadline_time() == self._brute_force(rdbms)
+
+    def test_memo_tracks_mutations(self):
+        rdbms = SimulatedRDBMS(processing_rate=10.0)
+        self._check(rdbms)
+
+        rdbms.submit(SyntheticJob("a", 500, deadline=30.0))
+        self._check(rdbms)
+        rdbms.submit(SyntheticJob("b", 500, deadline=15.0))
+        self._check(rdbms)
+        rdbms.submit(SyntheticJob("c", 40))  # no deadline
+        self._check(rdbms)
+
+        rdbms.set_deadline("c", 8.0)  # new minimum
+        self._check(rdbms)
+        rdbms.set_deadline("c", None)  # cleared again
+        self._check(rdbms)
+
+        rdbms.abort("b", reason="test")  # old minimum leaves the pool
+        self._check(rdbms)
+
+        rdbms.run_until(4.0)
+        self._check(rdbms)
+
+        rdbms.resubmit(SyntheticJob("b", 500, deadline=25.0))
+        self._check(rdbms)
+
+        rdbms.run_to_completion(max_time=200.0)
+        self._check(rdbms)
+        assert rdbms._next_deadline_time() == float("inf")
+
+    def test_memo_survives_deadline_fire(self):
+        rdbms = SimulatedRDBMS(processing_rate=10.0)
+        rdbms.submit(SyntheticJob("slow", 900, deadline=10.0))
+        rdbms.submit(SyntheticJob("ok", 30, deadline=80.0))
+        rdbms.run_until(11.0)  # "slow" aborted at t=10 by its deadline
+        assert rdbms.record("slow").status == "aborted"
+        self._check(rdbms)
+
+    def test_memoized_run_matches_unmemoized_semantics(self):
+        """Identical abort/finish times with many deadline queries."""
+        rdbms = SimulatedRDBMS(processing_rate=10.0)
+        for i in range(8):
+            rdbms.submit(
+                SyntheticJob(f"q{i}", 120 + 40 * i, deadline=9.0 + 4.0 * i)
+            )
+        rdbms.run_to_completion(max_time=500.0)
+        statuses = {q: rdbms.record(q).status for q in
+                    (f"q{i}" for i in range(8))}
+        # Earliest-deadline queries cannot all make it at 10 U/s shared.
+        assert "aborted" in statuses.values()
+        for i in range(8):
+            rec = rdbms.record(f"q{i}")
+            if rec.status == "aborted":
+                assert rec.trace.aborted_at == pytest.approx(9.0 + 4.0 * i)
