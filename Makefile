@@ -1,6 +1,6 @@
 # Convenience targets for the reproduction package.
 
-.PHONY: install test bench bench-smoke bench-engine chaos scale coverage report observe examples all
+.PHONY: install test bench bench-smoke bench-engine chaos scale shard coverage report observe examples all
 
 install:
 	pip install -e . || python setup.py develop
@@ -31,6 +31,14 @@ chaos:
 # sizes for a quick run, e.g.:  make scale REPRO_SCALE_SIZES=100,500,1000
 scale:
 	REPRO_SCALE_SIZES=$(REPRO_SCALE_SIZES) pytest -m scale benchmarks/ --benchmark-only
+
+# Sharded-cluster gate: chaos acceptance suite (crash -> failover ->
+# byte-identical results) plus the refresh/recovery bench, which writes
+# BENCH_shard.json.  Override the sweep for a quick run, e.g.:
+#   make shard REPRO_SHARD_SIZES=2,4
+shard:
+	pytest -m chaos tests/dist/
+	REPRO_SHARD_SIZES=$(REPRO_SHARD_SIZES) pytest -m shard benchmarks/ --benchmark-only
 
 # Line-coverage gate over the core PI algorithms (requires pytest-cov,
 # installed via `pip install -e .[test]`; CI enforces this).

@@ -12,16 +12,22 @@ Public API re-exports the pieces a downstream user typically needs:
   :func:`choose_victim_for_all`, :func:`plan_maintenance`,
   :func:`exact_maintenance_plan`;
 * resilience: :class:`FaultPlan` (with :class:`QueryCrash`,
-  :class:`QueryStall`, :class:`Brownout`, :class:`StatsCorruption`),
-  :class:`FaultInjector`, :class:`RetryPolicy`, :class:`RetryController`,
-  :class:`RunawayQueryWatchdog`; work-preserving recovery:
-  :class:`ExecutionCheckpoint`, :class:`CancellationToken`,
-  :class:`MemoryGovernor`;
+  :class:`QueryStall`, :class:`Brownout`, :class:`StatsCorruption` and the
+  node-scoped :class:`NodeCrash`, :class:`NetworkPartition`,
+  :class:`NodeBrownout`), :class:`FaultInjector`, :class:`RetryPolicy`,
+  :class:`RetryController`, :class:`RunawayQueryWatchdog`;
+  work-preserving recovery: :class:`ExecutionCheckpoint`,
+  :class:`CancellationToken`, :class:`MemoryGovernor`;
+* the sharded cluster: :class:`ShardedCluster`, :class:`ShardNode`,
+  :class:`ShardCatalog`, :class:`GlobalProgressAggregator`,
+  :class:`ClusterFaultInjector`, :func:`load_tpcr`,
+  :class:`ClusterWatchdog`, :func:`detect_stragglers`;
 * observability: :class:`Observability`, :class:`AccuracyTracker`,
   :class:`MetricsRegistry`, :class:`Tracer`, :func:`observed`.
 
 See ``README.md`` for a tour, ``DESIGN.md`` for the system inventory,
-``docs/RESILIENCE.md`` for the fault/recovery model and
+``docs/RESILIENCE.md`` for the fault/recovery model,
+``docs/SHARDING.md`` for the cluster simulation and
 ``docs/OBSERVABILITY.md`` for the tracing/metrics/accuracy layer.
 """
 
@@ -32,6 +38,14 @@ from repro.core.multi_query import MultiQueryProgressIndicator
 from repro.core.projection import project, set_default_backend, use_backend
 from repro.core.single_query import SingleQueryProgressIndicator
 from repro.core.standard_case import standard_case
+from repro.dist import (
+    ClusterFaultInjector,
+    GlobalProgressAggregator,
+    ShardCatalog,
+    ShardedCluster,
+    ShardNode,
+    load_tpcr,
+)
 from repro.engine import (
     CancellationToken,
     Database,
@@ -44,6 +58,9 @@ from repro.faults.injector import FaultInjector
 from repro.faults.plan import (
     Brownout,
     FaultPlan,
+    NetworkPartition,
+    NodeBrownout,
+    NodeCrash,
     QueryCrash,
     QueryStall,
     StatsCorruption,
@@ -62,6 +79,7 @@ from repro.sim.rdbms import SimulatedRDBMS
 from repro.wm.maintenance import LostWorkCase, plan_maintenance
 from repro.wm.multi_speedup import choose_victim_for_all
 from repro.wm.oracle import exact_maintenance_plan
+from repro.wm.cross_shard import ClusterWatchdog, detect_stragglers
 from repro.wm.speedup import choose_victim, choose_victims
 from repro.wm.watchdog import RunawayQueryWatchdog
 
@@ -72,17 +90,23 @@ __all__ = [
     "AdaptiveForecaster",
     "Brownout",
     "CancellationToken",
+    "ClusterFaultInjector",
+    "ClusterWatchdog",
     "Database",
     "EngineJob",
     "ExecutionCheckpoint",
     "FaultInjector",
     "FaultPlan",
+    "GlobalProgressAggregator",
     "IncrementalSchedule",
     "LostWorkCase",
     "MemoryBudgetExceeded",
     "MemoryGovernor",
     "MetricsRegistry",
     "MultiQueryProgressIndicator",
+    "NetworkPartition",
+    "NodeBrownout",
+    "NodeCrash",
     "Observability",
     "QueryCancelled",
     "QueryCrash",
@@ -91,6 +115,9 @@ __all__ = [
     "RetryController",
     "RetryPolicy",
     "RunawayQueryWatchdog",
+    "ShardCatalog",
+    "ShardNode",
+    "ShardedCluster",
     "SimulatedRDBMS",
     "SingleQueryProgressIndicator",
     "StatsCorruption",
@@ -102,7 +129,9 @@ __all__ = [
     "choose_victim",
     "choose_victim_for_all",
     "choose_victims",
+    "detect_stragglers",
     "exact_maintenance_plan",
+    "load_tpcr",
     "observed",
     "plan_maintenance",
     "project",

@@ -26,6 +26,11 @@ Commands
     Concurrency-scalability demo: time a full-system PI refresh served
     from the shared incremental schedule against per-query recomputation
     across a sweep of concurrency levels (``--json`` persists the report).
+``shard``
+    Sharded-cluster demo: scatter-gather queries over an N-node cluster
+    with a mid-flight node crash, checkpoint-restoring replica failover,
+    and the fault-tolerant global progress indicator -- results are
+    checked byte-for-byte against single-node execution.
 ``shell``
     Interactive SQL shell over a generated TPC-R database.
 """
@@ -157,6 +162,39 @@ def build_parser() -> argparse.ArgumentParser:
     scale.add_argument(
         "--json", default=None,
         help="also merge the report into this JSON file (e.g. BENCH_scale.json)",
+    )
+
+    shard = sub.add_parser(
+        "shard",
+        help="sharded-cluster demo: node crash, failover, global PI",
+    )
+    shard.add_argument(
+        "--shards", type=int, default=4, help="number of shards (= nodes)"
+    )
+    shard.add_argument(
+        "--replication", type=int, default=2,
+        help="replicas per fragment (1 disables failover)",
+    )
+    shard.add_argument(
+        "--crash-node", default="node1", metavar="NODE",
+        help="node to crash mid-flight (ignored with --seed / --no-fault)",
+    )
+    shard.add_argument(
+        "--crash-at", type=float, default=3.0,
+        help="virtual time of the scripted crash",
+    )
+    shard.add_argument(
+        "--seed", type=int, default=None,
+        help="use the node-scoped faults of a seeded random plan instead "
+             "of the scripted crash",
+    )
+    shard.add_argument(
+        "--no-fault", action="store_true",
+        help="run the cluster without any fault (baseline)",
+    )
+    shard.add_argument(
+        "--checkpoint-interval", type=float, default=0.5,
+        help="sub-query checkpoint cadence in work units",
     )
 
     shell = sub.add_parser(
@@ -594,6 +632,124 @@ def cmd_report(args: argparse.Namespace) -> int:
     return 0
 
 
+def cmd_shard(args: argparse.Namespace) -> int:
+    """Sharded-cluster demo: crash a node mid-flight, watch the failover.
+
+    Loads the TPC-R tables across an N-node cluster, runs one pushdown
+    scan and one gather join, injects a node crash (or a seeded random
+    node-fault plan), prints sampled global-PI snapshots with per-shard
+    contributions, and finally checks every result byte-for-byte against
+    single-node execution of the same SQL.
+    """
+    from repro.dist import ClusterFaultInjector, ShardedCluster, load_tpcr
+    from repro.faults.plan import FaultPlan, NodeCrash, random_fault_plan
+    from repro.workload.tpcr import TpcrConfig, generate
+
+    if args.shards < 2:
+        print(f"error: --shards must be >= 2, got {args.shards}",
+              file=sys.stderr)
+        return 1
+    if not 1 <= args.replication <= args.shards:
+        print(f"error: --replication must be in [1, {args.shards}], "
+              f"got {args.replication}", file=sys.stderr)
+        return 1
+
+    cluster = ShardedCluster(
+        n_shards=args.shards,
+        replication=args.replication,
+        processing_rate=4.0,
+        checkpoint_interval=args.checkpoint_interval,
+    )
+    counts = load_tpcr(cluster)
+    print(f"cluster: {args.shards} shards x {args.replication} replicas; "
+          + ", ".join(f"{t}({n} rows)" for t, n in counts.items()))
+
+    queries = {
+        "Q1": "SELECT * FROM lineitem WHERE partkey > 0",
+        "Q2": ("SELECT p.partkey, SUM(l.extendedprice) FROM part_1 p, "
+               "lineitem l WHERE p.partkey = l.partkey "
+               "GROUP BY p.partkey ORDER BY p.partkey"),
+    }
+    for qid, sql in queries.items():
+        dq = cluster.submit(qid, sql)
+        print(f"  {qid} [{dq.strategy}] {sql}")
+
+    injector = None
+    if not args.no_fault:
+        if args.seed is not None:
+            plan = FaultPlan(
+                faults=random_fault_plan(
+                    args.seed, list(queries), horizon=10.0,
+                    node_ids=cluster.node_ids(),
+                ).node_faults()
+            )
+        else:
+            if args.crash_node not in cluster.node_ids():
+                print(f"error: unknown node {args.crash_node!r} "
+                      f"(have {', '.join(cluster.node_ids())})",
+                      file=sys.stderr)
+                return 1
+            plan = FaultPlan.of(NodeCrash(args.crash_node, at=args.crash_at))
+        print("fault plan:")
+        for line in plan.describe().splitlines() or ["  (empty)"]:
+            print(f"  {line}")
+        injector = ClusterFaultInjector(cluster, plan)
+        injector.arm()
+
+    print("\nglobal PI (remaining s; * = degraded/carried-back):")
+    t = 0.0
+    while not all(dq.terminal for dq in cluster.queries().values()):
+        t += 2.0
+        if t > 1e5:
+            print("error: cluster did not quiesce", file=sys.stderr)
+            return 1
+        cluster.run_until(t)
+        if round(t) % 10:  # sample the PI every virtual 10s
+            continue
+        parts = []
+        for qid in queries:
+            est = cluster.global_estimate(qid)
+            shards = " ".join(
+                f"s{shard}:{c.remaining_seconds:.1f}"
+                + ("*" if c.degraded else "")
+                for shard, c in sorted(est.shards.items())
+            )
+            parts.append(f"{qid}={est.remaining_seconds:6.1f} [{shards}]")
+        print(f"  t={t:6.1f}s  " + "  ".join(parts))
+
+    print("\nfault/recovery log:")
+    if injector is not None and injector.log:
+        for event in injector.log:
+            print(f"  t={event.time:6.2f}s  {event.kind:<18} "
+                  f"{event.node_id}  {event.description}")
+    else:
+        print("  (no faults injected)")
+
+    single = generate(TpcrConfig()).db
+    print("\noutcome:")
+    all_ok = True
+    for qid, sql in queries.items():
+        dq = cluster.query(qid)
+        if not dq.finished:
+            print(f"  {qid}: {dq.status} ({dq.error})")
+            all_ok = False
+            continue
+        expected = single.query(sql)
+        identical = list(cluster.result_rows(qid)) == list(expected)
+        all_ok &= identical
+        print(f"  {qid}: finished t={dq.finished_at:.1f}s, "
+              f"{len(dq.result)} rows, identical to single-node: "
+              f"{'yes' if identical else 'NO'}")
+    preserved, lost = cluster.work_preserved, cluster.work_lost
+    if preserved + lost > 0:
+        pct = 100.0 * preserved / (preserved + lost)
+        print(f"  failovers: {cluster.failovers}; work preserved across "
+              f"failover: {preserved:.2f} U ({pct:.0f}%), lost {lost:.2f} U")
+    else:
+        print(f"  failovers: {cluster.failovers}")
+    return 0 if all_ok else 1
+
+
 def cmd_shell(args: argparse.Namespace, input_fn=input) -> int:
     """A minimal interactive SQL shell (``\\q`` to quit)."""
     from repro.engine.errors import EngineError
@@ -657,6 +813,8 @@ def main(argv: Sequence[str] | None = None) -> int:
         return cmd_faults(args)
     if args.command == "scale":
         return cmd_scale(args)
+    if args.command == "shard":
+        return cmd_shard(args)
     if args.command == "shell":
         return cmd_shell(args)
     raise AssertionError(f"unhandled command {args.command!r}")

@@ -1,0 +1,211 @@
+"""Cluster metadata: tables -> shards -> replica nodes, and node health.
+
+The :class:`ShardCatalog` is the cluster's (simulated) metadata service.
+It records, for every partitioned table:
+
+* the DDL needed to recreate the table (and its indexes) anywhere -- the
+  router replays it when building a merge database for gather queries;
+* per shard, the *replica chain* of node ids holding that fragment (the
+  first live node in the chain is the shard's primary); and
+* per shard, the original global row positions of the fragment's rows,
+  in fragment-local order -- the bookkeeping that lets a gather merge
+  reconstruct the exact original row order no matter how the table was
+  partitioned.
+
+It also tracks node health (``up`` / ``reachable``), which is what
+failover reads: when a primary dies, :meth:`primary_for` silently moves
+to the next *live* replica in the chain.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.dist.partition import Partitioner
+
+
+@dataclass
+class NodeStatus:
+    """Health of one node as the catalog believes it."""
+
+    node_id: str
+    #: Whether the node is alive (a crashed node is not).
+    up: bool = True
+    #: Whether the router can talk to the node (a partitioned node is
+    #: alive but unreachable).
+    reachable: bool = True
+
+    @property
+    def serving(self) -> bool:
+        """Whether the node can serve sub-queries right now."""
+        return self.up and self.reachable
+
+
+@dataclass
+class TableMeta:
+    """Catalog entry for one partitioned table."""
+
+    name: str
+    ddl: str
+    partitioner: Partitioner
+    index_ddls: tuple[str, ...] = ()
+    #: shard -> replica chain (node ids, priority order).
+    placement: dict[int, tuple[str, ...]] = field(default_factory=dict)
+    #: shard -> original global row positions, fragment-local order.
+    positions: dict[int, tuple[int, ...]] = field(default_factory=dict)
+
+    @property
+    def n_shards(self) -> int:
+        """Number of shards this table is split into."""
+        return len(self.placement)
+
+
+class ShardCatalog:
+    """Tables -> shards -> replicas mapping plus node-health registry."""
+
+    def __init__(self) -> None:
+        self._nodes: dict[str, NodeStatus] = {}
+        self._tables: dict[str, TableMeta] = {}
+
+    # ------------------------------------------------------------------
+    # Nodes
+    # ------------------------------------------------------------------
+
+    def register_node(self, node_id: str) -> NodeStatus:
+        """Add a node to the registry (idempotent for known ids)."""
+        if not node_id:
+            raise ValueError("node_id must not be empty")
+        if node_id not in self._nodes:
+            self._nodes[node_id] = NodeStatus(node_id)
+        return self._nodes[node_id]
+
+    def node(self, node_id: str) -> NodeStatus:
+        """Health record of *node_id*."""
+        try:
+            return self._nodes[node_id]
+        except KeyError:
+            raise KeyError(f"unknown node {node_id!r}") from None
+
+    def node_ids(self) -> tuple[str, ...]:
+        """All registered node ids, registration order."""
+        return tuple(self._nodes)
+
+    def serving_nodes(self) -> tuple[str, ...]:
+        """Ids of nodes currently up and reachable."""
+        return tuple(n.node_id for n in self._nodes.values() if n.serving)
+
+    def mark_down(self, node_id: str) -> None:
+        """Record a node crash."""
+        self.node(node_id).up = False
+
+    def mark_up(self, node_id: str) -> None:
+        """Record a node recovery."""
+        self.node(node_id).up = True
+
+    def mark_unreachable(self, node_id: str) -> None:
+        """Record a network partition cutting the node off."""
+        self.node(node_id).reachable = False
+
+    def mark_reachable(self, node_id: str) -> None:
+        """Record a partition healing."""
+        self.node(node_id).reachable = True
+
+    # ------------------------------------------------------------------
+    # Tables and placement
+    # ------------------------------------------------------------------
+
+    def register_table(
+        self,
+        name: str,
+        ddl: str,
+        partitioner: Partitioner,
+        index_ddls: tuple[str, ...] = (),
+    ) -> TableMeta:
+        """Register a partitioned table (before placing its fragments)."""
+        if name in self._tables:
+            raise ValueError(f"table {name!r} already registered")
+        meta = TableMeta(
+            name=name, ddl=ddl, partitioner=partitioner, index_ddls=index_ddls
+        )
+        self._tables[name] = meta
+        return meta
+
+    def add_index(self, table: str, ddl: str) -> None:
+        """Record an index DDL against a registered table."""
+        meta = self.table(table)
+        meta.index_ddls = meta.index_ddls + (ddl,)
+
+    def table(self, name: str) -> TableMeta:
+        """Catalog entry of *name*."""
+        try:
+            return self._tables[name]
+        except KeyError:
+            raise KeyError(f"unknown table {name!r}") from None
+
+    def tables(self) -> tuple[TableMeta, ...]:
+        """All registered tables, registration order."""
+        return tuple(self._tables.values())
+
+    def place_fragment(
+        self,
+        table: str,
+        shard: int,
+        replicas: tuple[str, ...],
+        positions: tuple[int, ...],
+    ) -> None:
+        """Record where one fragment lives and which rows it holds."""
+        if not replicas:
+            raise ValueError("a fragment needs at least one replica")
+        for node_id in replicas:
+            self.node(node_id)  # raise for unknown nodes
+        meta = self.table(table)
+        meta.placement[shard] = replicas
+        meta.positions[shard] = positions
+
+    def primary_for(self, table: str, shard: int) -> str | None:
+        """The shard's current primary: first *serving* node in the chain.
+
+        Returns ``None`` when every replica of the fragment is down or
+        unreachable -- the caller decides whether to wait or give up.
+        """
+        chain = self.replicas_for(table, shard)
+        for node_id in chain:
+            if self._nodes[node_id].serving:
+                return node_id
+        return None
+
+    def replicas_for(self, table: str, shard: int) -> tuple[str, ...]:
+        """The fragment's full replica chain, priority order."""
+        meta = self.table(table)
+        try:
+            return meta.placement[shard]
+        except KeyError:
+            raise KeyError(f"table {table!r} has no shard {shard}") from None
+
+    def positions_for(self, table: str, shard: int) -> tuple[int, ...]:
+        """Original global row positions of the fragment's rows."""
+        meta = self.table(table)
+        try:
+            return meta.positions[shard]
+        except KeyError:
+            raise KeyError(f"table {table!r} has no shard {shard}") from None
+
+    def describe(self) -> str:
+        """Human-readable cluster layout, one fragment per line."""
+        lines = []
+        for status in self._nodes.values():
+            state = (
+                "up" if status.serving
+                else ("unreachable" if status.up else "down")
+            )
+            lines.append(f"node {status.node_id}: {state}")
+        for meta in self._tables.values():
+            lines.append(
+                f"table {meta.name}: {meta.partitioner.describe()}, "
+                f"{meta.n_shards} shards"
+            )
+            for shard in sorted(meta.placement):
+                chain = " -> ".join(meta.placement[shard])
+                rows = len(meta.positions.get(shard, ()))
+                lines.append(f"  shard {shard}: {rows} rows on {chain}")
+        return "\n".join(lines)

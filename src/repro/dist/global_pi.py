@@ -1,0 +1,225 @@
+"""Fault-tolerant global progress aggregation for distributed queries.
+
+A distributed query runs one sub-query per shard; each shard's node
+produces an ordinary single-node remaining-time estimate.  The global
+indicator rolls them up:
+
+* **global remaining = the slowest shard's remaining** -- a scatter-gather
+  query finishes when its last sub-query does, so the max (not the sum)
+  of per-shard remaining times is the honest global figure;
+* **per-shard contributions stay visible** so operators can see *which*
+  shard is the straggler, not just that one exists.
+
+The robustness contract (the reason this module exists) is that the
+global estimate is *always finite*:
+
+* Every sub-query registers with a finite initial estimate before its
+  first report, so there is never a gap with nothing to show.
+* A report is accepted only if it is finite and >= 0; anything else
+  (NaN, inf, a crashed node's garbage) leaves the last accepted value in
+  place and marks the shard **degraded**.
+* When a shard's node is down or unreachable, no fresh reports arrive;
+  the aggregator *carries back* the last finite estimate, flags the
+  shard degraded, and exposes its ``staleness`` -- how long ago the
+  carried value was actually measured -- so consumers can see exactly
+  how much to trust it.  The estimate degrades; it never turns NaN.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+
+
+@dataclass(frozen=True)
+class ShardEstimate:
+    """One shard's contribution to a global query estimate."""
+
+    shard: int
+    #: Last accepted (finite) remaining-time estimate, seconds.
+    remaining_seconds: float
+    #: Virtual time at which that value was measured.
+    refreshed_at: float
+    #: True when the value is carried back (node down/unreachable, or the
+    #: last report was non-finite) rather than freshly measured.
+    degraded: bool
+    #: Seconds since the value was measured (0.0 when fresh).
+    staleness: float
+
+
+@dataclass(frozen=True)
+class GlobalQueryEstimate:
+    """The rolled-up progress of one distributed query."""
+
+    query_id: str
+    #: Max over the shards' remaining estimates (finish = last shard).
+    remaining_seconds: float
+    #: Per-shard contributions, keyed by shard index.
+    shards: dict[int, ShardEstimate]
+    #: Virtual time of the rollup.
+    as_of: float
+
+    @property
+    def degraded(self) -> bool:
+        """True when any shard's contribution is carried back."""
+        return any(s.degraded for s in self.shards.values())
+
+    @property
+    def staleness(self) -> float:
+        """Worst-case staleness across shards, seconds."""
+        return max((s.staleness for s in self.shards.values()), default=0.0)
+
+    @property
+    def slowest_shard(self) -> int | None:
+        """The shard currently bounding the global remaining time."""
+        live = {s: e for s, e in self.shards.items()}
+        if not live:
+            return None
+        return max(live, key=lambda s: (live[s].remaining_seconds, -s))
+
+
+class _ShardState:
+    __slots__ = ("remaining", "refreshed_at", "degraded", "done")
+
+    def __init__(self, remaining: float, now: float) -> None:
+        self.remaining = remaining
+        self.refreshed_at = now
+        self.degraded = False
+        self.done = False
+
+
+class GlobalProgressAggregator:
+    """Rolls per-shard estimates into always-finite global query PIs."""
+
+    def __init__(self) -> None:
+        self._queries: dict[str, dict[int, _ShardState]] = {}
+
+    def register(
+        self, query_id: str, shard: int, initial_remaining: float, now: float
+    ) -> None:
+        """Register one sub-query with its finite initial estimate.
+
+        Must precede any report for the (query, shard) pair; the initial
+        value is what carry-back falls to if the node dies before its
+        first real report.
+        """
+        if not math.isfinite(initial_remaining) or initial_remaining < 0:
+            raise ValueError(
+                f"initial estimate must be finite and >= 0, "
+                f"got {initial_remaining}"
+            )
+        shards = self._queries.setdefault(query_id, {})
+        if shard in shards:
+            raise ValueError(f"shard {shard} of {query_id!r} already registered")
+        shards[shard] = _ShardState(float(initial_remaining), now)
+
+    def report(
+        self, query_id: str, shard: int, remaining: float, now: float
+    ) -> bool:
+        """Accept a fresh per-shard estimate; reject non-finite garbage.
+
+        Returns True when the value was accepted.  A rejected report
+        (NaN, inf, negative) leaves the previous finite value carried
+        back and marks the shard degraded -- the global PI survives a
+        shard whose estimator has gone insane.
+        """
+        state = self._state(query_id, shard)
+        if state.done:
+            return False
+        if not math.isfinite(remaining) or remaining < 0:
+            state.degraded = True
+            return False
+        state.remaining = float(remaining)
+        state.refreshed_at = now
+        state.degraded = False
+        return True
+
+    def mark_degraded(self, query_id: str, shard: int) -> None:
+        """Flag a shard's estimate as carried-back (its node is gone)."""
+        state = self._state(query_id, shard)
+        if not state.done:
+            state.degraded = True
+
+    def mark_done(self, query_id: str, shard: int, now: float) -> None:
+        """Record a sub-query's completion: zero remaining, fresh, final."""
+        state = self._state(query_id, shard)
+        state.remaining = 0.0
+        state.refreshed_at = now
+        state.degraded = False
+        state.done = True
+
+    def move_shard(
+        self, query_id: str, shard: int, remaining: float, now: float
+    ) -> None:
+        """Re-anchor a shard after failover to a replica.
+
+        The replica resumes from the last checkpoint, so the shard's
+        remaining estimate changes discontinuously; the new value must be
+        finite (the router computes it from the restored execution).
+        The shard stays *degraded* until the replica's first real report
+        confirms the estimate with a live measurement.
+        """
+        if not math.isfinite(remaining) or remaining < 0:
+            raise ValueError(
+                f"failover estimate must be finite and >= 0, got {remaining}"
+            )
+        state = self._state(query_id, shard)
+        state.remaining = float(remaining)
+        state.refreshed_at = now
+        state.degraded = True
+
+    def estimate(self, query_id: str, now: float) -> GlobalQueryEstimate:
+        """The query's global estimate at virtual time *now*.
+
+        Always finite: every contribution is either a fresh measurement
+        or a carried-back finite value with its staleness exposed.
+        """
+        shards = self._shards(query_id)
+        contributions: dict[int, ShardEstimate] = {}
+        for shard, state in sorted(shards.items()):
+            stale = 0.0 if not state.degraded else max(
+                now - state.refreshed_at, 0.0
+            )
+            contributions[shard] = ShardEstimate(
+                shard=shard,
+                remaining_seconds=state.remaining,
+                refreshed_at=state.refreshed_at,
+                degraded=state.degraded,
+                staleness=stale,
+            )
+        remaining = max(
+            (c.remaining_seconds for c in contributions.values()), default=0.0
+        )
+        return GlobalQueryEstimate(
+            query_id=query_id,
+            remaining_seconds=remaining,
+            shards=contributions,
+            as_of=now,
+        )
+
+    def estimates(self, now: float) -> dict[str, GlobalQueryEstimate]:
+        """Global estimates for every registered query."""
+        return {qid: self.estimate(qid, now) for qid in self._queries}
+
+    def query_ids(self) -> tuple[str, ...]:
+        """Registered distributed query ids, registration order."""
+        return tuple(self._queries)
+
+    def forget(self, query_id: str) -> None:
+        """Drop a query's state entirely (after its results are consumed)."""
+        self._queries.pop(query_id, None)
+
+    def _shards(self, query_id: str) -> dict[int, _ShardState]:
+        try:
+            return self._queries[query_id]
+        except KeyError:
+            raise KeyError(f"unknown distributed query {query_id!r}") from None
+
+    def _state(self, query_id: str, shard: int) -> _ShardState:
+        shards = self._shards(query_id)
+        try:
+            return shards[shard]
+        except KeyError:
+            raise KeyError(
+                f"shard {shard} of {query_id!r} was never registered"
+            ) from None

@@ -8,8 +8,10 @@ whole classes of failure be scripted against a run:
 * :mod:`repro.faults.plan` -- declarative, virtual-time fault plans:
   query crashes (timed or at a progress fraction), transient stalls,
   system-wide capacity brownouts, and corrupted cost statistics
-  (multiplicative noise, NaN, inf), plus a seeded random-plan generator
-  for chaos tests.
+  (multiplicative noise, NaN, inf), plus node-scoped faults for sharded
+  clusters (node crash, network partition, node brownout -- armed via
+  :class:`repro.dist.ClusterFaultInjector`) and a seeded random-plan
+  generator for chaos tests.
 * :mod:`repro.faults.injector` -- applies a plan to a
   :class:`~repro.sim.rdbms.SimulatedRDBMS` through its event-hook API and
   logs every injection.
@@ -26,6 +28,9 @@ from repro.faults.injector import FaultInjector, InjectionEvent
 from repro.faults.plan import (
     Brownout,
     FaultPlan,
+    NetworkPartition,
+    NodeBrownout,
+    NodeCrash,
     QueryCrash,
     QueryStall,
     StatsCorruption,
@@ -38,6 +43,9 @@ __all__ = [
     "FaultInjector",
     "FaultPlan",
     "InjectionEvent",
+    "NetworkPartition",
+    "NodeBrownout",
+    "NodeCrash",
     "QueryCrash",
     "QueryStall",
     "RetryController",

@@ -23,6 +23,9 @@ from dataclasses import dataclass
 from repro.faults.plan import (
     Brownout,
     FaultPlan,
+    NetworkPartition,
+    NodeBrownout,
+    NodeCrash,
     QueryCrash,
     QueryStall,
     StatsCorruption,
@@ -100,6 +103,13 @@ class FaultInjector:
         """Register every fault in the plan with the simulator."""
         if self._armed:
             raise RuntimeError("injector already armed")
+        for fault in self._plan.faults:
+            if isinstance(fault, (NodeCrash, NetworkPartition, NodeBrownout)):
+                raise ValueError(
+                    f"{type(fault).__name__} targets a cluster node; arm it "
+                    "with repro.dist.ClusterFaultInjector against a "
+                    "ShardedCluster, not with FaultInjector against one RDBMS"
+                )
         self._armed = True
         overlay = self._rdbms.speed_model
         if not isinstance(overlay, ScaledSpeedModel):

@@ -17,6 +17,19 @@ out for progress estimation:
   interval (``factor=0`` is a full outage).
 * :class:`StatsCorruption` -- the remaining-cost estimates PIs read turn
   bad for an interval: scaled by a factor, ``NaN`` or ``inf``.
+
+Three *node-scoped* shapes extend the vocabulary to sharded multi-node
+clusters (see :mod:`repro.dist`); they target a whole simulated node
+rather than one query:
+
+* :class:`NodeCrash` -- a node dies, killing every in-flight sub-query on
+  it (the router fails them over to replicas); with ``down_for`` it
+  rejoins later.
+* :class:`NetworkPartition` -- a node keeps executing but is unreachable:
+  the router can neither read its progress nor gather its results until
+  the partition heals, so its shards' global-PI contributions go stale.
+* :class:`NodeBrownout` -- one node's processing rate degrades for an
+  interval (the whole-system counterpart is :class:`Brownout`).
 """
 
 from __future__ import annotations
@@ -148,7 +161,101 @@ class StatsCorruption:
         )
 
 
+@dataclass(frozen=True)
+class NodeCrash:
+    """Kill one simulated node at virtual time ``at``.
+
+    Every in-flight sub-query on the node fails (the cluster router fails
+    them over to replica nodes, resuming from their last checkpoint).
+    With ``down_for`` set, the node recovers that many seconds later and
+    rejoins the cluster as a replica; otherwise it stays down.
+    """
+
+    node_id: str
+    at: float
+    down_for: float | None = None
+    reason: str = "node crash"
+
+    def __post_init__(self) -> None:
+        _require(bool(self.node_id), "node_id must not be empty")
+        _require(
+            math.isfinite(self.at) and self.at >= 0,
+            f"at must be finite and >= 0, got {self.at}",
+        )
+        if self.down_for is not None:
+            _require(
+                math.isfinite(self.down_for) and self.down_for > 0,
+                f"down_for must be finite and > 0, got {self.down_for}",
+            )
+
+
+@dataclass(frozen=True)
+class NetworkPartition:
+    """Make one node unreachable for ``duration`` seconds from ``at``.
+
+    The node keeps executing its sub-queries (it is partitioned, not
+    dead), but the router cannot observe progress or gather results until
+    the partition heals -- the global PI must carry the shard's last
+    finite estimate forward, flagged stale, instead of going silent.
+    """
+
+    node_id: str
+    at: float
+    duration: float
+
+    def __post_init__(self) -> None:
+        _require(bool(self.node_id), "node_id must not be empty")
+        _require(
+            math.isfinite(self.at) and self.at >= 0,
+            f"at must be finite and >= 0, got {self.at}",
+        )
+        _require(
+            math.isfinite(self.duration) and self.duration > 0,
+            f"duration must be finite and > 0, got {self.duration}",
+        )
+
+
+@dataclass(frozen=True)
+class NodeBrownout:
+    """Scale one node's processing rate by ``factor`` for an interval.
+
+    ``factor=0`` freezes the node entirely (it still holds its work, the
+    shape of a node-local thrash or I/O storm); capacity is restored when
+    the window closes.  Overlapping brownouts on a node compose
+    multiplicatively.
+    """
+
+    node_id: str
+    at: float
+    duration: float
+    factor: float = 0.5
+
+    def __post_init__(self) -> None:
+        _require(bool(self.node_id), "node_id must not be empty")
+        _require(
+            math.isfinite(self.at) and self.at >= 0,
+            f"at must be finite and >= 0, got {self.at}",
+        )
+        _require(
+            math.isfinite(self.duration) and self.duration > 0,
+            f"duration must be finite and > 0, got {self.duration}",
+        )
+        _require(
+            math.isfinite(self.factor) and 0.0 <= self.factor <= 1.0,
+            f"factor must be in [0, 1], got {self.factor}",
+        )
+
+
 Fault = Union[QueryCrash, QueryStall, Brownout, StatsCorruption]
+
+#: Faults that target a simulated node rather than a query or the whole
+#: system; they only make sense against a :class:`repro.dist.ShardedCluster`.
+NodeFault = Union[NodeCrash, NetworkPartition, NodeBrownout]
+
+_FAULT_TYPES = (
+    QueryCrash, QueryStall, Brownout, StatsCorruption,
+    NodeCrash, NetworkPartition, NodeBrownout,
+)
 
 
 @dataclass(frozen=True)
@@ -165,7 +272,7 @@ class FaultPlan:
     def __post_init__(self) -> None:
         for f in self.faults:
             _require(
-                isinstance(f, (QueryCrash, QueryStall, Brownout, StatsCorruption)),
+                isinstance(f, _FAULT_TYPES),
                 f"not a fault: {f!r}",
             )
 
@@ -176,6 +283,19 @@ class FaultPlan:
         """All faults targeting *query_id* (system-wide faults excluded)."""
         return tuple(
             f for f in self.faults if getattr(f, "query_id", None) == query_id
+        )
+
+    def for_node(self, node_id: str) -> tuple["NodeFault", ...]:
+        """All node-scoped faults targeting *node_id*."""
+        return tuple(
+            f for f in self.faults if getattr(f, "node_id", None) == node_id
+        )
+
+    def node_faults(self) -> tuple["NodeFault", ...]:
+        """The node-scoped faults in plan order."""
+        return tuple(
+            f for f in self.faults
+            if isinstance(f, (NodeCrash, NetworkPartition, NodeBrownout))
         )
 
     def describe(self) -> str:
@@ -198,6 +318,21 @@ class FaultPlan:
                 lines.append(
                     f"brownout x{f.factor:g} at t={f.start:g}s for {f.duration:g}s"
                 )
+            elif isinstance(f, NodeCrash):
+                rejoin = (
+                    f", back after {f.down_for:g}s" if f.down_for is not None
+                    else ", permanent"
+                )
+                lines.append(f"node-crash {f.node_id} at t={f.at:g}s{rejoin}")
+            elif isinstance(f, NetworkPartition):
+                lines.append(
+                    f"partition  {f.node_id} at t={f.at:g}s for {f.duration:g}s"
+                )
+            elif isinstance(f, NodeBrownout):
+                lines.append(
+                    f"node-brownout {f.node_id} x{f.factor:g} "
+                    f"at t={f.at:g}s for {f.duration:g}s"
+                )
             else:
                 who = f.query_id if f.query_id is not None else "all queries"
                 until = (
@@ -214,13 +349,20 @@ def random_fault_plan(
     query_ids: Sequence[str],
     horizon: float,
     n_faults: int = 4,
+    node_ids: Sequence[str] | None = None,
 ) -> FaultPlan:
     """Generate a seeded random fault plan for chaos testing.
 
-    Draws *n_faults* faults uniformly over the four shapes, targeting
-    random queries from *query_ids*, with times/durations inside
+    Draws *n_faults* faults uniformly over the four query/system shapes,
+    targeting random queries from *query_ids*, with times/durations inside
     ``[0, horizon]``.  The same seed always produces the same plan, which
     is what makes chaos-test failures reproducible.
+
+    With ``node_ids`` given, the draw widens to the three node-scoped
+    shapes as well (crash, partition, brownout, targeting random nodes).
+    The flag is deliberately opt-in: when ``node_ids`` is ``None`` the
+    generator's draw sequence is byte-for-byte what it always was, so
+    existing seeded plans stay stable.
     """
     _require(bool(query_ids), "query_ids must not be empty")
     _require(
@@ -228,10 +370,13 @@ def random_fault_plan(
         f"horizon must be finite and > 0, got {horizon}",
     )
     _require(n_faults >= 0, f"n_faults must be >= 0, got {n_faults}")
+    if node_ids is not None:
+        _require(bool(node_ids), "node_ids must not be empty when given")
     rng = random.Random(seed)
-    faults: list[Fault] = []
+    n_shapes = 4 if node_ids is None else 7
+    faults: list[Fault | NodeFault] = []
     for _ in range(n_faults):
-        shape = rng.randrange(4)
+        shape = rng.randrange(n_shapes)
         if shape == 0:
             qid = rng.choice(list(query_ids))
             if rng.random() < 0.5:
@@ -259,7 +404,7 @@ def random_fault_plan(
                     factor=rng.choice([0.0, 0.25, 0.5, 0.75]),
                 )
             )
-        else:
+        elif shape == 3:
             factor = rng.choice(
                 [float("nan"), float("inf"), 0.0, 0.1, 10.0, 100.0]
             )
@@ -270,6 +415,38 @@ def random_fault_plan(
                     duration=rng.uniform(horizon * 0.05, horizon * 0.3),
                     factor=factor,
                     query_id=qid,
+                )
+            )
+        elif shape == 4:
+            assert node_ids is not None
+            nid = rng.choice(list(node_ids))
+            down_for = (
+                rng.uniform(horizon * 0.1, horizon * 0.5)
+                if rng.random() < 0.5 else None
+            )
+            faults.append(
+                NodeCrash(nid, at=rng.uniform(0.0, horizon * 0.8),
+                          down_for=down_for)
+            )
+        elif shape == 5:
+            assert node_ids is not None
+            nid = rng.choice(list(node_ids))
+            faults.append(
+                NetworkPartition(
+                    nid,
+                    at=rng.uniform(0.0, horizon * 0.8),
+                    duration=rng.uniform(horizon * 0.05, horizon * 0.3),
+                )
+            )
+        else:
+            assert node_ids is not None
+            nid = rng.choice(list(node_ids))
+            faults.append(
+                NodeBrownout(
+                    nid,
+                    at=rng.uniform(0.0, horizon * 0.8),
+                    duration=rng.uniform(horizon * 0.05, horizon * 0.3),
+                    factor=rng.choice([0.0, 0.25, 0.5, 0.75]),
                 )
             )
     return FaultPlan(faults=tuple(faults))

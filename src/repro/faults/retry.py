@@ -52,7 +52,12 @@ class RetryPolicy:
     jitter:
         Symmetric jitter fraction: the delay is scaled by a deterministic
         factor in ``[1 - jitter, 1 + jitter]`` derived from the query id
-        and attempt number.  ``0`` disables jitter.
+        and attempt number.  ``0`` disables jitter.  The default is a
+        small nonzero value: when one fault kills K in-flight queries at
+        the same virtual instant (a node crash), zero jitter would
+        resubmit all K at exactly the same time -- a retry storm.  The
+        jitter is still fully deterministic (hashed per query id and
+        attempt), so runs remain reproducible.
     max_delay:
         Optional cap on any single backoff delay.
     """
@@ -60,7 +65,7 @@ class RetryPolicy:
     max_attempts: int = 3
     base_delay: float = 1.0
     multiplier: float = 2.0
-    jitter: float = 0.0
+    jitter: float = 0.1
     max_delay: float | None = None
 
     def __post_init__(self) -> None:

@@ -498,6 +498,22 @@ class SimulatedRDBMS:
             cb(self._clock, query_id, reason)
         self._admit()
 
+    def fail_everything(self, reason: str = "node crash") -> tuple[str, ...]:
+        """Fail every non-terminal query at once (the node-crash shape).
+
+        Running, queued and blocked queries all fail with *reason*; the
+        per-query ``on_failure`` hooks fire for each, in deterministic
+        (sorted query-id) order.  Returns the failed ids.  Used by the
+        sharded cluster when a whole node dies: the router observes the
+        failures and fails the sub-queries over to replica nodes.
+        """
+        victims = sorted(
+            qid for qid, r in self._records.items() if not r.terminal
+        )
+        for qid in victims:
+            self.fail(qid, reason)
+        return tuple(victims)
+
     def resubmit(self, job: Job) -> QueryRecord:
         """Resubmit a failed or aborted query for another attempt.
 

@@ -1,0 +1,247 @@
+"""Cross-shard workload management: stragglers and victim selection.
+
+A scatter-gather query finishes when its *slowest* shard does, so the
+global PI's per-shard contributions directly identify the straggler --
+the shard whose remaining time bounds the whole query.  This module puts
+that signal to work, extending the paper's Section 3.1 speed-up problem
+across a cluster:
+
+* :func:`detect_stragglers` flags (query, shard) pairs whose remaining
+  time exceeds the other shards' median by a configurable ratio --
+  stragglers by *relative* lag, so uniformly slow queries are not all
+  flagged at once.  Degraded (carried-back) contributions are skipped:
+  acting on stale numbers would punish a shard for having crashed.
+* :func:`choose_cross_shard_victim` picks, on the straggler shard's own
+  node, the optimal victim to block so the straggling sub-query speeds
+  up -- the paper's single-node victim selection applied to the one
+  node that bounds the global finish time.  Blocking a victim on any
+  *other* node would be pure loss: it cannot move the global estimate.
+* :class:`ClusterWatchdog` runs the loop: each refresh it detects
+  stragglers and (optionally) blocks victims on their nodes, logging
+  every decision.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from statistics import median
+
+from repro.dist.router import ShardedCluster
+from repro.wm.speedup import SpeedupChoice, choose_victims
+
+
+@dataclass(frozen=True)
+class Straggler:
+    """One shard lagging its siblings within a distributed query."""
+
+    query_id: str
+    shard: int
+    node_id: str
+    remaining_seconds: float
+    #: Median remaining of the query's *other* shards, seconds.
+    peer_median: float
+
+    @property
+    def lag_ratio(self) -> float:
+        """How many times the peer median the straggler's remaining is."""
+        if self.peer_median <= 0:
+            return float("inf") if self.remaining_seconds > 0 else 1.0
+        return self.remaining_seconds / self.peer_median
+
+
+def detect_stragglers(
+    cluster: ShardedCluster, ratio: float = 2.0, min_remaining: float = 0.5
+) -> list[Straggler]:
+    """Shards bounding their query's finish by more than *ratio* x median.
+
+    Only fresh (non-degraded) contributions are considered, and shards
+    with less than *min_remaining* seconds left are ignored -- blocking
+    a victim for a shard about to finish anyway is churn, not help.
+    """
+    if ratio <= 1.0:
+        raise ValueError(f"ratio must be > 1, got {ratio}")
+    out: list[Straggler] = []
+    for query_id, estimate in cluster.estimates().items():
+        dq = cluster.query(query_id)
+        if dq.terminal:
+            continue
+        fresh = {
+            shard: contrib.remaining_seconds
+            for shard, contrib in estimate.shards.items()
+            if not contrib.degraded
+        }
+        if len(fresh) < 2:
+            continue
+        for shard, remaining in fresh.items():
+            if remaining < min_remaining:
+                continue
+            peers = [r for s, r in fresh.items() if s != shard]
+            peer_median = median(peers)
+            if remaining > ratio * peer_median:
+                subs = [
+                    s for s in dq.shard_subqueries(shard)
+                    if s.status == "running"
+                ]
+                if not subs:
+                    continue
+                out.append(
+                    Straggler(
+                        query_id=query_id,
+                        shard=shard,
+                        node_id=subs[0].node_id,
+                        remaining_seconds=remaining,
+                        peer_median=peer_median,
+                    )
+                )
+    out.sort(key=lambda s: (-s.lag_ratio, s.query_id, s.shard))
+    return out
+
+
+def choose_cross_shard_victim(
+    cluster: ShardedCluster, straggler: Straggler, h: int = 1
+) -> SpeedupChoice:
+    """Optimal victim(s) to block on the straggler's node (Section 3.1).
+
+    The candidate pool is everything running on the straggler's node
+    except the straggling query's own sub-queries (blocking a sibling
+    sub-query of the same distributed query would trade one straggler
+    for another).
+
+    Raises
+    ------
+    ValueError
+        If the straggling sub-query is not running on its node, or no
+        candidate victim exists there.
+    """
+    node = cluster.nodes[straggler.node_id]
+    dq = cluster.query(straggler.query_id)
+    own = {s.sub_id for s in dq.subqueries.values()}
+    target = next(
+        (
+            s.sub_id for s in dq.shard_subqueries(straggler.shard)
+            if s.status == "running" and s.node_id == straggler.node_id
+        ),
+        None,
+    )
+    if target is None:
+        raise ValueError(
+            f"query {straggler.query_id!r} has no running sub-query on "
+            f"shard {straggler.shard}"
+        )
+    snapshots = [
+        job.snapshot()
+        for job in node.rdbms.running
+        if job.query_id == target or job.query_id not in own
+    ]
+    return choose_victims(
+        snapshots, target, node.rdbms.processing_rate, h=h
+    )
+
+
+@dataclass(frozen=True)
+class ClusterWatchdogAction:
+    """One straggler response: what was detected and what was blocked."""
+
+    time: float
+    query_id: str
+    shard: int
+    node_id: str
+    lag_ratio: float
+    victims: tuple[str, ...]
+    #: Predicted reduction of the straggler's remaining time, seconds.
+    benefit: float
+
+
+class ClusterWatchdog:
+    """Detects stragglers each epoch and blocks victims on their nodes.
+
+    Call :meth:`check` from the driving loop after each
+    ``cluster.run_until`` slice (the cluster has no sampler hook of its
+    own -- epoch processing is router-driven).  A (query, shard) pair is
+    acted on at most once, and victims are blocked without admitting a
+    replacement, so the freed capacity goes to the straggler.
+    """
+
+    def __init__(
+        self,
+        cluster: ShardedCluster,
+        ratio: float = 2.0,
+        min_remaining: float = 0.5,
+        block_victims: bool = True,
+    ) -> None:
+        self.cluster = cluster
+        self.ratio = ratio
+        self.min_remaining = min_remaining
+        self.block_victims = block_victims
+        self.actions: list[ClusterWatchdogAction] = []
+        self._handled: set[tuple[str, int]] = set()
+        #: Outstanding blocks: (node_id, victim_id) -> straggler key.
+        self._blocked: dict[tuple[str, str], tuple[str, int]] = {}
+
+    def _release_victims(self) -> None:
+        """Unblock victims whose straggler has finished (or died).
+
+        Without this a blocked victim -- possibly another distributed
+        query's sub-query -- would stay suspended forever and its own
+        query would never complete.
+        """
+        for (node_id, victim), key in list(self._blocked.items()):
+            query_id, shard = key
+            dq = self.cluster.query(query_id)
+            done = dq.terminal or all(
+                s.status == "finished" for s in dq.shard_subqueries(shard)
+            )
+            if not done:
+                continue
+            del self._blocked[(node_id, victim)]
+            rdbms = self.cluster.nodes[node_id].rdbms
+            record = rdbms.records().get(victim)
+            if record is not None and record.status == "blocked":
+                rdbms.unblock(victim)
+
+    def check(self) -> list[ClusterWatchdogAction]:
+        """One detection pass; returns the actions taken this pass."""
+        self._release_victims()
+        taken: list[ClusterWatchdogAction] = []
+        for straggler in detect_stragglers(
+            self.cluster, self.ratio, self.min_remaining
+        ):
+            key = (straggler.query_id, straggler.shard)
+            if key in self._handled:
+                continue
+            self._handled.add(key)
+            victims: tuple[str, ...] = ()
+            benefit = 0.0
+            if self.block_victims:
+                try:
+                    choice = choose_cross_shard_victim(self.cluster, straggler)
+                except ValueError:
+                    choice = None  # nothing to block on that node
+                if choice is not None and choice.benefit > 0:
+                    node = self.cluster.nodes[straggler.node_id]
+                    for victim in choice.victims:
+                        node.rdbms.block(victim)
+                        self._blocked[(straggler.node_id, victim)] = key
+                    victims = choice.victims
+                    benefit = choice.benefit
+            action = ClusterWatchdogAction(
+                time=self.cluster.clock,
+                query_id=straggler.query_id,
+                shard=straggler.shard,
+                node_id=straggler.node_id,
+                lag_ratio=straggler.lag_ratio,
+                victims=victims,
+                benefit=benefit,
+            )
+            taken.append(action)
+            self.actions.append(action)
+            obs = self.cluster._obs
+            if obs is not None:
+                obs.metrics.counter("dist.stragglers").inc()
+                obs.tracer.emit(
+                    "shard.straggler", self.cluster.clock,
+                    straggler.query_id, shard=straggler.shard,
+                    node=straggler.node_id, lag_ratio=straggler.lag_ratio,
+                    victims=",".join(victims), benefit=benefit,
+                )
+        return taken

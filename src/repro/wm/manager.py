@@ -15,7 +15,8 @@ It never "un-aborts": revisions are monotone, as in practice.
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+import math
+from dataclasses import dataclass, field, replace
 
 from repro.core.validation import finite_snapshots
 from repro.sim.rdbms import SimulatedRDBMS
@@ -30,6 +31,8 @@ class RevisionEvent:
     projected_drain: float
     time_left: float
     aborted: tuple[str, ...]
+    #: Queries planned from carried-back (stale) estimates this revision.
+    degraded: tuple[str, ...] = ()
 
 
 @dataclass
@@ -58,6 +61,9 @@ class AdaptiveMaintenanceManager:
     slack: float = 1e-6
     events: list[RevisionEvent] = field(default_factory=list)
     total_aborted: list[str] = field(default_factory=list)
+    #: Last finite remaining-cost seen per live query, for carry-back
+    #: when a later snapshot turns non-finite.
+    _last_finite: dict[str, float] = field(default_factory=dict)
 
     def start(self) -> None:
         """Engage: drain the system, make the initial plan, arm the timer."""
@@ -74,14 +80,32 @@ class AdaptiveMaintenanceManager:
 
         Estimates are read through the system snapshot (what a PI would
         see), so corrupted statistics reach the manager.  Queries whose
-        snapshots are non-finite are left out of the plan for this revision
-        rather than poisoning it -- they are reconsidered at the next
-        wake-up, and operation O3 still catches them at the deadline.
+        snapshots turn non-finite are *not* dropped wholesale: the last
+        finite remaining-cost observed for each is carried back so they
+        stay in the plan (flagged in the revision event), and only
+        queries that never reported a finite cost are left out of this
+        revision -- they are reconsidered at the next wake-up, and
+        operation O3 still catches them at the deadline.
         """
         now = self.rdbms.clock
         time_left = max(self.deadline - now, 0.0)
         system = self.rdbms.snapshot()
-        running = finite_snapshots(list(system.running) + list(system.queued))
+        live = list(system.running) + list(system.queued)
+        sanitized = []
+        degraded: list[str] = []
+        for snap in live:
+            if math.isfinite(snap.remaining_cost):
+                self._last_finite[snap.query_id] = snap.remaining_cost
+                sanitized.append(snap)
+            elif snap.query_id in self._last_finite:
+                degraded.append(snap.query_id)
+                sanitized.append(
+                    replace(
+                        snap,
+                        remaining_cost=self._last_finite[snap.query_id],
+                    )
+                )
+        running = finite_snapshots(sanitized)
         plan = plan_maintenance(
             running, time_left + self.slack, self.rdbms.processing_rate, self.case
         )
@@ -94,6 +118,7 @@ class AdaptiveMaintenanceManager:
                 projected_drain=plan.projected_quiescent_time,
                 time_left=time_left,
                 aborted=plan.aborts,
+                degraded=tuple(degraded),
             )
         )
         obs = self.rdbms.obs

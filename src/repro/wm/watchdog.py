@@ -9,10 +9,17 @@ module.
 The resilience half is the fallback: under corrupted statistics the PI
 (correctly) refuses to estimate -- :mod:`repro.core.validation` makes it
 raise on NaN/inf inputs -- or produces a non-finite number.  The watchdog
-must keep functioning anyway, so it degrades to an *observed-work
-heuristic*: a query is an offender once the time it has observably consumed
-exceeds the budget.  Cruder (it can only react, not predict), but it needs
-nothing beyond the simulator clock.
+must keep functioning anyway, and it degrades *per query*, not per tick:
+when the PI refuses a snapshot, the watchdog substitutes each corrupt
+query's last finite remaining-cost observation (carried back from an
+earlier tick) and re-estimates, so queries with healthy statistics keep
+their predictive enforcement.  Only queries that never reported a finite
+cost are dropped from the estimate; those (and only those) fall to the
+*observed-work heuristic* -- offender once the time observably consumed
+exceeds the budget.  Cruder (it can only react, not predict), but it
+needs nothing beyond the simulator clock.  Actions justified by a
+carried-back or absent estimate are flagged ``used_fallback`` so every
+degraded decision is auditable.
 
 Escalation is two-step, as in production systems: a first offense demotes
 the query's priority (it keeps running, slowly, and stops hurting everyone
@@ -24,7 +31,7 @@ from ``failed_at`` runtime errors.
 from __future__ import annotations
 
 import math
-from dataclasses import dataclass
+from dataclasses import dataclass, replace
 
 from repro.core.multi_query import MultiQueryProgressIndicator
 from repro.sim.rdbms import SimulatedRDBMS
@@ -118,6 +125,9 @@ class RunawayQueryWatchdog:
         self._use_shared_schedule = use_shared_schedule
         self._demoted: set[str] = set()
         self._attached = False
+        #: Last finite remaining-cost observed per live query, for
+        #: carry-back when a later snapshot turns non-finite.
+        self._last_finite: dict[str, float] = {}
         #: Chronological log of enforcement actions.
         self.actions: list[WatchdogAction] = []
 
@@ -152,22 +162,69 @@ class RunawayQueryWatchdog:
     # Enforcement
     # ------------------------------------------------------------------
 
-    def _estimates(self) -> dict[str, float] | None:
-        """PI remaining-time estimates, or ``None`` if the PI is unusable."""
+    def _estimates(self) -> tuple[dict[str, float] | None, frozenset[str]]:
+        """PI estimates plus the ids whose inputs had to be carried back.
+
+        Returns ``(remaining_times, degraded_ids)``.  When some queries'
+        snapshots are corrupt (non-finite remaining cost), the estimator
+        is re-run on a *sanitized* snapshot: corrupt queries get their
+        last finite observation substituted; queries with no finite
+        history are dropped (they individually fall back to observed
+        work).  Healthy queries keep real predictive estimates either
+        way.  ``(None, ...)`` -- the whole-tick fallback -- only remains
+        for snapshots the PI rejects even after sanitizing.
+        """
         if (
             self._use_shared_schedule
             and self._rdbms.shared_schedule() is not None
         ):
-            return self._rdbms.remaining_times()
+            return self._rdbms.remaining_times(), frozenset()
+        snapshot = self._rdbms.snapshot()
+        live = snapshot.running + snapshot.queued
+        # Refresh the carry-back memory (and drop departed queries).
+        self._last_finite = {
+            s.query_id: (
+                s.remaining_cost
+                if math.isfinite(s.remaining_cost)
+                else self._last_finite.get(s.query_id)
+            )
+            for s in live
+            if math.isfinite(s.remaining_cost)
+            or s.query_id in self._last_finite
+        }
         try:
-            estimate = self._pi.estimate(self._rdbms.snapshot())
+            return self._pi.estimate(snapshot).remaining_seconds, frozenset()
         except ValueError:
             # Corrupted inputs: the estimator refused loudly, as designed.
-            return None
-        return estimate.remaining_seconds
+            pass
+        degraded = {
+            s.query_id for s in live if not math.isfinite(s.remaining_cost)
+        }
+        sanitized = snapshot
+        for name in ("running", "queued"):
+            kept = []
+            for snap in getattr(snapshot, name):
+                if math.isfinite(snap.remaining_cost):
+                    kept.append(snap)
+                elif snap.query_id in self._last_finite:
+                    kept.append(
+                        replace(
+                            snap,
+                            remaining_cost=self._last_finite[snap.query_id],
+                        )
+                    )
+                # else: never seen finite -- excluded from the estimate.
+            sanitized = replace(sanitized, **{name: tuple(kept)})
+        try:
+            estimate = self._pi.estimate(sanitized)
+        except ValueError:
+            # Still unusable (e.g. corrupt completed-work counters too):
+            # the whole tick falls back to observed work.
+            return None, frozenset(degraded)
+        return estimate.remaining_seconds, frozenset(degraded)
 
     def _on_tick(self, rdbms: SimulatedRDBMS) -> None:
-        estimates = self._estimates()
+        estimates, degraded = self._estimates()
         now = rdbms.clock
         for job in rdbms.running:
             qid = job.query_id
@@ -187,9 +244,11 @@ class RunawayQueryWatchdog:
             if self._budget is not None:
                 if est is not None:
                     over = elapsed + est > self._budget
+                    used_fallback = qid in degraded
+                    stale = " (carried-back)" if used_fallback else ""
                     reason = (
-                        f"elapsed {elapsed:.1f}s + estimated {est:.1f}s "
-                        f"> budget {self._budget:g}s"
+                        f"elapsed {elapsed:.1f}s + estimated{stale} "
+                        f"{est:.1f}s > budget {self._budget:g}s"
                     )
                 else:
                     # Observed-work heuristic: no usable estimate, so
@@ -210,7 +269,7 @@ class RunawayQueryWatchdog:
                 # Predicted deadline miss: act now rather than letting the
                 # RDBMS kill the query at expiry with nothing to show.
                 over = True
-                used_fallback = False
+                used_fallback = qid in degraded
                 reason = (
                     f"predicted finish at {now + est:.1f}s "
                     f"> deadline {record.deadline_at:g}s"

@@ -69,13 +69,30 @@ class TpcrDataset:
         return rows
 
 
-def build_lineitem(db: Database, config: TpcrConfig, rng: random.Random) -> None:
-    """Create and populate the ``lineitem`` table plus its partkey index."""
-    db.execute(
-        "CREATE TABLE lineitem ("
-        "partkey INT NOT NULL, quantity FLOAT NOT NULL, "
-        "extendedprice FLOAT NOT NULL)"
+#: DDL of the ``lineitem`` table (shared with the sharded loader, which
+#: must replay the exact same statements on every node).
+LINEITEM_DDL = (
+    "CREATE TABLE lineitem ("
+    "partkey INT NOT NULL, quantity FLOAT NOT NULL, "
+    "extendedprice FLOAT NOT NULL)"
+)
+LINEITEM_INDEX_DDL = "CREATE INDEX lineitem_partkey ON lineitem (partkey)"
+
+
+def part_table_ddl(i: int) -> str:
+    """DDL of the ``part_i`` table."""
+    return (
+        f"CREATE TABLE part_{i} "
+        "(partkey INT NOT NULL, retailprice FLOAT NOT NULL)"
     )
+
+
+def lineitem_rows(config: TpcrConfig, rng: random.Random) -> list[tuple]:
+    """The generated ``lineitem`` rows, in insertion order.
+
+    Factored out of :func:`build_lineitem` so single-node and sharded
+    builds draw the identical row stream from the same RNG state.
+    """
     rows = []
     keys = config.distinct_partkeys
     per_key = config.matches_per_part
@@ -84,8 +101,23 @@ def build_lineitem(db: Database, config: TpcrConfig, rng: random.Random) -> None
             quantity = rng.uniform(1.0, 50.0)
             unit_price = rng.uniform(900.0, 1100.0)
             rows.append((pk, quantity, quantity * unit_price))
-    db.insert_rows("lineitem", rows)
-    db.execute("CREATE INDEX lineitem_partkey ON lineitem (partkey)")
+    return rows
+
+
+def part_rows(
+    i: int, n_i: int, config: TpcrConfig, rng: random.Random
+) -> list[tuple]:
+    """The generated ``part_i`` rows, in insertion order."""
+    count = min(PART_TUPLES_PER_N * n_i, config.distinct_partkeys)
+    keys = rng.sample(range(1, config.distinct_partkeys + 1), count)
+    return [(pk, rng.uniform(900.0, 1900.0)) for pk in keys]
+
+
+def build_lineitem(db: Database, config: TpcrConfig, rng: random.Random) -> None:
+    """Create and populate the ``lineitem`` table plus its partkey index."""
+    db.execute(LINEITEM_DDL)
+    db.insert_rows("lineitem", lineitem_rows(config, rng))
+    db.execute(LINEITEM_INDEX_DDL)
 
 
 def add_part_table(
@@ -102,13 +134,8 @@ def add_part_table(
     a nontrivial, size-independent fraction of parts.
     """
     name = f"part_{i}"
-    db.execute(
-        f"CREATE TABLE {name} (partkey INT NOT NULL, retailprice FLOAT NOT NULL)"
-    )
-    count = min(PART_TUPLES_PER_N * n_i, config.distinct_partkeys)
-    keys = rng.sample(range(1, config.distinct_partkeys + 1), count)
-    rows = [(pk, rng.uniform(900.0, 1900.0)) for pk in keys]
-    db.insert_rows(name, rows)
+    db.execute(part_table_ddl(i))
+    db.insert_rows(name, part_rows(i, n_i, config, rng))
     return name
 
 

@@ -1,0 +1,95 @@
+"""Tests for the cluster metadata service."""
+
+import pytest
+
+from repro.dist.catalog import ShardCatalog
+from repro.dist.partition import BlockPartitioner
+
+
+def make_catalog() -> ShardCatalog:
+    cat = ShardCatalog()
+    for nid in ("node0", "node1", "node2"):
+        cat.register_node(nid)
+    cat.register_table("t", "CREATE TABLE t (x INT)", BlockPartitioner())
+    cat.place_fragment("t", 0, ("node0", "node1"), (0, 1, 2))
+    cat.place_fragment("t", 1, ("node1", "node2"), (3, 4))
+    return cat
+
+
+class TestNodes:
+    def test_register_is_idempotent(self):
+        cat = ShardCatalog()
+        first = cat.register_node("n")
+        assert cat.register_node("n") is first
+        assert cat.node_ids() == ("n",)
+
+    def test_rejects_empty_id(self):
+        with pytest.raises(ValueError):
+            ShardCatalog().register_node("")
+
+    def test_unknown_node_raises(self):
+        with pytest.raises(KeyError):
+            ShardCatalog().node("ghost")
+
+    def test_health_transitions(self):
+        cat = make_catalog()
+        assert cat.serving_nodes() == ("node0", "node1", "node2")
+        cat.mark_down("node0")
+        assert not cat.node("node0").serving
+        cat.mark_unreachable("node1")
+        assert cat.node("node1").up  # partitioned, not dead
+        assert cat.serving_nodes() == ("node2",)
+        cat.mark_up("node0")
+        cat.mark_reachable("node1")
+        assert cat.serving_nodes() == ("node0", "node1", "node2")
+
+
+class TestPlacement:
+    def test_primary_is_first_serving_replica(self):
+        cat = make_catalog()
+        assert cat.primary_for("t", 0) == "node0"
+        cat.mark_down("node0")
+        assert cat.primary_for("t", 0) == "node1"
+
+    def test_primary_none_when_chain_dead(self):
+        cat = make_catalog()
+        cat.mark_down("node0")
+        cat.mark_unreachable("node1")
+        assert cat.primary_for("t", 0) is None
+
+    def test_positions_round_trip(self):
+        cat = make_catalog()
+        assert cat.positions_for("t", 0) == (0, 1, 2)
+        assert cat.positions_for("t", 1) == (3, 4)
+
+    def test_replica_chain(self):
+        assert make_catalog().replicas_for("t", 1) == ("node1", "node2")
+
+    def test_unknown_shard_raises(self):
+        with pytest.raises(KeyError):
+            make_catalog().replicas_for("t", 9)
+
+    def test_placement_requires_known_nodes(self):
+        cat = make_catalog()
+        with pytest.raises(KeyError):
+            cat.place_fragment("t", 2, ("ghost",), ())
+        with pytest.raises(ValueError):
+            cat.place_fragment("t", 2, (), ())
+
+    def test_duplicate_table_rejected(self):
+        cat = make_catalog()
+        with pytest.raises(ValueError):
+            cat.register_table("t", "ddl", BlockPartitioner())
+
+    def test_add_index_appends(self):
+        cat = make_catalog()
+        cat.add_index("t", "CREATE INDEX i ON t (x)")
+        assert cat.table("t").index_ddls == ("CREATE INDEX i ON t (x)",)
+
+    def test_describe_shows_layout_and_health(self):
+        cat = make_catalog()
+        cat.mark_down("node2")
+        text = cat.describe()
+        assert "node node2: down" in text
+        assert "table t" in text
+        assert "shard 0: 3 rows on node0 -> node1" in text

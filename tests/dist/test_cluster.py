@@ -1,0 +1,206 @@
+"""Tests for the sharded cluster router: planning, execution, failover."""
+
+import math
+
+import pytest
+
+from repro.dist import ShardedCluster, fragment_table, load_tpcr, referenced_tables
+from repro.engine.sql.parser import parse_statement
+from repro.workload.tpcr import TpcrConfig
+
+SMALL = TpcrConfig(scale=1 / 8000, seed=0)  # 3000 lineitem rows
+
+
+def make_cluster(**kwargs) -> ShardedCluster:
+    defaults = dict(n_shards=3, replication=2, processing_rate=10.0)
+    defaults.update(kwargs)
+    cluster = ShardedCluster(**defaults)
+    load_tpcr(cluster, config=SMALL, part_sizes={1: 4})
+    return cluster
+
+
+class TestHelpers:
+    def test_fragment_table_naming(self):
+        assert fragment_table("lineitem", 2) == "lineitem__s2"
+
+    def test_referenced_tables_walks_subqueries(self):
+        stmt = parse_statement(
+            "SELECT * FROM part_1 p WHERE p.retailprice > "
+            "(SELECT SUM(l.extendedprice) FROM lineitem l "
+            "WHERE l.partkey = p.partkey)"
+        )
+        assert referenced_tables(stmt) == {"part_1", "lineitem"}
+
+    def test_referenced_tables_join(self):
+        stmt = parse_statement(
+            "SELECT * FROM part_1 p JOIN lineitem l ON p.partkey = l.partkey"
+        )
+        assert referenced_tables(stmt) == {"part_1", "lineitem"}
+
+
+class TestDataPlacement:
+    def test_fragments_placed_with_replication(self):
+        cluster = make_cluster()
+        for shard in range(3):
+            chain = cluster.catalog.replicas_for("lineitem", shard)
+            assert len(chain) == 2
+            assert len(set(chain)) == 2  # replicas on distinct nodes
+        # Every replica node physically holds the fragment.
+        for shard in range(3):
+            frag = fragment_table("lineitem", shard)
+            for node_id in cluster.catalog.replicas_for("lineitem", shard):
+                node = cluster.nodes[node_id]
+                assert node.db.catalog.table(frag).heap.row_count > 0
+
+    def test_fragment_rows_sum_to_table(self):
+        cluster = make_cluster()
+        total = 0
+        for shard in range(3):
+            frag = fragment_table("lineitem", shard)
+            primary = cluster.catalog.primary_for("lineitem", shard)
+            total += cluster.nodes[primary].db.catalog.table(frag).heap.row_count
+        assert total == 3000
+
+    def test_describe_lists_nodes_and_shards(self):
+        text = make_cluster().describe()
+        assert "node0" in text and "lineitem" in text
+
+
+class TestSubmission:
+    def test_pushdown_strategy_for_simple_scan(self):
+        cluster = make_cluster()
+        dq = cluster.submit("Q", "SELECT * FROM lineitem WHERE partkey > 5")
+        assert dq.strategy == "pushdown"
+        assert len(dq.subqueries) == 3  # one per shard
+
+    def test_gather_strategy_for_joins_and_aggregates(self):
+        cluster = make_cluster()
+        dq = cluster.submit(
+            "Q", "SELECT SUM(extendedprice) FROM lineitem"
+        )
+        assert dq.strategy == "gather"
+
+    def test_unknown_table_rejected(self):
+        with pytest.raises(ValueError, match="unpartitioned"):
+            make_cluster().submit("Q", "SELECT * FROM ghost")
+
+    def test_non_select_rejected(self):
+        with pytest.raises(ValueError):
+            make_cluster().submit("Q", "INSERT INTO lineitem VALUES (1, 2, 3)")
+
+    def test_duplicate_query_id_rejected(self):
+        cluster = make_cluster()
+        cluster.submit("Q", "SELECT * FROM lineitem")
+        with pytest.raises(ValueError):
+            cluster.submit("Q", "SELECT * FROM lineitem")
+
+
+class TestExecution:
+    def test_runs_to_completion_with_results(self):
+        cluster = make_cluster()
+        cluster.submit("Q", "SELECT * FROM lineitem")
+        cluster.run_to_completion()
+        dq = cluster.query("Q")
+        assert dq.finished
+        assert len(cluster.result_rows("Q")) == 3000
+
+    def test_estimates_always_finite_throughout(self):
+        cluster = make_cluster()
+        cluster.submit("Q", "SELECT * FROM lineitem")
+        t = 0.0
+        while not cluster.query("Q").terminal and t < 500.0:
+            t += 1.0
+            cluster.run_until(t)
+            est = cluster.global_estimate("Q")
+            assert math.isfinite(est.remaining_seconds)
+            assert est.remaining_seconds >= 0.0
+
+    def test_estimate_decreases_as_work_completes(self):
+        cluster = make_cluster()
+        cluster.submit("Q", "SELECT * FROM lineitem")
+        cluster.run_until(2.0)
+        early = cluster.global_estimate("Q").remaining_seconds
+        cluster.run_until(6.0)
+        later = cluster.global_estimate("Q").remaining_seconds
+        if not cluster.query("Q").finished:
+            assert later < early
+
+    def test_work_tallies_zero_without_faults(self):
+        cluster = make_cluster()
+        cluster.submit("Q", "SELECT * FROM lineitem")
+        cluster.run_to_completion()
+        assert cluster.failovers == 0
+        assert cluster.work_preserved == 0.0
+        assert cluster.work_lost == 0.0
+
+
+class TestFailover:
+    def test_crash_fails_over_to_replica(self):
+        cluster = make_cluster(checkpoint_interval=0.5)
+        cluster.submit("Q", "SELECT * FROM lineitem")
+        cluster.run_until(1.0)
+        victim = cluster.nodes["node1"]
+        cluster.catalog.mark_down("node1")
+        victim.crash()
+        cluster.run_to_completion()
+        dq = cluster.query("Q")
+        assert dq.finished
+        assert cluster.failovers >= 1
+        # The failed-over sub-queries ended up off the dead node.
+        for sub in dq.subqueries.values():
+            assert sub.node_id != "node1"
+
+    def test_submit_on_downed_node_raises(self):
+        cluster = make_cluster()
+        cluster.catalog.mark_down("node0")
+        cluster.nodes["node0"].crash()
+        with pytest.raises(RuntimeError):
+            from repro.sim.jobs import SyntheticJob
+
+            cluster.nodes["node0"].submit(SyntheticJob("x", 10.0))
+
+    def test_no_replica_left_gives_up(self):
+        from repro.faults.retry import RetryPolicy
+
+        cluster = make_cluster(
+            replication=1,
+            retry_policy=RetryPolicy(max_attempts=2, base_delay=0.5),
+        )
+        cluster.submit("Q", "SELECT * FROM lineitem")
+        cluster.run_until(1.0)
+        cluster.catalog.mark_down("node1")
+        cluster.nodes["node1"].crash()
+        # Shard 1 has a single replica: with it gone the query can never
+        # finish; the router must eventually give up rather than hang.
+        cluster.run_until(200.0)
+        dq = cluster.query("Q")
+        assert dq.status == "failed"
+        assert dq.error
+
+    def test_crash_idempotent(self):
+        cluster = make_cluster()
+        node = cluster.nodes["node2"]
+        node.crash()
+        assert node.crash() == ()
+
+
+class TestBrownout:
+    def test_browned_out_node_slows_down(self):
+        fast = make_cluster()
+        fast.submit("Q", "SELECT * FROM lineitem")
+        fast.run_to_completion()
+        slow = make_cluster()
+        slow.nodes["node0"].set_brownout(0.25)
+        slow.submit("Q", "SELECT * FROM lineitem")
+        slow.run_to_completion()
+        assert (
+            slow.query("Q").finished_at > fast.query("Q").finished_at
+        )
+
+    def test_clear_brownout_restores_rate(self):
+        cluster = make_cluster()
+        node = cluster.nodes["node0"]
+        node.set_brownout(0.5)
+        assert node.brownout_factor == 0.5
+        node.clear_brownout()
+        assert node.brownout_factor == 1.0

@@ -1,0 +1,135 @@
+"""Tests for the fault-tolerant global progress aggregator.
+
+The robustness contract: the global estimate is always finite, degraded
+shards carry back their last finite value with explicit staleness, and a
+rejected (NaN/inf/negative) report never poisons the rollup.
+"""
+
+import math
+
+import pytest
+
+from repro.dist.global_pi import GlobalProgressAggregator
+
+
+def make_agg() -> GlobalProgressAggregator:
+    agg = GlobalProgressAggregator()
+    agg.register("Q", 0, 10.0, now=0.0)
+    agg.register("Q", 1, 20.0, now=0.0)
+    return agg
+
+
+class TestRegistration:
+    def test_initial_estimate_is_served_immediately(self):
+        est = make_agg().estimate("Q", 0.0)
+        assert est.remaining_seconds == 20.0
+        assert est.shards[0].remaining_seconds == 10.0
+        assert not est.degraded
+
+    @pytest.mark.parametrize("bad", [float("nan"), float("inf"), -1.0])
+    def test_rejects_non_finite_initial(self, bad):
+        with pytest.raises(ValueError):
+            GlobalProgressAggregator().register("Q", 0, bad, now=0.0)
+
+    def test_rejects_duplicate_shard(self):
+        agg = make_agg()
+        with pytest.raises(ValueError):
+            agg.register("Q", 0, 5.0, now=0.0)
+
+    def test_unknown_query_raises(self):
+        with pytest.raises(KeyError):
+            GlobalProgressAggregator().estimate("ghost", 0.0)
+
+
+class TestReports:
+    def test_global_is_slowest_shard(self):
+        agg = make_agg()
+        agg.report("Q", 0, 8.0, now=1.0)
+        agg.report("Q", 1, 15.0, now=1.0)
+        est = agg.estimate("Q", 1.0)
+        assert est.remaining_seconds == 15.0
+        assert est.slowest_shard == 1
+
+    @pytest.mark.parametrize("bad", [float("nan"), float("inf"), -2.0])
+    def test_garbage_report_rejected_and_degrades(self, bad):
+        agg = make_agg()
+        agg.report("Q", 0, 8.0, now=1.0)
+        assert agg.report("Q", 0, bad, now=2.0) is False
+        est = agg.estimate("Q", 5.0)
+        # Last finite value carried back, flagged, staleness exposed.
+        assert est.shards[0].remaining_seconds == 8.0
+        assert est.shards[0].degraded
+        assert est.shards[0].staleness == pytest.approx(4.0)
+        assert math.isfinite(est.remaining_seconds)
+
+    def test_fresh_report_clears_degraded(self):
+        agg = make_agg()
+        agg.report("Q", 0, float("nan"), now=1.0)
+        assert agg.estimate("Q", 1.0).shards[0].degraded
+        agg.report("Q", 0, 6.0, now=2.0)
+        contrib = agg.estimate("Q", 2.0).shards[0]
+        assert not contrib.degraded and contrib.staleness == 0.0
+
+    def test_fresh_contribution_has_zero_staleness(self):
+        agg = make_agg()
+        agg.report("Q", 0, 8.0, now=1.0)
+        assert agg.estimate("Q", 50.0).shards[0].staleness == 0.0
+
+
+class TestLifecycle:
+    def test_mark_degraded_carries_back(self):
+        agg = make_agg()
+        agg.report("Q", 1, 12.0, now=2.0)
+        agg.mark_degraded("Q", 1)
+        contrib = agg.estimate("Q", 10.0).shards[1]
+        assert contrib.degraded
+        assert contrib.remaining_seconds == 12.0
+        assert contrib.staleness == pytest.approx(8.0)
+
+    def test_mark_done_is_final(self):
+        agg = make_agg()
+        agg.mark_done("Q", 0, now=3.0)
+        assert agg.report("Q", 0, 99.0, now=4.0) is False
+        agg.mark_degraded("Q", 0)
+        contrib = agg.estimate("Q", 9.0).shards[0]
+        assert contrib.remaining_seconds == 0.0 and not contrib.degraded
+
+    def test_all_done_means_zero_remaining(self):
+        agg = make_agg()
+        agg.mark_done("Q", 0, now=3.0)
+        agg.mark_done("Q", 1, now=4.0)
+        assert agg.estimate("Q", 5.0).remaining_seconds == 0.0
+
+    def test_move_shard_stays_degraded_until_live_report(self):
+        agg = make_agg()
+        agg.move_shard("Q", 0, 25.0, now=5.0)
+        contrib = agg.estimate("Q", 5.0).shards[0]
+        assert contrib.remaining_seconds == 25.0 and contrib.degraded
+        agg.report("Q", 0, 24.0, now=6.0)
+        assert not agg.estimate("Q", 6.0).shards[0].degraded
+
+    def test_move_shard_requires_finite(self):
+        with pytest.raises(ValueError):
+            make_agg().move_shard("Q", 0, float("inf"), now=5.0)
+
+    def test_forget_drops_query(self):
+        agg = make_agg()
+        agg.forget("Q")
+        assert agg.query_ids() == ()
+        with pytest.raises(KeyError):
+            agg.estimate("Q", 0.0)
+
+
+class TestAlwaysFinite:
+    def test_never_nan_under_garbage_storm(self):
+        agg = make_agg()
+        for t in range(1, 30):
+            agg.report("Q", 0, float("nan"), now=float(t))
+            agg.report("Q", 1, float("inf"), now=float(t))
+            est = agg.estimate("Q", float(t))
+            assert math.isfinite(est.remaining_seconds)
+            assert all(
+                math.isfinite(c.remaining_seconds)
+                for c in est.shards.values()
+            )
+            assert est.degraded

@@ -1,0 +1,78 @@
+"""Tests for the table partitioners."""
+
+import pytest
+
+from repro.dist.partition import (
+    BlockPartitioner,
+    HashPartitioner,
+    RangePartitioner,
+)
+
+ROWS = [(i, float(i) * 1.5) for i in range(10)]
+
+
+class TestBlockPartitioner:
+    def test_contiguous_and_balanced(self):
+        assign = BlockPartitioner().assign(ROWS, 3)
+        assert assign == [0, 0, 0, 0, 1, 1, 1, 2, 2, 2]
+
+    def test_order_preserving_flag(self):
+        assert BlockPartitioner.order_preserving is True
+
+    def test_single_shard(self):
+        assert BlockPartitioner().assign(ROWS, 1) == [0] * len(ROWS)
+
+    def test_fewer_rows_than_shards(self):
+        assert BlockPartitioner().assign(ROWS[:2], 4) == [0, 1]
+
+    def test_rejects_zero_shards(self):
+        with pytest.raises(ValueError):
+            BlockPartitioner().assign(ROWS, 0)
+
+
+class TestHashPartitioner:
+    def test_deterministic_across_instances(self):
+        a = HashPartitioner(0).assign(ROWS, 4)
+        b = HashPartitioner(0).assign(ROWS, 4)
+        assert a == b
+
+    def test_same_key_same_shard(self):
+        rows = [(7, 1.0), (7, 2.0), (7, 3.0)]
+        assign = HashPartitioner(0).assign(rows, 4)
+        assert len(set(assign)) == 1
+
+    def test_not_order_preserving(self):
+        assert HashPartitioner.order_preserving is False
+
+    def test_all_shards_in_range(self):
+        assign = HashPartitioner(0).assign(ROWS, 3)
+        assert all(0 <= s < 3 for s in assign)
+
+    def test_rejects_bad_column(self):
+        with pytest.raises(ValueError):
+            HashPartitioner(-1)
+        with pytest.raises(ValueError):
+            HashPartitioner(5).assign(ROWS, 2)
+
+
+class TestRangePartitioner:
+    def test_splits_at_boundaries(self):
+        part = RangePartitioner(0, [3, 7])
+        assert part.assign(ROWS, 3) == [0, 0, 0, 1, 1, 1, 1, 2, 2, 2]
+
+    def test_boundary_count_must_match_shards(self):
+        with pytest.raises(ValueError):
+            RangePartitioner(0, [5]).assign(ROWS, 3)
+
+    def test_rejects_unsorted_or_empty_boundaries(self):
+        with pytest.raises(ValueError):
+            RangePartitioner(0, [])
+        with pytest.raises(ValueError):
+            RangePartitioner(0, [5, 3])
+        with pytest.raises(ValueError):
+            RangePartitioner(0, [3, 3])
+
+    def test_describe_mentions_scheme(self):
+        assert "range" in RangePartitioner(1, [10.0]).describe()
+        assert "hash" in HashPartitioner(2).describe()
+        assert "block" in BlockPartitioner().describe()

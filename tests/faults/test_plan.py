@@ -7,6 +7,9 @@ import pytest
 from repro.faults.plan import (
     Brownout,
     FaultPlan,
+    NetworkPartition,
+    NodeBrownout,
+    NodeCrash,
     QueryCrash,
     QueryStall,
     StatsCorruption,
@@ -78,6 +81,52 @@ class TestStatsCorruption:
             StatsCorruption(0.0, 0.0, 2.0)
 
 
+class TestNodeCrash:
+    def test_permanent_by_default(self):
+        crash = NodeCrash("node1", at=5.0)
+        assert crash.down_for is None
+
+    def test_recovering_crash(self):
+        assert NodeCrash("node1", at=5.0, down_for=10.0).down_for == 10.0
+
+    def test_rejects_empty_node_and_bad_times(self):
+        with pytest.raises(ValueError):
+            NodeCrash("", at=5.0)
+        with pytest.raises(ValueError):
+            NodeCrash("node1", at=-1.0)
+        with pytest.raises(ValueError):
+            NodeCrash("node1", at=float("nan"))
+        with pytest.raises(ValueError):
+            NodeCrash("node1", at=5.0, down_for=0.0)
+
+
+class TestNetworkPartition:
+    def test_valid(self):
+        part = NetworkPartition("node2", at=1.0, duration=4.0)
+        assert part.duration == 4.0
+
+    @pytest.mark.parametrize(
+        "at,dur", [(-1, 1), (float("nan"), 1), (0, 0), (0, float("inf"))]
+    )
+    def test_rejects_bad_window(self, at, dur):
+        with pytest.raises(ValueError):
+            NetworkPartition("node2", at=at, duration=dur)
+
+    def test_rejects_empty_node(self):
+        with pytest.raises(ValueError):
+            NetworkPartition("", at=1.0, duration=1.0)
+
+
+class TestNodeBrownout:
+    def test_factor_zero_freezes_node(self):
+        assert NodeBrownout("node0", at=0.0, duration=5.0, factor=0.0).factor == 0.0
+
+    @pytest.mark.parametrize("factor", [-0.1, 1.1, float("nan"), float("inf")])
+    def test_rejects_bad_factor(self, factor):
+        with pytest.raises(ValueError):
+            NodeBrownout("node0", at=0.0, duration=5.0, factor=factor)
+
+
 class TestFaultPlan:
     def test_of_and_len(self):
         plan = FaultPlan.of(Brownout(0.0, 1.0), QueryCrash("q", at_time=1.0))
@@ -110,6 +159,25 @@ class TestFaultPlan:
     def test_describe_empty(self):
         assert "empty" in FaultPlan().describe()
 
+    def test_for_node_and_node_faults(self):
+        crash = NodeCrash("node1", at=3.0)
+        part = NetworkPartition("node2", at=1.0, duration=2.0)
+        qcrash = QueryCrash("a", at_time=1.0)
+        plan = FaultPlan.of(crash, part, qcrash)
+        assert plan.for_node("node1") == (crash,)
+        assert plan.for_node("node2") == (part,)
+        assert plan.for_node("node9") == ()
+        assert plan.node_faults() == (crash, part)
+
+    def test_describe_mentions_node_faults(self):
+        text = FaultPlan.of(
+            NodeCrash("node1", at=3.0, down_for=5.0),
+            NetworkPartition("node2", at=1.0, duration=2.0),
+            NodeBrownout("node0", at=0.0, duration=4.0, factor=0.25),
+        ).describe()
+        assert "node-crash node1" in text and "back after 5s" in text
+        assert "partition" in text and "node-brownout node0" in text
+
 
 class TestRandomFaultPlan:
     def test_deterministic_per_seed(self):
@@ -136,3 +204,43 @@ class TestRandomFaultPlan:
             random_fault_plan(0, ["q"], 0.0)
         with pytest.raises(ValueError):
             random_fault_plan(0, ["q"], 10.0, n_faults=-1)
+        with pytest.raises(ValueError):
+            random_fault_plan(0, ["q"], 10.0, node_ids=[])
+
+    def test_node_ids_widens_draw_to_node_faults(self):
+        node_kinds = (NodeCrash, NetworkPartition, NodeBrownout)
+        seen = set()
+        for seed in range(30):
+            plan = random_fault_plan(
+                seed, ["a", "b"], 50.0, n_faults=6,
+                node_ids=["node0", "node1"],
+            )
+            seen.update(
+                type(f) for f in plan.faults if isinstance(f, node_kinds)
+            )
+            for fault in plan.node_faults():
+                assert fault.node_id in ("node0", "node1")
+        assert seen == set(node_kinds)  # every node shape eventually drawn
+
+    def test_default_seeds_unchanged_by_node_flag_existence(self):
+        # The node_ids flag is opt-in: without it, seeded plans must stay
+        # byte-for-byte stable so existing chaos baselines keep meaning.
+        for seed in (0, 1, 7, 42):
+            plan = random_fault_plan(seed, ["q1", "q2"], horizon=50.0)
+            assert not plan.node_faults()
+            again = random_fault_plan(seed, ["q1", "q2"], horizon=50.0)
+            # describe(), not ==: a NaN corruption factor is unequal to
+            # itself, but its rendering is stable.
+            assert plan.describe() == again.describe()
+
+    def test_seed_42_plan_is_byte_stable(self):
+        # Pinned golden description: fails if the no-node draw sequence
+        # ever changes shape, which would silently invalidate recorded
+        # chaos-test seeds.
+        plan = random_fault_plan(42, ["q1", "q2"], horizon=50.0)
+        assert plan.describe() == (
+            "crash    q1 at 30% progress\n"
+            "stall    q1 at t=27.068s for 13.6522s\n"
+            "crash    q2 at t=4.68476s\n"
+            "stall    q1 at t=22.4498s for 11.4502s"
+        )

@@ -11,12 +11,33 @@ from repro.sim.rdbms import SimulatedRDBMS
 
 class TestRetryPolicy:
     def test_exponential_backoff(self):
-        policy = RetryPolicy(max_attempts=5, base_delay=1.0, multiplier=2.0)
+        policy = RetryPolicy(
+            max_attempts=5, base_delay=1.0, multiplier=2.0, jitter=0.0
+        )
         assert [policy.delay(n) for n in (1, 2, 3, 4)] == [1.0, 2.0, 4.0, 8.0]
 
     def test_max_delay_caps_backoff(self):
-        policy = RetryPolicy(base_delay=1.0, multiplier=10.0, max_delay=5.0)
+        policy = RetryPolicy(
+            base_delay=1.0, multiplier=10.0, max_delay=5.0, jitter=0.0
+        )
         assert policy.delay(3) == 5.0
+
+    def test_default_jitter_is_nonzero(self):
+        # A node crash fails many queries at the same virtual instant; the
+        # default policy must not resubmit them all at exactly the same
+        # time (a retry storm), so out of the box jitter is on.
+        assert RetryPolicy().jitter == 0.1
+
+    def test_default_jitter_spreads_mass_failure_resubmissions(self):
+        # K queries killed by one fault: their backoff delays must spread
+        # out, deterministically, instead of collapsing onto one instant.
+        policy = RetryPolicy()
+        delays = [policy.delay(1, f"q{i}") for i in range(50)]
+        assert len(set(delays)) > 40  # near-unique per query
+        base = policy.base_delay
+        assert all(base * 0.9 <= d <= base * 1.1 for d in delays)
+        # Deterministic: the same ids yield the same spread on a re-run.
+        assert delays == [policy.delay(1, f"q{i}") for i in range(50)]
 
     def test_jitter_is_deterministic_and_bounded(self):
         policy = RetryPolicy(base_delay=4.0, jitter=0.5)
@@ -91,7 +112,7 @@ class TestRetryController:
         )
         injector.arm()
         controller = RetryController(
-            rdbms, RetryPolicy(max_attempts=3, base_delay=2.0)
+            rdbms, RetryPolicy(max_attempts=3, base_delay=2.0, jitter=0.0)
         )
         rdbms.run_to_completion(max_time=100.0)
         record = rdbms.record("q")
@@ -107,7 +128,7 @@ class TestRetryController:
         rdbms.submit(SyntheticJob("q", 100))
         FaultInjector(rdbms, FaultPlan.of(QueryCrash("q", at_time=5.0))).arm()
         controller = RetryController(
-            rdbms, RetryPolicy(max_attempts=2, base_delay=4.0)
+            rdbms, RetryPolicy(max_attempts=2, base_delay=4.0, jitter=0.0)
         )
         rdbms.run_to_completion(max_time=100.0)
         resubmits = [e for e in controller.events if e.action == "resubmitted"]

@@ -110,7 +110,10 @@ class TestDeadlineSurvivesRetry:
             SyntheticJob("q", 100, deadline=13.0, checkpoint_interval=20.0)
         )
         FaultInjector(rdbms, FaultPlan.of(QueryCrash("q", at_time=5.0))).arm()
-        RetryController(rdbms, RetryPolicy(max_attempts=3, base_delay=1.0))
+        # jitter=0 keeps the backoff arithmetic below exact.
+        RetryController(
+            rdbms, RetryPolicy(max_attempts=3, base_delay=1.0, jitter=0.0)
+        )
         rdbms.run_to_completion(max_time=200.0)
         record = rdbms.record("q")
         assert record.status == "finished"

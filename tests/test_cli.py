@@ -100,6 +100,41 @@ class TestFaults:
         )[1]
 
 
+class TestShard:
+    def test_scripted_crash_demo(self, capsys):
+        assert main(["shard"]) == 0
+        out = capsys.readouterr().out
+        assert "cluster: 4 shards x 2 replicas" in out
+        assert "Q1 [pushdown]" in out
+        assert "Q2 [gather]" in out
+        assert "fault plan:" in out
+        assert "global PI" in out
+        assert "fault/recovery log:" in out
+        assert "identical to single-node: yes" in out
+        assert "NO" not in out
+        assert "failovers:" in out
+
+    def test_no_fault_baseline(self, capsys):
+        assert main(["shard", "--no-fault", "--shards", "3"]) == 0
+        out = capsys.readouterr().out
+        assert "(no faults injected)" in out
+        assert "identical to single-node: yes" in out
+
+    def test_seeded_node_fault_plan(self, capsys):
+        assert main(["shard", "--seed", "3"]) == 0
+        out = capsys.readouterr().out
+        assert "fault plan:" in out
+        assert "identical to single-node: yes" in out
+
+    def test_invalid_knobs_report_clean_errors(self, capsys):
+        assert main(["shard", "--shards", "1"]) == 1
+        assert "error:" in capsys.readouterr().err
+        assert main(["shard", "--replication", "9"]) == 1
+        assert "error:" in capsys.readouterr().err
+        assert main(["shard", "--crash-node", "node99"]) == 1
+        assert "error:" in capsys.readouterr().err
+
+
 class TestScale:
     def test_small_sweep(self, capsys, tmp_path):
         out_json = tmp_path / "bench.json"

@@ -1,0 +1,148 @@
+"""Tests for cross-shard straggler detection and victim selection."""
+
+import pytest
+
+from repro.dist import ShardedCluster, load_tpcr
+from repro.wm.cross_shard import (
+    ClusterWatchdog,
+    detect_stragglers,
+    choose_cross_shard_victim,
+)
+from repro.workload.tpcr import TpcrConfig
+
+SMALL = TpcrConfig(scale=1 / 8000, seed=0)
+
+
+def make_cluster(**kwargs) -> ShardedCluster:
+    defaults = dict(n_shards=3, replication=2, processing_rate=10.0)
+    defaults.update(kwargs)
+    cluster = ShardedCluster(**defaults)
+    load_tpcr(cluster, config=SMALL, part_sizes={1: 4})
+    return cluster
+
+
+def brownout_straggler_cluster(factor=0.1, **kwargs):
+    """A cluster where one shard's node crawls: a guaranteed straggler."""
+    cluster = make_cluster(**kwargs)
+    cluster.submit("Q", "SELECT * FROM lineitem")
+    # Slow whichever node serves shard 1's sub-query.
+    dq = cluster.query("Q")
+    victim_node = dq.shard_subqueries(1)[0].node_id
+    cluster.nodes[victim_node].set_brownout(factor)
+    return cluster, victim_node
+
+
+class TestDetectStragglers:
+    def test_ratio_must_exceed_one(self):
+        cluster = make_cluster()
+        with pytest.raises(ValueError):
+            detect_stragglers(cluster, ratio=1.0)
+
+    def test_balanced_cluster_has_no_stragglers(self):
+        cluster = make_cluster()
+        cluster.submit("Q", "SELECT * FROM lineitem")
+        cluster.run_until(2.0)
+        assert detect_stragglers(cluster) == []
+
+    def test_browned_out_shard_detected(self):
+        cluster, victim_node = brownout_straggler_cluster()
+        cluster.run_until(4.0)
+        stragglers = detect_stragglers(cluster)
+        assert stragglers
+        worst = stragglers[0]
+        assert worst.query_id == "Q"
+        assert worst.shard == 1
+        assert worst.node_id == victim_node
+        assert worst.lag_ratio > 2.0
+
+    def test_degraded_contributions_are_skipped(self):
+        cluster, _ = brownout_straggler_cluster()
+        cluster.run_until(4.0)
+        # Force every contribution of Q degraded: no fresh numbers, no
+        # straggler calls -- acting on stale data would be noise.
+        dq = cluster.query("Q")
+        for shard in dq.shards:
+            cluster.aggregator.mark_degraded("Q", shard)
+        assert detect_stragglers(cluster) == []
+
+    def test_finished_queries_are_ignored(self):
+        cluster = make_cluster()
+        cluster.submit("Q", "SELECT * FROM lineitem")
+        cluster.run_to_completion()
+        assert detect_stragglers(cluster) == []
+
+
+class TestChooseCrossShardVictim:
+    def test_picks_victim_on_straggler_node(self):
+        cluster, victim_node = brownout_straggler_cluster()
+        # A second query gives the straggler's node something to block.
+        cluster.submit("bg", "SELECT * FROM lineitem WHERE partkey > 0")
+        cluster.run_until(4.0)
+        straggler = detect_stragglers(cluster)[0]
+        choice = choose_cross_shard_victim(cluster, straggler)
+        node_jobs = {
+            j.query_id for j in cluster.nodes[straggler.node_id].rdbms.running
+        }
+        assert set(choice.victims) <= node_jobs
+        # Never blocks the straggling query's own sub-queries.
+        own = {s.sub_id for s in cluster.query("Q").subqueries.values()}
+        assert not (set(choice.victims) & own)
+
+    def test_rejects_straggler_with_no_running_subquery(self):
+        cluster, _ = brownout_straggler_cluster()
+        cluster.run_until(4.0)
+        straggler = detect_stragglers(cluster)[0]
+        cluster.run_to_completion()
+        with pytest.raises(ValueError):
+            choose_cross_shard_victim(cluster, straggler)
+
+
+class TestClusterWatchdog:
+    def run_watched(self, watchdog, cluster, until=500.0):
+        t = 0.0
+        while not all(
+            dq.terminal for dq in cluster.queries().values()
+        ):
+            t += 1.0
+            assert t < until, "cluster failed to quiesce"
+            cluster.run_until(t)
+            watchdog.check()
+
+    def test_detects_and_blocks_once_per_shard(self):
+        cluster, victim_node = brownout_straggler_cluster()
+        cluster.submit("bg", "SELECT * FROM lineitem WHERE partkey > 0")
+        watchdog = ClusterWatchdog(cluster, ratio=2.0)
+        self.run_watched(watchdog, cluster)
+        acted = [(a.query_id, a.shard) for a in watchdog.actions]
+        assert ("Q", 1) in acted
+        assert len(acted) == len(set(acted))  # at most once per pair
+
+    def test_blocked_victims_are_released_and_finish(self):
+        cluster, _ = brownout_straggler_cluster(factor=0.2)
+        cluster.submit("bg", "SELECT * FROM lineitem WHERE partkey > 0")
+        watchdog = ClusterWatchdog(cluster, ratio=2.0)
+        self.run_watched(watchdog, cluster)
+        # Every query -- including any whose sub-query was blocked as a
+        # victim -- still runs to completion.
+        for dq in cluster.queries().values():
+            assert dq.finished, dq.error
+        blocked = [a for a in watchdog.actions if a.victims]
+        if blocked:
+            assert all(a.benefit > 0 for a in blocked)
+
+    def test_detection_only_mode_never_blocks(self):
+        cluster, _ = brownout_straggler_cluster()
+        cluster.submit("bg", "SELECT * FROM lineitem WHERE partkey > 0")
+        watchdog = ClusterWatchdog(cluster, block_victims=False)
+        self.run_watched(watchdog, cluster)
+        assert watchdog.actions
+        assert all(a.victims == () for a in watchdog.actions)
+
+    def test_straggler_counter_reaches_observability(self):
+        from repro.obs import Observability
+
+        obs = Observability()
+        cluster, _ = brownout_straggler_cluster(obs=obs)
+        watchdog = ClusterWatchdog(cluster, block_victims=False)
+        self.run_watched(watchdog, cluster)
+        assert obs.metrics.counter("dist.stragglers").value >= 1

@@ -67,6 +67,26 @@ class TestAdaptiveManager:
         with pytest.raises(ValueError):
             run_adaptive_maintenance(db, deadline=10.0)
 
+    def test_degraded_snapshot_carries_back_per_query(self):
+        # One query's stats go non-finite mid-run: revisions keep
+        # planning it from its last finite observation and record it as
+        # degraded, instead of abandoning the whole revision.
+        db = build_rdbms([10, 20, 30])
+        manager = AdaptiveMaintenanceManager(
+            db, deadline=200.0, check_interval=2.0
+        )
+        manager.start()
+        db.run_until(3.0)
+        db.corrupt_estimates(float("nan"), "Q3")
+        db.run_to_completion(max_time=500.0)
+        manager.finish()
+        degraded_events = [e for e in manager.events if e.degraded]
+        assert degraded_events
+        assert all(e.degraded == ("Q3",) for e in degraded_events)
+        # The generous deadline means the degraded query still finishes.
+        assert db.record("Q3").status == "finished"
+        assert manager.total_aborted == []
+
     def test_event_log_records_projections(self):
         db = build_rdbms([10, 20])
         manager = run_adaptive_maintenance(db, deadline=30.0, check_interval=5.0)

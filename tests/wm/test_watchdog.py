@@ -125,6 +125,72 @@ class TestFallbackPath:
         assert watchdog.actions[0].time == pytest.approx(5.0)
 
 
+class TestPartialSnapshots:
+    """Per-query carry-back: one corrupt query must not blind the rest."""
+
+    def test_corrupt_query_policed_with_carried_back_estimate(self):
+        rdbms = make_rdbms(small=50, huge=5000)
+        watchdog = RunawayQueryWatchdog(rdbms, budget_seconds=30.0)
+        watchdog.attach()
+        # Let the sampler observe one finite estimate for huge, then
+        # corrupt only huge's stats mid-flight.
+        rdbms.run_until(1.5)
+        rdbms.corrupt_estimates(float("nan"), "huge")
+        rdbms.run_to_completion(max_time=1000.0)
+        abort = [a for a in watchdog.actions if a.action == "abort"][0]
+        assert abort.query_id == "huge"
+        assert abort.used_fallback
+        assert "carried-back" in abort.reason
+        assert rdbms.record("huge").status == "aborted"
+
+    def test_healthy_queries_keep_predictive_estimates(self):
+        rdbms = make_rdbms(small=50, huge=5000, other=4000)
+        watchdog = RunawayQueryWatchdog(rdbms, budget_seconds=30.0)
+        watchdog.attach()
+        rdbms.run_until(1.5)
+        rdbms.corrupt_estimates(float("nan"), "huge")
+        rdbms.run_to_completion(max_time=1000.0)
+        # other is also a runaway but its stats are fine: its actions
+        # stay on the real PI path, no whole-tick fallback.
+        other_actions = [a for a in watchdog.actions if a.query_id == "other"]
+        assert other_actions
+        assert all(not a.used_fallback for a in other_actions)
+        assert all(a.estimated_remaining is not None for a in other_actions)
+        assert rdbms.record("other").status == "aborted"
+        assert rdbms.record("small").status == "finished"
+
+    def test_never_seen_finite_falls_back_to_observed_work(self):
+        # Corrupted before the first sampler tick: no finite history to
+        # carry back, so this one query degrades to the observed-work
+        # heuristic while the rest of the tick stays predictive.
+        rdbms = make_rdbms(small=50, huge=5000)
+        rdbms.corrupt_estimates(float("nan"), "huge")
+        watchdog = RunawayQueryWatchdog(rdbms, budget_seconds=30.0)
+        watchdog.attach()
+        rdbms.run_to_completion(max_time=1000.0)
+        abort = [a for a in watchdog.actions if a.action == "abort"][0]
+        assert abort.used_fallback
+        assert "no usable estimate" in abort.reason
+        assert abort.time > 30.0  # waited for the observed overrun
+        assert rdbms.record("small").status == "finished"
+
+    def test_escalation_continues_across_corruption_onset(self):
+        # Stats go bad *between* the demote and the abort: the watchdog
+        # escalates anyway, switching that query to the carried-back
+        # number instead of stalling its enforcement ladder.
+        rdbms = make_rdbms(q=5000)
+        watchdog = RunawayQueryWatchdog(rdbms, budget_seconds=300.0)
+        watchdog.attach()
+        rdbms.run_until(1.5)  # t=1 tick: predictive demote
+        rdbms.corrupt_estimates(float("nan"), "q")
+        rdbms.run_to_completion(max_time=2000.0)
+        demote, abort = watchdog.actions
+        assert demote.action == "deprioritize" and not demote.used_fallback
+        assert abort.action == "abort" and abort.used_fallback
+        assert abort.time == pytest.approx(2.0)
+        assert rdbms.record("q").status == "aborted"
+
+
 class TestConstruction:
     def test_rejects_bad_budget(self):
         rdbms = make_rdbms(q=10)
