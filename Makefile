@@ -1,6 +1,6 @@
 # Convenience targets for the reproduction package.
 
-.PHONY: install test bench bench-smoke bench-engine chaos scale shard coverage report observe examples all
+.PHONY: install test bench bench-smoke bench-engine chaos scale shard overload coverage report observe examples all
 
 install:
 	pip install -e . || python setup.py develop
@@ -39,6 +39,14 @@ scale:
 shard:
 	pytest -m chaos tests/dist/
 	REPRO_SHARD_SIZES=$(REPRO_SHARD_SIZES) pytest -m shard benchmarks/ --benchmark-only
+
+# Overload-protection gate: the seeded NodeCrash + ArrivalBurst storm
+# acceptance suite, then the no-cliff bench (writes BENCH_overload.json).
+# Override the load sweep for a quick run, e.g.:
+#   make overload REPRO_OVERLOAD_LOADS=1,5
+overload:
+	pytest -m overload tests/
+	REPRO_OVERLOAD_LOADS=$(REPRO_OVERLOAD_LOADS) pytest -m overload benchmarks/
 
 # Line-coverage gate over the core PI algorithms (requires pytest-cov,
 # installed via `pip install -e .[test]`; CI enforces this).

@@ -23,7 +23,11 @@ Public API re-exports the pieces a downstream user typically needs:
   :class:`ClusterFaultInjector`, :func:`load_tpcr`,
   :class:`ClusterWatchdog`, :func:`detect_stragglers`;
 * observability: :class:`Observability`, :class:`AccuracyTracker`,
-  :class:`MetricsRegistry`, :class:`Tracer`, :func:`observed`.
+  :class:`MetricsRegistry`, :class:`Tracer`, :func:`observed`;
+* overload protection (QoS): :class:`AdmissionController`,
+  :class:`AdmissionPolicy`, :class:`CircuitBreaker`,
+  :class:`DegradationLadder`, and the :class:`ArrivalBurst`
+  (:data:`OverloadStorm`) fault shape.
 
 See ``README.md`` for a tour, ``DESIGN.md`` for the system inventory,
 ``docs/RESILIENCE.md`` for the fault/recovery model,
@@ -56,17 +60,28 @@ from repro.engine import (
 )
 from repro.faults.injector import FaultInjector
 from repro.faults.plan import (
+    ArrivalBurst,
     Brownout,
     FaultPlan,
     NetworkPartition,
     NodeBrownout,
     NodeCrash,
+    OverloadStorm,
     QueryCrash,
     QueryStall,
     StatsCorruption,
     random_fault_plan,
 )
 from repro.faults.retry import RetryController, RetryPolicy
+from repro.qos import (
+    AdmissionController,
+    AdmissionDecision,
+    AdmissionPolicy,
+    BreakerConfig,
+    CircuitBreaker,
+    DegradationLadder,
+    LadderConfig,
+)
 from repro.obs import (
     AccuracyTracker,
     MetricsRegistry,
@@ -88,17 +103,25 @@ __version__ = "1.0.0"
 __all__ = [
     "AccuracyTracker",
     "AdaptiveForecaster",
+    "AdmissionController",
+    "AdmissionDecision",
+    "AdmissionPolicy",
+    "ArrivalBurst",
+    "BreakerConfig",
     "Brownout",
     "CancellationToken",
+    "CircuitBreaker",
     "ClusterFaultInjector",
     "ClusterWatchdog",
     "Database",
+    "DegradationLadder",
     "EngineJob",
     "ExecutionCheckpoint",
     "FaultInjector",
     "FaultPlan",
     "GlobalProgressAggregator",
     "IncrementalSchedule",
+    "LadderConfig",
     "LostWorkCase",
     "MemoryBudgetExceeded",
     "MemoryGovernor",
@@ -108,6 +131,7 @@ __all__ = [
     "NodeBrownout",
     "NodeCrash",
     "Observability",
+    "OverloadStorm",
     "QueryCancelled",
     "QueryCrash",
     "QuerySnapshot",

@@ -197,6 +197,36 @@ def build_parser() -> argparse.ArgumentParser:
         help="sub-query checkpoint cadence in work units",
     )
 
+    over = sub.add_parser(
+        "overload",
+        help="overload-protection demo: admission gate + degradation "
+             "ladder riding out an arrival storm",
+    )
+    over.add_argument(
+        "--burst", type=int, default=40,
+        help="queries in the arrival storm",
+    )
+    over.add_argument(
+        "--cost", type=float, default=20.0,
+        help="work per storm query, U's",
+    )
+    over.add_argument(
+        "--spread", type=float, default=4.0,
+        help="seconds the storm's arrivals are jittered over",
+    )
+    over.add_argument(
+        "--rate", type=float, default=10.0, help="system capacity, U/s"
+    )
+    over.add_argument(
+        "--mpl", type=int, default=4, help="multiprogramming limit"
+    )
+    over.add_argument(
+        "--unprotected", action="store_true",
+        help="run the same storm without admission control or ladder "
+             "(the cliff the QoS layer prevents)",
+    )
+    over.add_argument("--seed", type=int, default=0)
+
     shell = sub.add_parser(
         "shell", help="interactive SQL shell over a generated TPC-R database"
     )
@@ -750,6 +780,93 @@ def cmd_shard(args: argparse.Namespace) -> int:
     return 0 if all_ok else 1
 
 
+def cmd_overload(args: argparse.Namespace) -> int:
+    """Ride out an arrival storm behind the QoS layer (or without it)."""
+    from repro.faults.injector import FaultInjector
+    from repro.faults.plan import ArrivalBurst, FaultPlan
+    from repro.qos import (
+        AdmissionController,
+        AdmissionPolicy,
+        DegradationLadder,
+        LadderConfig,
+    )
+    from repro.sim.jobs import SyntheticJob
+    from repro.sim.rdbms import SimulatedRDBMS
+
+    for name, value, floor in (
+        ("--burst", args.burst, 1),
+        ("--mpl", args.mpl, 1),
+    ):
+        if value < floor:
+            print(f"error: {name} must be >= {floor}, got {value}",
+                  file=sys.stderr)
+            return 1
+    for name, value in (("--cost", args.cost), ("--rate", args.rate)):
+        if not value > 0.0:
+            print(f"error: {name} must be > 0, got {value:g}",
+                  file=sys.stderr)
+            return 1
+    if args.spread < 0.0:
+        print(f"error: --spread must be >= 0, got {args.spread:g}",
+              file=sys.stderr)
+        return 1
+
+    rdbms = SimulatedRDBMS(
+        processing_rate=args.rate, multiprogramming_limit=args.mpl
+    )
+    gate = ladder = None
+    if not args.unprotected:
+        gate = AdmissionController(
+            rdbms,
+            AdmissionPolicy(
+                max_in_flight=4 * args.mpl,
+                work_budget=8.0 * args.rate,
+            ),
+        ).attach()
+        ladder = DegradationLadder(
+            rdbms, LadderConfig(), admission=gate
+        ).attach()
+
+    # A protected baseline workload: deadline queries the storm threatens.
+    for i in range(4):
+        rdbms.submit(
+            SyntheticJob(f"vip{i}", cost=30.0, priority=1, deadline=60.0)
+        )
+    plan = FaultPlan.of(
+        ArrivalBurst(
+            at=2.0, n=args.burst, cost=args.cost, spread=args.spread,
+            priority=0, seed=args.seed,
+        )
+    )
+    FaultInjector(rdbms, plan).arm()
+    print(f"storm: {plan.describe().strip()}")
+    print(f"capacity {args.rate:g} U/s, mpl {args.mpl}, "
+          f"protection {'OFF' if args.unprotected else 'ON'}")
+    rdbms.run_to_completion(max_time=100000.0)
+
+    records = rdbms.records().values()
+    finished = [r for r in records if r.status == "finished"]
+    makespan = rdbms.clock
+    goodput = sum(r.job.completed_work for r in finished) / makespan
+    vips = [rdbms.record(f"vip{i}") for i in range(4)]
+    hits = sum(1 for r in vips if r.status == "finished")
+    print()
+    print(f"makespan            {makespan:8.1f} s")
+    print(f"finished            {len(finished):5d} / {len(records)} queries")
+    print(f"goodput             {goodput:8.2f} U/s")
+    print(f"vip deadlines held  {hits:5d} / {len(vips)}")
+    if gate is not None:
+        counts = gate.counts()
+        print(f"admission           "
+              + "  ".join(f"{k}={v}" for k, v in counts.items()))
+    if ladder is not None:
+        peak = max((e.rung for e in ladder.events), default=0)
+        print(f"ladder              peak rung {peak} "
+              f"({len(ladder.shed_ids)} shed, "
+              f"{len(ladder.events)} actions)")
+    return 0
+
+
 def cmd_shell(args: argparse.Namespace, input_fn=input) -> int:
     """A minimal interactive SQL shell (``\\q`` to quit)."""
     from repro.engine.errors import EngineError
@@ -815,6 +932,8 @@ def main(argv: Sequence[str] | None = None) -> int:
         return cmd_scale(args)
     if args.command == "shard":
         return cmd_shard(args)
+    if args.command == "overload":
+        return cmd_overload(args)
     if args.command == "shell":
         return cmd_shell(args)
     raise AssertionError(f"unhandled command {args.command!r}")

@@ -201,6 +201,36 @@ class GlobalProgressAggregator:
         """Global estimates for every registered query."""
         return {qid: self.estimate(qid, now) for qid in self._queries}
 
+    def degraded_count(self) -> int:
+        """Number of live (query, shard) contributions carried back.
+
+        The obs gauge ``dist.pi.degraded_shards`` publishes this every
+        refresh, so overload- or outage-induced carry-back is visible in
+        metrics without walking per-query snapshots.
+        """
+        return sum(
+            1
+            for shards in self._queries.values()
+            for state in shards.values()
+            if state.degraded and not state.done
+        )
+
+    def max_staleness(self, now: float) -> float:
+        """Age of the stalest carried-back contribution, seconds.
+
+        0.0 when nothing is degraded -- fresh values are by definition
+        current.  Published as the obs gauge ``dist.pi.staleness_max``.
+        """
+        return max(
+            (
+                max(now - state.refreshed_at, 0.0)
+                for shards in self._queries.values()
+                for state in shards.values()
+                if state.degraded and not state.done
+            ),
+            default=0.0,
+        )
+
     def query_ids(self) -> tuple[str, ...]:
         """Registered distributed query ids, registration order."""
         return tuple(self._queries)

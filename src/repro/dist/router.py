@@ -55,6 +55,7 @@ from repro.engine.expr import expr_contains_subquery
 from repro.engine.sql import ast, parse_statement
 from repro.faults.retry import RetryPolicy
 from repro.obs.runtime import Observability, resolve
+from repro.qos.breaker import BreakerBoard, BreakerConfig
 from repro.sim.jobs import EngineJob
 
 _EPS = 1e-9
@@ -231,6 +232,7 @@ class ShardedCluster:
         checkpoint_interval: float | None = 2.0,
         retry_policy: RetryPolicy | None = None,
         failover_timeout: float = 30.0,
+        breaker_config: BreakerConfig | None = None,
         obs: Observability | None = None,
     ) -> None:
         if n_shards < 1:
@@ -254,6 +256,12 @@ class ShardedCluster:
         )
         self.catalog = ShardCatalog()
         self.aggregator = GlobalProgressAggregator()
+        #: Per-node circuit breakers: consecutive sub-query failures trip
+        #: a node's breaker open, and routing/failover stop sending work
+        #: at it until the cooldown's half-open probe succeeds.
+        self.breakers = BreakerBoard(
+            breaker_config if breaker_config is not None else BreakerConfig()
+        )
         self.nodes: dict[str, ShardNode] = {}
         for i in range(n_shards):
             node_id = f"node{i}"
@@ -473,11 +481,34 @@ class ShardedCluster:
             return None
         return ref.name
 
+    def _route_target(self, table: str, shard: int) -> str | None:
+        """First serving replica whose breaker admits a request, or None.
+
+        Walks the fragment's replica chain in priority order, skipping
+        nodes the catalog knows are down/unreachable *and* nodes whose
+        circuit breaker is open -- nominally-serving nodes that have
+        been failing every request.  An open breaker whose cooldown has
+        elapsed moves to half-open here and the returned node receives
+        the probe request.
+        """
+        for node_id in self.catalog.replicas_for(table, shard):
+            if not self.catalog.node(node_id).serving:
+                continue
+            if self.breakers.for_node(node_id).allow(self._clock):
+                return node_id
+        return None
+
     def _launch_subquery(
         self, dq: DistributedQuery, sub_id: str, table: str, shard: int,
         sub_sql: str,
     ) -> None:
-        node_id = self.catalog.primary_for(table, shard)
+        node_id = self._route_target(table, shard)
+        if node_id is None:
+            # Every breaker is open (or every replica is down): fall back
+            # to the catalog primary rather than refusing the submission
+            # outright -- admission control, not the router, decides
+            # whether to accept work under overload.
+            node_id = self.catalog.primary_for(table, shard)
         if node_id is None:
             raise RuntimeError(
                 f"no live replica for shard {shard} of table {table!r}"
@@ -523,12 +554,18 @@ class ShardedCluster:
             return
         sub.status = "failed"
         self._pending_failover.append((sub_id, reason))
+        self.breakers.for_node(node_id).record_failure(
+            self.nodes[node_id].rdbms.clock, reason
+        )
 
     def _note_finish(self, node_id: str, sub_id: str) -> None:
         sub = self._subs.get(sub_id)
         if sub is None or sub.node_id != node_id or sub.status == "finished":
             return
         self._pending_finish.append(sub_id)
+        self.breakers.for_node(node_id).record_success(
+            self.nodes[node_id].rdbms.clock
+        )
 
     # ------------------------------------------------------------------
     # Time advancement (epoch lockstep)
@@ -679,26 +716,45 @@ class ShardedCluster:
             if sub.attempts >= self.retry_policy.max_attempts:
                 self._give_up(dq, sub, reason)
                 continue
-            target = self.catalog.primary_for(sub.table, sub.shard)
+            target = self._route_target(sub.table, sub.shard)
+            breaker = None
             if target is None:
-                # Every replica is down/unreachable right now; keep the
-                # sub-query parked and try again next epoch -- but not
-                # forever: past the failover timeout the query fails
-                # cleanly instead of hanging on a fragment nobody holds.
-                since = self._parked_since.setdefault(sub_id, self._clock)
-                if self._clock - since >= self.failover_timeout:
-                    self._parked_since.pop(sub_id, None)
-                    self._give_up(
-                        dq, sub,
-                        f"no serving replica for shard {sub.shard} within "
-                        f"{self.failover_timeout:g}s: {reason}",
-                    )
+                serving = [
+                    n for n in self.catalog.replicas_for(sub.table, sub.shard)
+                    if self.catalog.node(n).serving
+                ]
+                if not serving:
+                    # Every replica is down/unreachable right now; keep the
+                    # sub-query parked and try again next epoch -- but not
+                    # forever: past the failover timeout the query fails
+                    # cleanly instead of hanging on a fragment nobody holds.
+                    since = self._parked_since.setdefault(sub_id, self._clock)
+                    if self._clock - since >= self.failover_timeout:
+                        self._parked_since.pop(sub_id, None)
+                        self._give_up(
+                            dq, sub,
+                            f"no serving replica for shard {sub.shard} within "
+                            f"{self.failover_timeout:g}s: {reason}",
+                        )
+                        continue
+                    self._pending_failover.append((sub_id, reason))
+                    self.aggregator.mark_degraded(dq.query_id, sub.shard)
                     continue
-                self._pending_failover.append((sub_id, reason))
-                self.aggregator.mark_degraded(dq.query_id, sub.shard)
-                continue
+                # Replicas are nominally serving but every breaker is
+                # open: schedule the retry for the soonest half-open
+                # window instead of hammering a failing node with the
+                # plain backoff ladder.
+                target = min(
+                    serving,
+                    key=lambda n: self.breakers.for_node(n).retry_after(
+                        self._clock
+                    ),
+                )
+                breaker = self.breakers.for_node(target)
             self._parked_since.pop(sub_id, None)
-            delay = self.retry_policy.delay(sub.attempts, sub_id)
+            delay = self.retry_policy.delay(
+                sub.attempts, sub_id, breaker=breaker, now=self._clock
+            )
             self.nodes[target].rdbms.add_event(
                 self._clock + delay,
                 lambda _rdbms, sid=sub_id, nid=target, why=reason:
@@ -721,6 +777,11 @@ class ShardedCluster:
         node = self.nodes[target]
         if not node.up or not self.catalog.node(target).serving:
             # The replica died between scheduling and firing; re-park.
+            self._pending_failover.append((sub_id, reason))
+            return
+        if self.breakers.for_node(target).state == "open":
+            # The target's breaker tripped (again) between scheduling and
+            # firing; re-park rather than hammering it.
             self._pending_failover.append((sub_id, reason))
             return
         old_exec = sub.execution
@@ -830,7 +891,17 @@ class ShardedCluster:
                 else:
                     self.aggregator.mark_degraded(dq.query_id, shard)
         if self._obs is not None:
-            self._obs.metrics.counter("dist.pi_refreshes").inc()
+            m = self._obs.metrics
+            m.counter("dist.pi_refreshes").inc()
+            # Overload/outage visibility: how stale the worst carried-back
+            # shard estimate is, and how many shard contributions are
+            # degraded right now -- in metrics, not just snapshots.
+            m.gauge("dist.pi.staleness_max").set(
+                self.aggregator.max_staleness(self._clock)
+            )
+            m.gauge("dist.pi.degraded_shards").set(
+                self.aggregator.degraded_count()
+            )
 
     def _subquery_estimate(
         self, sub: SubQuery, node_rts: dict[str, dict[str, float]]

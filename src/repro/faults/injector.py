@@ -21,6 +21,7 @@ import math
 from dataclasses import dataclass
 
 from repro.faults.plan import (
+    ArrivalBurst,
     Brownout,
     FaultPlan,
     NetworkPartition,
@@ -30,6 +31,8 @@ from repro.faults.plan import (
     QueryStall,
     StatsCorruption,
 )
+from repro.sim.arrivals import ArrivalSchedule
+from repro.sim.jobs import SyntheticJob
 from repro.sim.rdbms import SimulatedRDBMS
 from repro.sim.scheduler import ScaledSpeedModel
 
@@ -124,6 +127,8 @@ class FaultInjector:
                 self._arm_stall(fault)
             elif isinstance(fault, QueryCrash):
                 self._arm_crash(fault)
+            elif isinstance(fault, ArrivalBurst):
+                self._arm_burst(fault)
             else:
                 self._arm_corruption(fault)
 
@@ -260,6 +265,35 @@ class FaultInjector:
             if fraction + 1e-12 >= fault.at_fraction:
                 self._pending_fraction_crashes.remove(fault)
                 self._fire_crash(fault)
+
+    def _arm_burst(self, fault: ArrivalBurst) -> None:
+        if fault.sql is not None:
+            raise ValueError(
+                "ArrivalBurst with sql targets a cluster; arm it with "
+                "repro.dist.ClusterFaultInjector, not FaultInjector"
+            )
+
+        def make_job(i: int, f: ArrivalBurst = fault) -> SyntheticJob:
+            return SyntheticJob(
+                f"{f.prefix}{i}", f.cost,
+                priority=f.priority, deadline=f.deadline,
+            )
+
+        schedule = ArrivalSchedule()
+        schedule.add_burst(
+            fault.at, fault.n, make_job, spread=fault.spread, seed=fault.seed
+        )
+        self._rdbms.schedule(schedule)
+
+        def begin(rdbms: SimulatedRDBMS) -> None:
+            window = f" over {fault.spread:g}s" if fault.spread > 0 else ""
+            self._log(
+                "burst-begin",
+                detail=f"{fault.n} x {fault.cost:g} U{window} "
+                       f"({fault.prefix}*)",
+            )
+
+        self._rdbms.add_event(fault.at, begin)
 
     def _arm_corruption(self, fault: StatsCorruption) -> None:
         def begin(rdbms: SimulatedRDBMS) -> None:

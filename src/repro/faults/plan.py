@@ -17,6 +17,10 @@ out for progress estimation:
   interval (``factor=0`` is a full outage).
 * :class:`StatsCorruption` -- the remaining-cost estimates PIs read turn
   bad for an interval: scaled by a factor, ``NaN`` or ``inf``.
+* :class:`ArrivalBurst` (alias :data:`OverloadStorm`) -- load *as* the
+  fault: a thundering herd of ``n`` extra arrivals at one instant (or
+  jittered over a spread), the shape overload-protection layers defend
+  against.
 
 Three *node-scoped* shapes extend the vocabulary to sharded multi-node
 clusters (see :mod:`repro.dist`); they target a whole simulated node
@@ -246,14 +250,68 @@ class NodeBrownout:
         )
 
 
-Fault = Union[QueryCrash, QueryStall, Brownout, StatsCorruption]
+@dataclass(frozen=True)
+class ArrivalBurst:
+    """Submit ``n`` extra queries at virtual time ``at`` -- load as a fault.
+
+    The overload-storm shape: a thundering herd of arrivals that exceeds
+    capacity.  With ``spread == 0`` all ``n`` queries land at the same
+    instant; a positive spread jitters them (deterministically, per
+    ``seed``) over ``[at, at + spread]``.
+
+    Against a single :class:`~repro.sim.rdbms.SimulatedRDBMS`
+    (:class:`~repro.faults.injector.FaultInjector`) the burst submits
+    synthetic jobs of ``cost`` U's each, ids ``{prefix}0..{n-1}``, at
+    ``priority`` (and optional relative ``deadline``).  Against a
+    :class:`~repro.dist.ShardedCluster`
+    (:class:`~repro.dist.chaos.ClusterFaultInjector`) set ``sql``: the
+    burst submits that distributed query ``n`` times instead.
+    """
+
+    at: float
+    n: int
+    cost: float = 50.0
+    spread: float = 0.0
+    priority: int = 0
+    deadline: float | None = None
+    prefix: str = "burst"
+    seed: int = 0
+    sql: str | None = None
+
+    def __post_init__(self) -> None:
+        _require(
+            math.isfinite(self.at) and self.at >= 0,
+            f"at must be finite and >= 0, got {self.at}",
+        )
+        _require(self.n >= 1, f"n must be >= 1, got {self.n}")
+        _require(
+            math.isfinite(self.cost) and self.cost > 0,
+            f"cost must be finite and > 0, got {self.cost}",
+        )
+        _require(
+            math.isfinite(self.spread) and self.spread >= 0,
+            f"spread must be finite and >= 0, got {self.spread}",
+        )
+        if self.deadline is not None:
+            _require(
+                math.isfinite(self.deadline) and self.deadline > 0,
+                f"deadline must be finite and > 0, got {self.deadline}",
+            )
+        _require(bool(self.prefix), "prefix must not be empty")
+
+
+#: Alias: an arrival burst *is* the overload-storm fault.
+OverloadStorm = ArrivalBurst
+
+
+Fault = Union[QueryCrash, QueryStall, Brownout, StatsCorruption, ArrivalBurst]
 
 #: Faults that target a simulated node rather than a query or the whole
 #: system; they only make sense against a :class:`repro.dist.ShardedCluster`.
 NodeFault = Union[NodeCrash, NetworkPartition, NodeBrownout]
 
 _FAULT_TYPES = (
-    QueryCrash, QueryStall, Brownout, StatsCorruption,
+    QueryCrash, QueryStall, Brownout, StatsCorruption, ArrivalBurst,
     NodeCrash, NetworkPartition, NodeBrownout,
 )
 
@@ -317,6 +375,15 @@ class FaultPlan:
             elif isinstance(f, Brownout):
                 lines.append(
                     f"brownout x{f.factor:g} at t={f.start:g}s for {f.duration:g}s"
+                )
+            elif isinstance(f, ArrivalBurst):
+                window = (
+                    f" over {f.spread:g}s" if f.spread > 0 else ""
+                )
+                what = f.sql if f.sql is not None else f"{f.cost:g} U"
+                lines.append(
+                    f"burst    {f.n} x {what} at t={f.at:g}s{window} "
+                    f"({f.prefix}*)"
                 )
             elif isinstance(f, NodeCrash):
                 rejoin = (

@@ -21,10 +21,13 @@ from __future__ import annotations
 import math
 import zlib
 from dataclasses import dataclass
-from typing import Callable
+from typing import TYPE_CHECKING, Callable
 
 from repro.sim.jobs import Job
 from repro.sim.rdbms import SimulatedRDBMS
+
+if TYPE_CHECKING:  # pragma: no cover - typing only, avoids a hard dep
+    from repro.qos.breaker import CircuitBreaker
 
 
 def _unit_hash(query_id: str, attempt: int) -> float:
@@ -82,16 +85,34 @@ class RetryPolicy:
         ):
             raise ValueError(f"max_delay must be finite and >= 0, got {self.max_delay}")
 
-    def delay(self, failed_attempts: int, query_id: str = "") -> float:
+    def delay(
+        self,
+        failed_attempts: int,
+        query_id: str = "",
+        breaker: "CircuitBreaker | None" = None,
+        now: float = 0.0,
+    ) -> float:
         """Backoff delay after *failed_attempts* attempts have failed.
 
         ``failed_attempts`` is 1 after the first failure.  The delay grows
         as ``base_delay * multiplier ** (failed_attempts - 1)``, capped at
         ``max_delay``, then jittered deterministically per
         ``(query_id, failed_attempts)``.
+
+        When the target node's circuit *breaker* is open at virtual time
+        *now*, the breaker's remaining cooldown replaces the backoff: a
+        retry before the breaker would even let the request through is a
+        futile attempt, so the schedule waits for the half-open probe
+        window instead of burning backoff steps.  A closed (or half-open)
+        breaker leaves the backoff sequence byte-identical to the
+        breaker-less path.
         """
         if failed_attempts < 1:
             raise ValueError(f"failed_attempts must be >= 1, got {failed_attempts}")
+        if breaker is not None:
+            hold = breaker.retry_after(now)
+            if hold > 0:
+                return hold
         d = self.base_delay * self.multiplier ** (failed_attempts - 1)
         if self.max_delay is not None:
             d = min(d, self.max_delay)

@@ -40,6 +40,30 @@ def poisson_arrival_times(
         times.append(t)
 
 
+def burst_arrival_times(
+    time: float, n: int, spread: float = 0.0, seed: int | random.Random = 0
+) -> list[float]:
+    """Arrival times of an *n*-query burst starting at *time*.
+
+    With ``spread == 0`` all *n* arrivals land at exactly *time* (the
+    thundering-herd worst case).  With a positive spread the arrivals
+    are jittered uniformly over ``[time, time + spread]``, sorted so the
+    returned list is non-decreasing.  Deterministic per *seed*: the same
+    inputs always produce the same times, so storm experiments replay
+    byte-identically.
+    """
+    if not math.isfinite(time) or time < 0:
+        raise ValueError(f"time must be finite and >= 0, got {time}")
+    if n < 1:
+        raise ValueError(f"n must be >= 1, got {n}")
+    if not math.isfinite(spread) or spread < 0:
+        raise ValueError(f"spread must be finite and >= 0, got {spread}")
+    if spread == 0:
+        return [time] * n
+    rng = seed if isinstance(seed, random.Random) else random.Random(seed)
+    return sorted(time + rng.random() * spread for _ in range(n))
+
+
 @dataclass
 class ArrivalSchedule:
     """An ordered list of ``(time, job factory)`` submissions.
@@ -70,6 +94,28 @@ class ArrivalSchedule:
         online arrival-rate estimator with ground truth).
         """
         times = poisson_arrival_times(rate, horizon, seed)
+        for i, t in enumerate(times):
+            # Bind i by default-arg to avoid the late-binding closure trap.
+            self.entries.append((t, lambda i=i: factory(i)))
+        return times
+
+    def add_burst(
+        self,
+        time: float,
+        n: int,
+        factory: Callable[[int], Job],
+        spread: float = 0.0,
+        seed: int | random.Random = 0,
+    ) -> list[float]:
+        """Add an *n*-query burst at *time*; *factory* gets an index.
+
+        The overload-storm shape: *n* arrivals landing together (or
+        jittered over ``[time, time + spread]`` when *spread* is
+        positive).  Index ``i`` maps to the ``i``-th earliest arrival,
+        so ordering is deterministic under a fixed *seed*.  Returns the
+        generated arrival times.
+        """
+        times = burst_arrival_times(time, n, spread, seed)
         for i, t in enumerate(times):
             # Bind i by default-arg to avoid the late-binding closure trap.
             self.entries.append((t, lambda i=i: factory(i)))

@@ -75,6 +75,35 @@ class QueryRecord:
         return self.status in ("finished", "aborted", "failed")
 
 
+class SamplerHandle:
+    """Handle to one periodic sampler registered with the simulator.
+
+    Lets QoS layers retune a sampler's cadence after registration: the
+    degradation ladder multiplies PI-refresh intervals under overload and
+    restores them when pressure clears.  ``base_interval`` remembers the
+    cadence the sampler was registered with.
+    """
+
+    __slots__ = ("_rdbms", "_cell", "base_interval")
+
+    def __init__(self, rdbms: "SimulatedRDBMS", cell: list) -> None:
+        self._rdbms = rdbms
+        self._cell = cell
+        self.base_interval = cell[0]
+
+    @property
+    def interval(self) -> float:
+        """The sampler's current firing interval, virtual seconds."""
+        return self._cell[0]
+
+    def set_interval(self, interval: float) -> None:
+        """Change the cadence; the next fire is re-anchored to now+interval."""
+        if interval <= 0:
+            raise ValueError("interval must be > 0")
+        self._cell[0] = interval
+        self._cell[1] = self._rdbms.clock + interval
+
+
 class SimulatedRDBMS:
     """A virtual-time RDBMS processing concurrent queries.
 
@@ -127,6 +156,10 @@ class SimulatedRDBMS:
         self._event_seq = 0
         self._estimate_corruption: dict[str | None, float] = {}
         self._rejecting_arrivals = False
+        #: When set (see :meth:`repro.qos.AdmissionController.attach`),
+        #: scripted arrivals are routed through its ``submit`` gate
+        #: instead of being admitted unconditionally.
+        self.admission_controller = None
         #: Memoized earliest live deadline (None = dirty).  ``_step``
         #: consults it up to three times per slice; recomputing the O(n)
         #: record scan each time dominated large-population runs.
@@ -402,12 +435,19 @@ class SimulatedRDBMS:
     def add_sampler(
         self, interval: float, callback: Callable[["SimulatedRDBMS"], None],
         start: float | None = None,
-    ) -> None:
-        """Invoke *callback(self)* every *interval* virtual seconds."""
+    ) -> "SamplerHandle":
+        """Invoke *callback(self)* every *interval* virtual seconds.
+
+        Returns a :class:`SamplerHandle` so QoS layers can retune the
+        cadence later (the degradation ladder coalesces PI refresh
+        samplers under overload).
+        """
         if interval <= 0:
             raise ValueError("interval must be > 0")
         first = self._clock + interval if start is None else start
-        self._samplers.append([interval, first, callback])
+        cell = [interval, first, callback]
+        self._samplers.append(cell)
+        return SamplerHandle(self, cell)
 
     def add_event(
         self, time: float, callback: Callable[["SimulatedRDBMS"], None]
@@ -615,7 +655,9 @@ class SimulatedRDBMS:
 
         By default no queued query is admitted in its place -- the freed
         capacity goes to the surviving queries, which is the entire point of
-        blocking a victim.
+        blocking a victim.  While :meth:`drain`-ing, ``admit_replacement``
+        is ignored: a drain means "start nothing new", and promoting a
+        queued query into the freed slot would start new work.
         """
         record = self.record(query_id)
         if record.status != "running":
@@ -630,7 +672,7 @@ class SimulatedRDBMS:
             self._emit("query.block", query_id,
                        admit_replacement=admit_replacement)
             self._observe_population()
-        if admit_replacement:
+        if admit_replacement and not self._rejecting_arrivals:
             self._admit()
 
     def unblock(self, query_id: str) -> None:
@@ -900,7 +942,10 @@ class SimulatedRDBMS:
             self._pending_idx += 1
             if self._rejecting_arrivals:
                 continue
-            self.submit(factory())
+            if self.admission_controller is not None:
+                self.admission_controller.submit(factory())
+            else:
+                self.submit(factory())
 
         # Fire due one-shot events (fault windows, retries) before samplers,
         # so observers sample the post-event state.

@@ -234,3 +234,87 @@ class TestInjectorMechanics:
         lines = injector.timeline()
         assert len(lines) == 3
         assert "brownout-begin" in lines[0] and "crash" in lines[-1]
+
+
+class TestBurstInjection:
+    def test_burst_submits_n_jobs_at_time(self):
+        from repro.faults.plan import ArrivalBurst
+
+        rdbms = SimulatedRDBMS(processing_rate=10.0)
+        plan = FaultPlan.of(ArrivalBurst(at=5.0, n=4, cost=10.0))
+        FaultInjector(rdbms, plan).arm()
+        rdbms.run_until(4.9)
+        assert not any(q.startswith("burst") for q in rdbms.records())
+        rdbms.run_to_completion()
+        ids = [q for q in rdbms.records() if q.startswith("burst")]
+        assert sorted(ids) == ["burst0", "burst1", "burst2", "burst3"]
+        for q in ids:
+            rec = rdbms.record(q)
+            assert rec.status == "finished"
+            assert rec.trace.submitted_at == pytest.approx(5.0)
+
+    def test_spread_burst_arrives_within_window(self):
+        from repro.faults.plan import ArrivalBurst
+
+        rdbms = SimulatedRDBMS(processing_rate=100.0)
+        plan = FaultPlan.of(
+            ArrivalBurst(at=5.0, n=6, cost=1.0, spread=3.0, seed=11)
+        )
+        FaultInjector(rdbms, plan).arm()
+        rdbms.run_to_completion()
+        arrivals = [
+            rdbms.record(f"burst{i}").trace.submitted_at for i in range(6)
+        ]
+        assert all(5.0 <= t <= 8.0 for t in arrivals)
+        assert arrivals == sorted(arrivals)  # index i = i-th earliest
+
+    def test_burst_jobs_carry_priority_and_deadline(self):
+        from repro.faults.plan import ArrivalBurst
+
+        rdbms = SimulatedRDBMS(processing_rate=10.0)
+        plan = FaultPlan.of(
+            ArrivalBurst(at=2.0, n=2, cost=10.0, priority=-1, deadline=50.0)
+        )
+        FaultInjector(rdbms, plan).arm()
+        rdbms.run_until(2.1)
+        rec = rdbms.record("burst0")
+        assert rec.job.priority == -1
+        assert rec.deadline_at == pytest.approx(52.0)
+
+    def test_burst_begin_logged(self):
+        from repro.faults.plan import ArrivalBurst
+
+        rdbms = SimulatedRDBMS(processing_rate=10.0)
+        injector = FaultInjector(
+            rdbms, FaultPlan.of(ArrivalBurst(at=1.0, n=3, cost=5.0))
+        )
+        injector.arm()
+        rdbms.run_to_completion()
+        kinds = [e.kind for e in injector.events]
+        assert "burst-begin" in kinds
+
+    def test_sql_burst_rejected_by_single_node_injector(self):
+        from repro.faults.plan import ArrivalBurst
+
+        rdbms = SimulatedRDBMS(processing_rate=10.0)
+        plan = FaultPlan.of(
+            ArrivalBurst(at=1.0, n=3, sql="SELECT COUNT(*) FROM t")
+        )
+        with pytest.raises(ValueError, match="ClusterFaultInjector"):
+            FaultInjector(rdbms, plan).arm()
+
+    def test_burst_respects_attached_admission_controller(self):
+        from repro.faults.plan import ArrivalBurst
+        from repro.qos.admission import AdmissionController, AdmissionPolicy
+
+        rdbms = SimulatedRDBMS(processing_rate=10.0)
+        gate = AdmissionController(
+            rdbms, AdmissionPolicy(max_in_flight=2)
+        ).attach()
+        plan = FaultPlan.of(ArrivalBurst(at=1.0, n=6, cost=10.0))
+        FaultInjector(rdbms, plan).arm()
+        rdbms.run_to_completion()
+        assert gate.counts()["defer"] > 0  # the gate actually engaged
+        # Deferred arrivals were retried in; everything finished.
+        for i in range(6):
+            assert rdbms.record(f"burst{i}").status == "finished"

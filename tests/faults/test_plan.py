@@ -244,3 +244,41 @@ class TestRandomFaultPlan:
             "crash    q2 at t=4.68476s\n"
             "stall    q1 at t=22.4498s for 11.4502s"
         )
+
+
+class TestArrivalBurst:
+    def test_valid_synthetic_burst(self):
+        from repro.faults.plan import ArrivalBurst
+
+        b = ArrivalBurst(at=5.0, n=10, cost=40.0, spread=2.0)
+        assert b.sql is None
+        assert b.prefix == "burst"
+
+    def test_overload_storm_is_an_alias(self):
+        from repro.faults.plan import ArrivalBurst, OverloadStorm
+
+        assert OverloadStorm is ArrivalBurst
+
+    def test_validation(self):
+        from repro.faults.plan import ArrivalBurst
+
+        with pytest.raises(ValueError):
+            ArrivalBurst(at=-1.0, n=5)
+        with pytest.raises(ValueError):
+            ArrivalBurst(at=0.0, n=0)
+        with pytest.raises(ValueError):
+            ArrivalBurst(at=0.0, n=5, cost=0.0)
+        with pytest.raises(ValueError):
+            ArrivalBurst(at=0.0, n=5, spread=-1.0)
+        with pytest.raises(ValueError):
+            ArrivalBurst(at=0.0, n=5, deadline=0.0)
+        with pytest.raises(ValueError):
+            ArrivalBurst(at=0.0, n=5, prefix="")
+
+    def test_describe_mentions_the_burst(self):
+        from repro.faults.plan import ArrivalBurst, FaultPlan
+
+        plan = FaultPlan.of(ArrivalBurst(at=5.0, n=10, cost=40.0, spread=2.0))
+        text = plan.describe()
+        assert "burst" in text
+        assert "10 x" in text

@@ -243,3 +243,56 @@ class TestWorkAccounting:
         assert len(trace.work_lost) == 2
         assert trace.preserved_work == 0.0
         assert trace.wasted_work > 0.0
+
+
+class TestBreakerAwareDelay:
+    """Satellite: RetryPolicy.delay consults an optional circuit breaker."""
+
+    def _policy(self):
+        return RetryPolicy(
+            max_attempts=5, base_delay=1.0, multiplier=2.0, jitter=0.0
+        )
+
+    def test_backoff_unchanged_with_closed_breaker(self):
+        from repro.qos.breaker import BreakerConfig, CircuitBreaker
+
+        policy = self._policy()
+        breaker = CircuitBreaker(BreakerConfig(failure_threshold=3))
+        with_breaker = [
+            policy.delay(n, breaker=breaker, now=0.0) for n in (1, 2, 3, 4)
+        ]
+        without = [policy.delay(n) for n in (1, 2, 3, 4)]
+        # Pinned: a closed breaker leaves backoff byte-identical.
+        assert with_breaker == without == [1.0, 2.0, 4.0, 8.0]
+
+    def test_jittered_backoff_unchanged_with_closed_breaker(self):
+        from repro.qos.breaker import CircuitBreaker
+
+        policy = RetryPolicy()
+        breaker = CircuitBreaker()
+        for i in range(20):
+            qid = f"q{i}"
+            assert policy.delay(1, qid, breaker=breaker, now=3.0) == \
+                policy.delay(1, qid)
+
+    def test_open_breaker_returns_its_cooldown(self):
+        from repro.qos.breaker import BreakerConfig, CircuitBreaker
+
+        policy = self._policy()
+        breaker = CircuitBreaker(
+            BreakerConfig(failure_threshold=1, cooldown=30.0)
+        )
+        breaker.record_failure(10.0)
+        # Backoff would say 1 s; the open breaker says wait out 30 s.
+        assert policy.delay(1, breaker=breaker, now=10.0) == 30.0
+        assert policy.delay(1, breaker=breaker, now=25.0) == 15.0
+
+    def test_expired_cooldown_falls_back_to_backoff(self):
+        from repro.qos.breaker import BreakerConfig, CircuitBreaker
+
+        policy = self._policy()
+        breaker = CircuitBreaker(
+            BreakerConfig(failure_threshold=1, cooldown=5.0)
+        )
+        breaker.record_failure(0.0)
+        assert policy.delay(2, breaker=breaker, now=50.0) == 2.0

@@ -1,0 +1,222 @@
+"""Tests for the per-node circuit breaker state machine."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.qos.breaker import BreakerBoard, BreakerConfig, CircuitBreaker
+
+
+class TestConfigValidation:
+    def test_rejects_bad_threshold(self):
+        with pytest.raises(ValueError):
+            BreakerConfig(failure_threshold=0)
+
+    def test_rejects_bad_cooldown(self):
+        with pytest.raises(ValueError):
+            BreakerConfig(cooldown=0.0)
+        with pytest.raises(ValueError):
+            BreakerConfig(cooldown=float("inf"))
+
+    def test_rejects_bad_latency_factor(self):
+        with pytest.raises(ValueError):
+            BreakerConfig(latency_factor=1.0)
+
+
+class TestStateMachine:
+    def test_starts_closed_and_allows(self):
+        b = CircuitBreaker()
+        assert b.state == "closed"
+        assert b.allow(0.0)
+
+    def test_trips_open_on_consecutive_failures(self):
+        b = CircuitBreaker(BreakerConfig(failure_threshold=3, cooldown=5.0))
+        b.record_failure(1.0)
+        b.record_failure(2.0)
+        assert b.state == "closed"
+        b.record_failure(3.0)
+        assert b.state == "open"
+        assert not b.allow(3.0)
+
+    def test_success_resets_the_failure_streak(self):
+        b = CircuitBreaker(BreakerConfig(failure_threshold=3))
+        b.record_failure(1.0)
+        b.record_failure(2.0)
+        b.record_success(2.5)
+        b.record_failure(3.0)
+        b.record_failure(4.0)
+        assert b.state == "closed"  # streak restarted after the success
+
+    def test_open_refuses_until_cooldown(self):
+        b = CircuitBreaker(BreakerConfig(failure_threshold=1, cooldown=5.0))
+        b.record_failure(10.0)
+        assert not b.allow(10.0)
+        assert not b.allow(14.9)
+        assert b.retry_after(12.0) == pytest.approx(3.0)
+        assert b.allow(15.0)
+        assert b.state == "half_open"
+
+    def test_half_open_grants_exactly_one_probe(self):
+        b = CircuitBreaker(BreakerConfig(failure_threshold=1, cooldown=5.0))
+        b.record_failure(0.0)
+        assert b.allow(5.0)  # the probe
+        assert not b.allow(5.0)  # second concurrent request refused
+        b.record_success(6.0)
+        assert b.state == "closed"
+        assert b.allow(6.0)
+
+    def test_probe_failure_reopens_with_fresh_cooldown(self):
+        b = CircuitBreaker(BreakerConfig(failure_threshold=1, cooldown=5.0))
+        b.record_failure(0.0)
+        assert b.allow(5.0)
+        b.record_failure(6.0)
+        assert b.state == "open"
+        assert not b.allow(10.9)  # fresh cooldown anchored at t=6
+        assert b.allow(11.0)
+
+    def test_retry_after_is_pure(self):
+        b = CircuitBreaker(BreakerConfig(failure_threshold=1, cooldown=5.0))
+        b.record_failure(0.0)
+        assert b.retry_after(100.0) == 0.0
+        assert b.state == "open"  # retry_after never transitions
+
+    def test_straggler_failures_do_not_extend_cooldown(self):
+        b = CircuitBreaker(BreakerConfig(failure_threshold=1, cooldown=5.0))
+        b.record_failure(0.0)
+        b.record_failure(4.0)  # straggler from before the trip
+        assert b.allow(5.0)  # cooldown still anchored at t=0
+
+    def test_transitions_are_logged(self):
+        b = CircuitBreaker(BreakerConfig(failure_threshold=1, cooldown=1.0))
+        b.record_failure(0.0)
+        b.allow(1.0)
+        b.record_success(1.5)
+        states = [(t.from_state, t.to_state) for t in b.transitions]
+        assert states == [
+            ("closed", "open"),
+            ("open", "half_open"),
+            ("half_open", "closed"),
+        ]
+
+
+class TestLatencyTrip:
+    def test_slow_success_counts_as_failure(self):
+        cfg = BreakerConfig(failure_threshold=1, latency_factor=3.0)
+        b = CircuitBreaker(cfg)
+        b.record_latency(0.0, observed=10.0, expected=1.0)
+        assert b.state == "open"
+
+    def test_normal_latency_is_a_success(self):
+        cfg = BreakerConfig(failure_threshold=2, latency_factor=3.0)
+        b = CircuitBreaker(cfg)
+        b.record_failure(0.0)
+        b.record_latency(1.0, observed=2.0, expected=1.0)
+        assert b.consecutive_failures == 0
+
+    def test_latency_check_disabled_without_factor(self):
+        b = CircuitBreaker(BreakerConfig(failure_threshold=1))
+        b.record_latency(0.0, observed=1e6, expected=1.0)
+        assert b.state == "closed"
+
+    def test_nonfinite_expected_disables_the_comparison(self):
+        cfg = BreakerConfig(failure_threshold=1, latency_factor=2.0)
+        b = CircuitBreaker(cfg)
+        b.record_latency(0.0, observed=10.0, expected=float("nan"))
+        assert b.state == "closed"
+
+
+class TestBoard:
+    def test_lazily_creates_per_node_breakers(self):
+        board = BreakerBoard(BreakerConfig(failure_threshold=1))
+        a = board.for_node("node0")
+        assert board.for_node("node0") is a
+        assert board.for_node("node1") is not a
+
+    def test_open_nodes_lists_tripped_breakers(self):
+        board = BreakerBoard(BreakerConfig(failure_threshold=1))
+        board.for_node("node1").record_failure(0.0)
+        board.for_node("node0")
+        assert board.open_nodes() == ("node1",)
+
+
+# ---------------------------------------------------------------------------
+# Property tests: arbitrary failure/success/clock sequences
+# ---------------------------------------------------------------------------
+
+OPS = st.lists(
+    st.tuples(
+        st.sampled_from(["fail", "success", "allow"]),
+        st.floats(min_value=0.0, max_value=100.0,
+                  allow_nan=False, allow_infinity=False),
+    ),
+    max_size=60,
+)
+
+CONFIGS = st.builds(
+    BreakerConfig,
+    failure_threshold=st.integers(min_value=1, max_value=5),
+    cooldown=st.floats(min_value=0.1, max_value=20.0),
+)
+
+
+def _replay(config, ops):
+    """Replay an op sequence with a monotone clock; return (breaker, now)."""
+    b = CircuitBreaker(config)
+    now = 0.0
+    opened_at = None
+    for op, dt in ops:
+        now += dt
+        if op == "fail":
+            before = b.state
+            b.record_failure(now)
+            if before != "open" and b.state == "open":
+                opened_at = now
+        elif op == "success":
+            b.record_success(now)
+        else:
+            allowed = b.allow(now)
+            # Never probe before the cooldown elapses.
+            if allowed and opened_at is not None and b.state == "half_open":
+                assert now >= opened_at + config.cooldown - 1e-9
+    return b, now
+
+
+@settings(max_examples=200, deadline=None)
+@given(config=CONFIGS, ops=OPS)
+def test_never_probes_before_cooldown(config, ops):
+    # The assertion lives inside _replay: every allow() granted out of the
+    # open state happens at or after opened_at + cooldown.
+    _replay(config, ops)
+
+
+@settings(max_examples=200, deadline=None)
+@given(config=CONFIGS, ops=OPS)
+def test_healthy_node_never_wedges_open(config, ops):
+    # However hostile the history, a node that is healthy *now* escapes:
+    # wait out the cooldown, probe, succeed -> closed and allowing.
+    b, now = _replay(config, ops)
+    later = now + config.cooldown + 1.0
+    if not b.allow(later):
+        # The only legitimate refusal after a full cooldown is a probe the
+        # replay already has in flight; the healthy node answers it.
+        assert b.state == "half_open", (
+            "breaker refused a request after full cooldown with no probe out"
+        )
+    b.record_success(later)
+    assert b.state == "closed"
+    assert b.allow(later)
+
+
+@settings(max_examples=200, deadline=None)
+@given(config=CONFIGS, ops=OPS)
+def test_closed_state_always_allows(config, ops):
+    b, now = _replay(config, ops)
+    if b.state == "closed":
+        assert b.allow(now)
+
+
+@settings(max_examples=100, deadline=None)
+@given(config=CONFIGS, ops=OPS)
+def test_retry_after_never_exceeds_cooldown(config, ops):
+    b, now = _replay(config, ops)
+    assert 0.0 <= b.retry_after(now) <= config.cooldown + 1e-9

@@ -6,7 +6,11 @@ import pytest
 from hypothesis import given, settings
 from hypothesis import strategies as st
 
-from repro.sim.arrivals import ArrivalSchedule, poisson_arrival_times
+from repro.sim.arrivals import (
+    ArrivalSchedule,
+    burst_arrival_times,
+    poisson_arrival_times,
+)
 from repro.sim.jobs import SyntheticJob
 
 
@@ -75,3 +79,46 @@ class TestArrivalSchedule:
         s.add(2.0, lambda: SyntheticJob("x", 1))
         s.add(1.0, lambda: SyntheticJob("y", 1))
         assert [t for t, _ in s] == [1.0, 2.0]
+
+
+class TestBurst:
+    def test_zero_spread_is_simultaneous(self):
+        assert burst_arrival_times(5.0, 3) == [5.0, 5.0, 5.0]
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            burst_arrival_times(-1.0, 3)
+        with pytest.raises(ValueError):
+            burst_arrival_times(0.0, 0)
+        with pytest.raises(ValueError):
+            burst_arrival_times(0.0, 3, spread=-1.0)
+
+    def test_add_burst_binds_index_to_arrival_order(self):
+        s = ArrivalSchedule()
+        times = s.add_burst(
+            2.0, 4, lambda i: SyntheticJob(f"b{i}", 1.0), spread=3.0, seed=7
+        )
+        assert len(times) == len(s) == 4
+        entries = s.sorted_entries()
+        # The i-th earliest arrival builds job b{i}.
+        ids = [factory().query_id for _, factory in entries]
+        assert ids == ["b0", "b1", "b2", "b3"]
+
+    @settings(max_examples=80, deadline=None)
+    @given(
+        time=st.floats(min_value=0.0, max_value=100.0,
+                       allow_nan=False, allow_infinity=False),
+        n=st.integers(min_value=1, max_value=40),
+        spread=st.floats(min_value=0.0, max_value=30.0,
+                         allow_nan=False, allow_infinity=False),
+        seed=st.integers(min_value=0, max_value=2**32 - 1),
+    )
+    def test_burst_is_deterministic_sorted_and_bounded(
+        self, time, n, spread, seed
+    ):
+        first = burst_arrival_times(time, n, spread, seed)
+        second = burst_arrival_times(time, n, spread, seed)
+        assert first == second  # same seed -> byte-identical storm
+        assert len(first) == n
+        assert first == sorted(first)
+        assert all(time <= t <= time + spread for t in first)

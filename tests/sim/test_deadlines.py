@@ -235,3 +235,68 @@ class TestDeadlineScanMemo:
             rec = rdbms.record(f"q{i}")
             if rec.status == "aborted":
                 assert rec.trace.aborted_at == pytest.approx(9.0 + 4.0 * i)
+
+
+class TestBlockDrainInterplay:
+    """block(admit_replacement=True) x drain() x deadlines (overload PR).
+
+    A drain means "start nothing new": blocking a victim during a drain
+    must not backfill its slot from the queue, and a blocked query's
+    deadline keeps ticking -- parking a query never parks its SLA.
+    """
+
+    def test_replacement_admitted_during_drain_is_rejected(self):
+        rdbms = SimulatedRDBMS(processing_rate=10.0, multiprogramming_limit=1)
+        rdbms.submit(SyntheticJob("victim", 100))
+        rdbms.submit(SyntheticJob("waiter", 100))
+        assert rdbms.record("waiter").status == "queued"
+        rdbms.drain()
+        rdbms.block("victim", admit_replacement=True)
+        assert rdbms.record("victim").status == "blocked"
+        # The drain refused the backfill: the slot stays empty.
+        assert rdbms.record("waiter").status == "queued"
+        assert rdbms.running == ()
+
+    def test_replacement_admitted_when_not_draining(self):
+        rdbms = SimulatedRDBMS(processing_rate=10.0, multiprogramming_limit=1)
+        rdbms.submit(SyntheticJob("victim", 100))
+        rdbms.submit(SyntheticJob("waiter", 100))
+        rdbms.block("victim", admit_replacement=True)
+        assert rdbms.record("waiter").status == "running"
+
+    def test_drain_lift_after_block_backfills_on_next_admit(self):
+        rdbms = SimulatedRDBMS(processing_rate=10.0, multiprogramming_limit=1)
+        rdbms.submit(SyntheticJob("victim", 100))
+        rdbms.submit(SyntheticJob("waiter", 50))
+        rdbms.drain()
+        rdbms.block("victim", admit_replacement=True)
+        rdbms.drain(False)
+        rdbms.unblock("victim")
+        rdbms.run_to_completion()
+        assert rdbms.record("waiter").status == "finished"
+        assert rdbms.record("victim").status == "finished"
+
+    def test_blocked_query_deadline_still_fires(self):
+        rdbms = SimulatedRDBMS(processing_rate=10.0)
+        rdbms.submit(SyntheticJob("parked", 900, deadline=10.0))
+        rdbms.submit(SyntheticJob("other", 500))
+        rdbms.run_until(2.0)
+        rdbms.block("parked")
+        rdbms.run_until(15.0)
+        rec = rdbms.record("parked")
+        assert rec.status == "aborted"
+        assert rec.trace.aborted_at == pytest.approx(10.0)
+        assert "deadline" in [f.kind for f in rec.trace.fault_events]
+
+    def test_blocked_query_deadline_fires_even_while_draining(self):
+        rdbms = SimulatedRDBMS(processing_rate=10.0, multiprogramming_limit=1)
+        rdbms.submit(SyntheticJob("parked", 900, deadline=10.0))
+        rdbms.submit(SyntheticJob("waiter", 500))
+        rdbms.run_until(2.0)
+        rdbms.drain()
+        rdbms.block("parked", admit_replacement=True)
+        assert rdbms.record("waiter").status == "queued"
+        rdbms.run_until(15.0)
+        rec = rdbms.record("parked")
+        assert rec.status == "aborted"
+        assert rec.trace.aborted_at == pytest.approx(10.0)

@@ -245,3 +245,41 @@ class TestObservedReport:
     def test_validate_trace_missing_file(self, capsys, tmp_path):
         assert main(["report", "--validate-trace", str(tmp_path / "no.jsonl")]) == 1
         assert "error:" in capsys.readouterr().err
+
+
+class TestOverload:
+    def test_protected_storm(self, capsys):
+        code = main([
+            "overload", "--burst", "12", "--cost", "10", "--spread", "2",
+        ])
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "protection ON" in out
+        assert "admission" in out
+        assert "ladder" in out
+        assert "vip deadlines held" in out
+
+    def test_unprotected_storm(self, capsys):
+        code = main([
+            "overload", "--burst", "12", "--cost", "10", "--unprotected",
+        ])
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "protection OFF" in out
+        assert "admission" not in out
+
+    @pytest.mark.parametrize(
+        "flag, value",
+        [
+            ("--burst", "0"),
+            ("--cost", "0"),
+            ("--spread", "-1"),
+            ("--rate", "0"),
+            ("--mpl", "0"),
+        ],
+    )
+    def test_bad_knob_prints_error(self, flag, value, capsys):
+        code = main(["overload", flag, value])
+        assert code == 1
+        err = capsys.readouterr().err
+        assert err.startswith(f"error: {flag}")
