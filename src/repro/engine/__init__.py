@@ -24,10 +24,21 @@ It is a real (if small) database engine:
   (vectorized, the default: operators process ~1024-row vectors) or
   ``"row"`` (tuple-at-a-time Volcano iteration, kept as the differential
   oracle).  Both modes produce identical rows and identical work totals.
+* :mod:`repro.engine.decorrelate` -- the plan-time subquery-decorrelation
+  rewrite (correlated scalar/EXISTS/IN subqueries become grouped LEFT
+  joins so they ride the vectorized path), with its own on/off switch.
 """
 
 from repro.engine.cancel import CancellationToken
 from repro.engine.database import Database
+from repro.engine.decorrelate import (
+    decorrelate_select,
+    decorrelate_statement,
+    default_decorrelation,
+    resolve_decorrelation,
+    set_default_decorrelation,
+    use_decorrelation,
+)
 from repro.engine.errors import (
     CatalogError,
     EngineError,
@@ -69,8 +80,14 @@ __all__ = [
     "QueryExecution",
     "SqlTypeError",
     "TableSchema",
+    "decorrelate_select",
+    "decorrelate_statement",
+    "default_decorrelation",
     "default_execution_mode",
+    "resolve_decorrelation",
     "resolve_execution_mode",
+    "set_default_decorrelation",
     "set_default_execution_mode",
+    "use_decorrelation",
     "use_execution_mode",
 ]

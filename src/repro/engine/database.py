@@ -15,9 +15,11 @@ DDL and DML run eagerly; ``prepare`` returns a steppable
 
 Repeated statements are cheap: parsed ASTs are memoized by SQL text, and
 for subquery-free statements :meth:`Database.query` also pools the bound
-physical plan, keyed on ``(sql, execution mode)`` and validated against
-the catalog's ``stats_epoch`` -- any DDL, DML, or ANALYZE bumps the epoch
-and invalidates stale plans.  Pooled plans are reset before reuse (work
+physical plan, keyed on ``(sql, execution mode, decorrelation)`` and
+validated against the catalog's ``stats_epoch`` -- any DDL, DML, or
+ANALYZE bumps the epoch and invalidates stale plans.  "Subquery-free" is
+judged on the statement *after* the decorrelation rewrite, so a correlated
+query the pass turns into joins pools like any other join query.  Pooled plans are reset before reuse (work
 account zeroed, materialized caches dropped) so a cache hit is
 work-for-work identical to a fresh plan.
 """
@@ -28,6 +30,7 @@ from typing import Any, Optional, Sequence
 
 from repro.engine.cancel import CancellationToken
 from repro.engine.catalog import Catalog, Table
+from repro.engine.decorrelate import decorrelate_statement, resolve_decorrelation
 from repro.engine.errors import PlanError
 from repro.engine.executor import QueryExecution
 from repro.engine.memory import MemoryGovernor
@@ -64,7 +67,9 @@ def _statement_is_poolable(statement: ast.Select | ast.Union) -> bool:
         if isinstance(item, ast.TableRef):
             return True
         if isinstance(item, ast.DerivedTable):
-            return False
+            # Derived tables pool iff their body would (the decorrelation
+            # rewrite grafts subquery-free grouped bodies into FROM).
+            return _statement_is_poolable(item.select)
         if isinstance(item, ast.Join):
             if item.condition is not None and expr_contains_subquery(item.condition):
                 return False
@@ -99,11 +104,15 @@ class Database:
         page_capacity: int = DEFAULT_PAGE_CAPACITY,
         execution_mode: Optional[str] = None,
         batch_size: Optional[int] = None,
+        decorrelate: Optional[bool] = None,
     ) -> None:
         if execution_mode is not None:
             resolve_execution_mode(execution_mode)  # validate eagerly
         self.catalog = Catalog(page_capacity=page_capacity)
-        self.planner = Planner(self.catalog)
+        #: Subquery-decorrelation override for this database (``None``
+        #: defers to the module default at call time).
+        self.decorrelate = decorrelate
+        self.planner = Planner(self.catalog, decorrelate=decorrelate)
         #: Default execution mode for this database's queries (``None``
         #: defers to the module-level default at call time).
         self.execution_mode = execution_mode
@@ -111,7 +120,9 @@ class Database:
         #: engine default).
         self.batch_size = batch_size
         self._statement_cache: dict[str, ast.Select | ast.Union] = {}
-        self._plan_pool: dict[tuple[str, str], tuple[int, Operator, WorkAccount]] = {}
+        self._plan_pool: dict[
+            tuple[str, str, bool], tuple[int, Operator, WorkAccount]
+        ] = {}
         #: Plan-pool hits/misses (``query()`` only; ``prepare`` always replans).
         self.plan_cache_hits = 0
         self.plan_cache_misses = 0
@@ -211,7 +222,8 @@ class Database:
         """
         statement = self._parse_query(sql)
         mode = self._resolve_mode(execution_mode)
-        key = (sql, mode)
+        deco = resolve_decorrelation(self.decorrelate)
+        key = (sql, mode, deco)
         epoch = self.catalog.stats_epoch
         entry = self._plan_pool.get(key)
         if entry is not None and entry[0] == epoch:
@@ -229,10 +241,18 @@ class Database:
             return execution.run_to_completion()
         self._note_plan_cache(hit=False)
         account = WorkAccount()
-        if isinstance(statement, ast.Union):
-            root = self.planner.plan_union(statement, account)
+        # Pool eligibility is decided on the *rewritten* statement: a
+        # decorrelated query is subquery-free even when its SQL text is
+        # not, and its plan pools like any join.  (The planner re-runs
+        # the pass internally; on an already-rewritten statement it is a
+        # no-op, so this costs one extra walk, not a second rewrite.)
+        planned = statement
+        if deco:
+            planned, _ = decorrelate_statement(statement, self.catalog)
+        if isinstance(planned, ast.Union):
+            root = self.planner.plan_union(planned, account)
         else:
-            root = self.planner.plan_select(statement, account)
+            root = self.planner.plan_select(planned, account)
         execution = QueryExecution(
             root=root,
             account=account,
@@ -241,7 +261,7 @@ class Database:
             batch_size=self.batch_size,
         )
         rows = execution.run_to_completion()
-        if _statement_is_poolable(statement):
+        if _statement_is_poolable(planned):
             if len(self._plan_pool) >= _PLAN_POOL_LIMIT:
                 self._plan_pool.clear()
             self._plan_pool[key] = (epoch, root, account)

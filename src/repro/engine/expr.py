@@ -513,12 +513,12 @@ def _bind_row(expr: ast.Expr, ctx: BindContext) -> BoundExpr:
         operand = _bind_row(expr.operand, ctx)
         runner = ctx.subquery_compiler(expr.select, ctx)
         negated = expr.negated
+        # For an uncorrelated subquery the row list is computed once per
+        # execution (init-plan), so the O(n)-per-outer-row membership
+        # scan can be replaced by a hashed probe built once.
+        probe_holder: list = [None]
 
-        def _in_subquery(env):
-            v = operand(env)
-            if v is None:
-                return None
-            rows = runner(env)
+        def _scan(v, rows):
             saw_null = False
             for row in rows:
                 if len(row) != 1:
@@ -532,12 +532,101 @@ def _bind_row(expr: ast.Expr, ctx: BindContext) -> BoundExpr:
                 return None
             return negated
 
+        def _in_subquery(env):
+            v = operand(env)
+            if v is None:
+                return None
+            rows = runner(env)
+            if getattr(runner, "correlated", True):
+                return _scan(v, rows)
+            probe = probe_holder[0]
+            if probe is None:
+                probe = probe_holder[0] = _build_in_probe(
+                    rows, negated, _scan
+                )
+            return probe(v)
+
         return _in_subquery
 
     if isinstance(expr, ast.Star):
         raise PlanError("'*' is only allowed at the top of a select list")
 
     raise PlanError(f"cannot bind expression {expr!r}")
+
+
+def _value_family(value: Any) -> Optional[str]:
+    """The comparison family of a value (bool before int: bools are not
+    numeric to ``compare_values``)."""
+    if isinstance(value, bool):
+        return "bool"
+    if isinstance(value, (int, float)):
+        return "num"
+    if isinstance(value, str):
+        return "str"
+    return None
+
+
+def _build_in_probe(rows, negated: bool, scan):
+    """An O(1) membership probe over a stable uncorrelated IN subquery.
+
+    Must be observationally identical to the ordered *scan*, including
+    errors: the scan raises :class:`SqlTypeError` at the first value
+    whose comparison family differs from the probe value's -- unless a
+    match occurs earlier -- so the probe tracks, per family, the first
+    matching index and the first cross-family clash and only answers
+    when the match provably precedes the clash.  NaN defeats hashing
+    (``compare_values`` treats it as equal to every number, dict lookup
+    as equal to nothing), so any NaN on either side falls back to the
+    ordered scan.
+    """
+    if rows and len(rows[0]) != 1:
+        def _bad_arity(v):
+            raise ExecutionError("IN subquery must return one column")
+
+        return _bad_arity
+
+    match_index: dict[str, dict] = {"num": {}, "str": {}, "bool": {}}
+    first_by_family: dict[str, tuple[int, Any]] = {}
+    saw_null = False
+    have_nan = False
+    for i, row in enumerate(rows):
+        w = row[0]
+        if w is None:
+            saw_null = True
+            continue
+        family = _value_family(w)
+        if family is None:
+            have_nan = True  # unknown type: scan decides, per row, in order
+            continue
+        if family == "num" and w != w:
+            have_nan = True
+            continue
+        if family not in first_by_family:
+            first_by_family[family] = (i, w)
+        bucket = match_index[family]
+        if w not in bucket:
+            bucket[w] = i
+
+    def probe(v):
+        if have_nan or (isinstance(v, float) and v != v):
+            return scan(v, rows)
+        family = _value_family(v)
+        if family is None:
+            return scan(v, rows)
+        hit = match_index[family].get(v)
+        clash = None
+        for other, entry in first_by_family.items():
+            if other != family and (clash is None or entry[0] < clash[0]):
+                clash = entry
+        if hit is not None and (clash is None or hit < clash[0]):
+            return not negated
+        if clash is not None:
+            compare_values(v, clash[1])  # raises exactly like the scan
+        if saw_null:
+            return None
+        return negated
+
+    return probe
 
 
 def _require_bool(value: Any, where: str) -> None:

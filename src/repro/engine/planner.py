@@ -31,6 +31,7 @@ from typing import Callable, Optional, Sequence
 
 from repro.engine import cost as costmodel
 from repro.engine.catalog import Catalog, Table
+from repro.engine.decorrelate import decorrelate_select, resolve_decorrelation
 from repro.engine.errors import PlanError
 from repro.engine.expr import (
     BindContext,
@@ -81,8 +82,13 @@ class _SubqueryRecord:
 class Planner:
     """Plans SELECT statements against a catalog."""
 
-    def __init__(self, catalog: Catalog) -> None:
+    def __init__(
+        self, catalog: Catalog, decorrelate: Optional[bool] = None
+    ) -> None:
         self.catalog = catalog
+        #: Per-planner override for the subquery-decorrelation rewrite
+        #: pass (``None`` defers to the module default at plan time).
+        self.decorrelate = decorrelate
 
     # ------------------------------------------------------------------
     # Public entry point
@@ -101,6 +107,12 @@ class Planner:
         PlanError
             On unknown tables/columns, misplaced aggregates, etc.
         """
+        # Top-level plans (and the subquery-free SELECTs the rewrite
+        # emits) run the decorrelation pass first; correlated subquery
+        # bodies arrive with an enclosing context and are planned as-is.
+        if outer_ctx is None and resolve_decorrelation(self.decorrelate):
+            select, _ = decorrelate_select(select, self.catalog)
+
         subqueries: list[_SubqueryRecord] = []
 
         def plan_any(sub, outer):
@@ -134,6 +146,9 @@ class Planner:
                         cache = list(root.rows(None))
                     return cache
 
+            # Execution-time hooks (e.g. the uncorrelated IN membership
+            # probe in expr.py) key off this tag.
+            runner.correlated = correlated
             subqueries.append(
                 _SubqueryRecord(root=root, runner=runner, correlated=correlated)
             )
@@ -1011,18 +1026,11 @@ class Planner:
 
 def _split_conjuncts(expr: Optional[ast.Expr]) -> list[ast.Expr]:
     """Break a WHERE clause into top-level AND conjuncts."""
-    if expr is None:
-        return []
-    if isinstance(expr, ast.BinaryOp) and expr.op == "AND":
-        return _split_conjuncts(expr.left) + _split_conjuncts(expr.right)
-    return [expr]
+    return ast.split_conjuncts(expr)
 
 
 def _conjoin(conjuncts: Sequence[ast.Expr]) -> ast.Expr:
-    result = conjuncts[0]
-    for c in conjuncts[1:]:
-        result = ast.BinaryOp("AND", result, c)
-    return result
+    return ast.conjoin(conjuncts)
 
 
 def _flatten_from_item(item) -> list[tuple[object, Optional[ast.Expr], str]]:
@@ -1037,42 +1045,7 @@ def _flatten_from_item(item) -> list[tuple[object, Optional[ast.Expr], str]]:
 
 def _collect_column_refs(expr: ast.Expr) -> list[ast.ColumnRef]:
     """All column references in *expr*, not descending into subqueries."""
-    out: list[ast.ColumnRef] = []
-
-    def walk(e: ast.Expr) -> None:
-        if isinstance(e, ast.ColumnRef):
-            out.append(e)
-        elif isinstance(e, ast.BinaryOp):
-            walk(e.left)
-            walk(e.right)
-        elif isinstance(e, ast.UnaryOp):
-            walk(e.operand)
-        elif isinstance(e, ast.FunctionCall):
-            for a in e.args:
-                walk(a)
-        elif isinstance(e, ast.IsNull):
-            walk(e.operand)
-        elif isinstance(e, ast.InList):
-            walk(e.operand)
-            for i in e.items:
-                walk(i)
-        elif isinstance(e, ast.Between):
-            walk(e.operand)
-            walk(e.low)
-            walk(e.high)
-        elif isinstance(e, ast.Like):
-            walk(e.operand)
-        elif isinstance(e, ast.Case):
-            for c, v in e.whens:
-                walk(c)
-                walk(v)
-            if e.else_ is not None:
-                walk(e.else_)
-        elif isinstance(e, ast.InSubquery):
-            walk(e.operand)
-
-    walk(expr)
-    return out
+    return ast.collect_column_refs(expr)
 
 
 def _contains_subquery(expr: ast.Expr) -> bool:
@@ -1148,95 +1121,23 @@ def _match_equi_join(
 
 def _collect_aggregates(expr: ast.Expr, out: list[ast.FunctionCall]) -> None:
     """Collect top-level aggregate calls (deduplicated by AST equality)."""
-    if isinstance(expr, ast.FunctionCall):
-        if expr.name.upper() in ast.AGGREGATE_FUNCTIONS:
-            if expr not in out:
-                out.append(expr)
-            return
-        for a in expr.args:
-            _collect_aggregates(a, out)
-    elif isinstance(expr, ast.BinaryOp):
-        _collect_aggregates(expr.left, out)
-        _collect_aggregates(expr.right, out)
-    elif isinstance(expr, ast.UnaryOp):
-        _collect_aggregates(expr.operand, out)
-    elif isinstance(expr, ast.IsNull):
-        _collect_aggregates(expr.operand, out)
-    elif isinstance(expr, ast.InList):
-        _collect_aggregates(expr.operand, out)
-        for i in expr.items:
-            _collect_aggregates(i, out)
-    elif isinstance(expr, ast.Between):
-        for e in (expr.operand, expr.low, expr.high):
-            _collect_aggregates(e, out)
-    elif isinstance(expr, ast.Like):
-        _collect_aggregates(expr.operand, out)
-    elif isinstance(expr, ast.Case):
-        for c, v in expr.whens:
-            _collect_aggregates(c, out)
-            _collect_aggregates(v, out)
-        if expr.else_ is not None:
-            _collect_aggregates(expr.else_, out)
+    ast.collect_aggregates(expr, out)
 
 
 def _rewrite_for_agg(
     expr: ast.Expr, rewrites: dict[ast.Expr, ast.ColumnRef]
 ) -> ast.Expr:
     """Replace aggregate calls / computed group keys with output refs."""
-    if expr in rewrites:
-        return rewrites[expr]
-    if isinstance(expr, ast.BinaryOp):
-        return ast.BinaryOp(
-            expr.op,
-            _rewrite_for_agg(expr.left, rewrites),
-            _rewrite_for_agg(expr.right, rewrites),
-        )
-    if isinstance(expr, ast.UnaryOp):
-        return ast.UnaryOp(expr.op, _rewrite_for_agg(expr.operand, rewrites))
-    if isinstance(expr, ast.FunctionCall):
-        return ast.FunctionCall(
-            name=expr.name,
-            args=tuple(_rewrite_for_agg(a, rewrites) for a in expr.args),
-            distinct=expr.distinct,
-            star=expr.star,
-        )
-    if isinstance(expr, ast.IsNull):
-        return ast.IsNull(_rewrite_for_agg(expr.operand, rewrites), expr.negated)
-    if isinstance(expr, ast.InList):
-        return ast.InList(
-            _rewrite_for_agg(expr.operand, rewrites),
-            tuple(_rewrite_for_agg(i, rewrites) for i in expr.items),
-            expr.negated,
-        )
-    if isinstance(expr, ast.Between):
-        return ast.Between(
-            _rewrite_for_agg(expr.operand, rewrites),
-            _rewrite_for_agg(expr.low, rewrites),
-            _rewrite_for_agg(expr.high, rewrites),
-            expr.negated,
-        )
-    if isinstance(expr, ast.Like):
-        return ast.Like(
-            _rewrite_for_agg(expr.operand, rewrites),
-            _rewrite_for_agg(expr.pattern, rewrites),
-            expr.negated,
-        )
-    if isinstance(expr, ast.Case):
-        return ast.Case(
-            whens=tuple(
-                (
-                    _rewrite_for_agg(c, rewrites),
-                    _rewrite_for_agg(v, rewrites),
-                )
-                for c, v in expr.whens
-            ),
-            else_=(
-                _rewrite_for_agg(expr.else_, rewrites)
-                if expr.else_ is not None
-                else None
-            ),
-        )
-    return expr
+
+    def visit(e: ast.Expr) -> Optional[ast.Expr]:
+        if e in rewrites:
+            return rewrites[e]
+        # Subquery operands never reference aggregate output slots.
+        if isinstance(e, ast.InSubquery):
+            return e
+        return None
+
+    return ast.transform_expr(expr, visit)
 
 
 def _expand_stars(

@@ -179,6 +179,158 @@ def contains_aggregate(expr: Expr) -> bool:
     return False
 
 
+def collect_column_refs(expr: Expr) -> list[ColumnRef]:
+    """All column references in *expr*, not descending into subqueries.
+
+    Of the subquery forms only ``InSubquery``'s operand belongs to the
+    enclosing scope, so only it is walked.
+    """
+    out: list[ColumnRef] = []
+
+    def walk(e: Expr) -> None:
+        if isinstance(e, ColumnRef):
+            out.append(e)
+        elif isinstance(e, BinaryOp):
+            walk(e.left)
+            walk(e.right)
+        elif isinstance(e, UnaryOp):
+            walk(e.operand)
+        elif isinstance(e, FunctionCall):
+            for a in e.args:
+                walk(a)
+        elif isinstance(e, IsNull):
+            walk(e.operand)
+        elif isinstance(e, InList):
+            walk(e.operand)
+            for i in e.items:
+                walk(i)
+        elif isinstance(e, Between):
+            walk(e.operand)
+            walk(e.low)
+            walk(e.high)
+        elif isinstance(e, Like):
+            walk(e.operand)
+            walk(e.pattern)
+        elif isinstance(e, Case):
+            for c, v in e.whens:
+                walk(c)
+                walk(v)
+            if e.else_ is not None:
+                walk(e.else_)
+        elif isinstance(e, InSubquery):
+            walk(e.operand)
+
+    walk(expr)
+    return out
+
+
+def collect_aggregates(
+    expr: Expr, out: Optional[list[FunctionCall]] = None
+) -> list[FunctionCall]:
+    """Aggregate calls in *expr*, deduplicated by AST equality.
+
+    Does not descend into an aggregate's own arguments (nesting is the
+    planner's error to raise) nor into subquery bodies.
+    """
+    if out is None:
+        out = []
+    if isinstance(expr, FunctionCall):
+        if expr.name.upper() in AGGREGATE_FUNCTIONS:
+            if expr not in out:
+                out.append(expr)
+            return out
+        for a in expr.args:
+            collect_aggregates(a, out)
+    elif isinstance(expr, BinaryOp):
+        collect_aggregates(expr.left, out)
+        collect_aggregates(expr.right, out)
+    elif isinstance(expr, UnaryOp):
+        collect_aggregates(expr.operand, out)
+    elif isinstance(expr, IsNull):
+        collect_aggregates(expr.operand, out)
+    elif isinstance(expr, InList):
+        collect_aggregates(expr.operand, out)
+        for i in expr.items:
+            collect_aggregates(i, out)
+    elif isinstance(expr, Between):
+        for e in (expr.operand, expr.low, expr.high):
+            collect_aggregates(e, out)
+    elif isinstance(expr, Like):
+        collect_aggregates(expr.operand, out)
+    elif isinstance(expr, Case):
+        for c, v in expr.whens:
+            collect_aggregates(c, out)
+            collect_aggregates(v, out)
+        if expr.else_ is not None:
+            collect_aggregates(expr.else_, out)
+    return out
+
+
+def transform_expr(expr: Expr, visit) -> Expr:
+    """Top-down structural rewrite of an expression tree.
+
+    ``visit(node)`` may return a replacement expression -- descent stops
+    there -- or ``None`` to rebuild the node from transformed children.
+    Subquery bodies are opaque; only ``InSubquery``'s operand (which
+    belongs to the enclosing scope) is descended into.
+    """
+    replacement = visit(expr)
+    if replacement is not None:
+        return replacement
+
+    def rec(e: Expr) -> Expr:
+        return transform_expr(e, visit)
+
+    if isinstance(expr, BinaryOp):
+        return BinaryOp(expr.op, rec(expr.left), rec(expr.right))
+    if isinstance(expr, UnaryOp):
+        return UnaryOp(expr.op, rec(expr.operand))
+    if isinstance(expr, FunctionCall):
+        return FunctionCall(
+            name=expr.name,
+            args=tuple(rec(a) for a in expr.args),
+            distinct=expr.distinct,
+            star=expr.star,
+        )
+    if isinstance(expr, IsNull):
+        return IsNull(rec(expr.operand), expr.negated)
+    if isinstance(expr, InList):
+        return InList(
+            rec(expr.operand), tuple(rec(i) for i in expr.items), expr.negated
+        )
+    if isinstance(expr, Between):
+        return Between(
+            rec(expr.operand), rec(expr.low), rec(expr.high), expr.negated
+        )
+    if isinstance(expr, Like):
+        return Like(rec(expr.operand), rec(expr.pattern), expr.negated)
+    if isinstance(expr, Case):
+        return Case(
+            whens=tuple((rec(c), rec(v)) for c, v in expr.whens),
+            else_=rec(expr.else_) if expr.else_ is not None else None,
+        )
+    if isinstance(expr, InSubquery):
+        return InSubquery(rec(expr.operand), expr.select, expr.negated)
+    return expr
+
+
+def split_conjuncts(expr: Optional[Expr]) -> list[Expr]:
+    """Break a predicate into its top-level AND conjuncts."""
+    if expr is None:
+        return []
+    if isinstance(expr, BinaryOp) and expr.op == "AND":
+        return split_conjuncts(expr.left) + split_conjuncts(expr.right)
+    return [expr]
+
+
+def conjoin(conjuncts) -> Optional[Expr]:
+    """AND together a sequence of conjuncts (``None`` when empty)."""
+    result: Optional[Expr] = None
+    for c in conjuncts:
+        result = c if result is None else BinaryOp("AND", result, c)
+    return result
+
+
 # ---------------------------------------------------------------------------
 # Statements
 # ---------------------------------------------------------------------------

@@ -1,0 +1,396 @@
+"""Tests for the plan-time subquery-decorrelation rewrite.
+
+Plan shapes, rewrite-rule firing, the semantic corner cases the rewrite
+must preserve (empty groups, NULL keys, three-valued NOT IN), the safety
+conditions that make it back off, plan-pool eligibility of rewritten
+statements, and the uncorrelated IN membership probe.
+"""
+
+import pytest
+
+from repro.engine import (
+    Database,
+    default_decorrelation,
+    set_default_decorrelation,
+    use_decorrelation,
+)
+from repro.engine.decorrelate import (
+    decorrelate_select,
+    decorrelate_statement,
+    resolve_decorrelation,
+)
+from repro.engine.errors import SqlTypeError
+from repro.engine.sql import parse_statement
+
+
+def fresh_db():
+    db = Database(page_capacity=8)
+    db.execute("CREATE TABLE t (k INT, v FLOAT)")
+    db.execute("CREATE TABLE s (k INT, v FLOAT)")
+    db.insert_rows(
+        "t", [(1, 10.0), (2, 20.0), (2, 25.0), (3, 30.0), (None, 40.0)]
+    )
+    db.insert_rows("s", [(1, 10.0), (1, None), (2, 99.0), (None, 20.0)])
+    db.analyze()
+    return db
+
+
+def tags_for(db, sql):
+    statement = parse_statement(sql)
+    _, fired = decorrelate_statement(statement, db.catalog)
+    return fired
+
+
+def oracle(db, sql):
+    with use_decorrelation(False):
+        return db.prepare(sql, execution_mode="row").run_to_completion()
+
+
+class TestSwitch:
+    def test_default_is_on(self):
+        assert default_decorrelation() is True
+
+    def test_context_manager_restores(self):
+        with use_decorrelation(False):
+            assert default_decorrelation() is False
+        assert default_decorrelation() is True
+
+    def test_set_and_resolve(self):
+        set_default_decorrelation(False)
+        try:
+            assert resolve_decorrelation(None) is False
+            assert resolve_decorrelation(True) is True
+        finally:
+            set_default_decorrelation(True)
+        assert resolve_decorrelation(None) is True
+        assert resolve_decorrelation(False) is False
+
+
+class TestRuleFiring:
+    def test_scalar_aggregate_fires(self):
+        db = fresh_db()
+        assert tags_for(
+            db,
+            "SELECT t.k FROM t WHERE t.v > "
+            "(SELECT avg(s.v) FROM s WHERE s.k = t.k)",
+        ) == ("scalar-agg",)
+
+    def test_exists_fires_semi(self):
+        db = fresh_db()
+        assert tags_for(
+            db,
+            "SELECT t.k FROM t WHERE EXISTS "
+            "(SELECT 1 FROM s WHERE s.k = t.k)",
+        ) == ("semi-join",)
+
+    def test_not_exists_fires_anti(self):
+        db = fresh_db()
+        assert tags_for(
+            db,
+            "SELECT t.k FROM t WHERE NOT EXISTS "
+            "(SELECT 1 FROM s WHERE s.k = t.k)",
+        ) == ("anti-join",)
+
+    def test_in_fires(self):
+        db = fresh_db()
+        assert tags_for(
+            db,
+            "SELECT t.k FROM t WHERE t.v IN "
+            "(SELECT s.v FROM s WHERE s.k = t.k)",
+        ) == ("semi-in",)
+
+    def test_not_in_fires(self):
+        db = fresh_db()
+        assert tags_for(
+            db,
+            "SELECT t.k FROM t WHERE t.v NOT IN "
+            "(SELECT s.v FROM s WHERE s.k = t.k)",
+        ) == ("anti-in",)
+
+    def test_plan_shape_is_left_hash_join(self):
+        db = fresh_db()
+        plan = db.explain(
+            "SELECT t.k FROM t WHERE t.v > "
+            "(SELECT avg(s.v) FROM s WHERE s.k = t.k)"
+        )
+        assert "HashLeftJoin" in plan
+        assert "HashAggregate" in plan
+        assert "#dc0" in plan
+
+    def test_union_branches_decorrelate(self):
+        db = fresh_db()
+        sql = (
+            "SELECT t.k FROM t WHERE EXISTS "
+            "(SELECT 1 FROM s WHERE s.k = t.k) "
+            "UNION SELECT t.k FROM t WHERE t.v > "
+            "(SELECT avg(s.v) FROM s WHERE s.k = t.k)"
+        )
+        assert tags_for(db, sql) == ("semi-join", "scalar-agg")
+        assert db.query(sql) == oracle(db, sql)
+
+
+class TestSemanticCorners:
+    def test_count_over_empty_group_is_zero(self):
+        db = fresh_db()
+        sql = (
+            "SELECT t.k, (SELECT count(*) FROM s WHERE s.k = t.k) "
+            "FROM t ORDER BY 1"
+        )
+        rows = db.query(sql)
+        assert rows == oracle(db, sql)
+        # k=3 has no s rows; COUNT must be 0, not NULL.
+        assert (3, 0) in rows
+
+    def test_sum_over_empty_group_is_null(self):
+        db = fresh_db()
+        sql = "SELECT t.k, (SELECT sum(s.v) FROM s WHERE s.k = t.k) FROM t"
+        rows = db.query(sql)
+        assert rows == oracle(db, sql)
+        assert (3, None) in rows
+
+    def test_null_correlation_key_never_matches(self):
+        db = fresh_db()
+        # t has a NULL k; s has a NULL k with v=20 -- they must not join.
+        sql = (
+            "SELECT t.v FROM t WHERE EXISTS "
+            "(SELECT 1 FROM s WHERE s.k = t.k)"
+        )
+        rows = db.query(sql)
+        assert rows == oracle(db, sql)
+        assert (40.0,) not in rows
+
+    def test_duplicate_outer_keys_each_get_the_value(self):
+        db = fresh_db()
+        sql = (
+            "SELECT t.v, (SELECT max(s.v) FROM s WHERE s.k = t.k) "
+            "FROM t WHERE t.k = 2"
+        )
+        rows = db.query(sql)
+        assert rows == oracle(db, sql)
+        assert rows == [(20.0, 99.0), (25.0, 99.0)]
+
+    def test_not_in_with_inner_null_is_unknown(self):
+        db = fresh_db()
+        # k=1's group is {10.0, NULL}: v NOT IN it is NULL for v != 10,
+        # so no k=1 row may survive; k=3's group is empty, so NOT IN is
+        # TRUE and the row survives.
+        sql = (
+            "SELECT t.k, t.v FROM t WHERE t.v NOT IN "
+            "(SELECT s.v FROM s WHERE s.k = t.k)"
+        )
+        rows = db.query(sql)
+        assert rows == oracle(db, sql)
+        assert all(k != 1 for k, _ in rows)
+        assert (3, 30.0) in rows
+
+    def test_in_with_null_operand_is_unknown(self):
+        db = fresh_db()
+        db.execute("INSERT INTO t VALUES (1, NULL)")
+        sql = (
+            "SELECT t.k, t.v FROM t WHERE t.v IN "
+            "(SELECT s.v FROM s WHERE s.k = t.k)"
+        )
+        assert db.query(sql) == oracle(db, sql)
+
+    def test_select_list_and_order_by_share_one_join(self):
+        db = fresh_db()
+        sql = (
+            "SELECT t.k, (SELECT count(*) FROM s WHERE s.k = t.k) c "
+            "FROM t ORDER BY (SELECT count(*) FROM s WHERE s.k = t.k), t.k"
+        )
+        plan = db.explain(sql)
+        assert plan.count("HashLeftJoin") == 1
+        assert db.query(sql) == oracle(db, sql)
+
+    def test_compound_aggregate_expression(self):
+        db = fresh_db()
+        sql = (
+            "SELECT t.k FROM t WHERE t.v > "
+            "(SELECT sum(s.v) / count(s.v) FROM s WHERE s.k = t.k)"
+        )
+        assert tags_for(db, sql) == ("scalar-agg",)
+        assert db.query(sql) == oracle(db, sql)
+
+
+class TestSafetyFallbacks:
+    """Unprovable queries must pass through the rewrite untouched."""
+
+    @pytest.mark.parametrize(
+        "sql",
+        [
+            # Non-equality correlation.
+            "SELECT t.k FROM t WHERE t.v > "
+            "(SELECT avg(s.v) FROM s WHERE s.k < t.k)",
+            # LIMIT inside a scalar subquery.
+            "SELECT t.k FROM t WHERE t.v > "
+            "(SELECT avg(s.v) FROM s WHERE s.k = t.k LIMIT 1)",
+            # GROUP BY inside the subquery body.
+            "SELECT t.k FROM t WHERE EXISTS "
+            "(SELECT s.k FROM s WHERE s.k = t.k GROUP BY s.k)",
+            # No aggregate in the scalar body.
+            "SELECT t.k FROM t WHERE t.v = "
+            "(SELECT s.v FROM s WHERE s.k = t.k AND s.v IS NOT NULL)",
+            # Uncorrelated: already an init-plan, nothing to decorrelate.
+            "SELECT t.k FROM t WHERE t.v > (SELECT avg(s.v) FROM s)",
+            # Computed IN operand (could raise; scan short-circuits).
+            "SELECT t.k FROM t WHERE t.v * 2 IN "
+            "(SELECT s.v FROM s WHERE s.k = t.k)",
+            # Non-column IN value expression.
+            "SELECT t.k FROM t WHERE t.v IN "
+            "(SELECT s.v + 1 FROM s WHERE s.k = t.k)",
+        ],
+        ids=[
+            "non-equality",
+            "limit",
+            "group-by",
+            "no-aggregate",
+            "uncorrelated",
+            "computed-operand",
+            "computed-value",
+        ],
+    )
+    def test_rewrite_backs_off_and_results_match(self, sql):
+        db = fresh_db()
+        assert tags_for(db, sql) == ()
+        assert db.query(sql) == oracle(db, sql)
+
+    def test_cross_family_key_backs_off(self):
+        db = fresh_db()
+        db.execute("CREATE TABLE u (k TEXT)")
+        db.insert_rows("u", [("1",)])
+        # t.k is INT, u.k is TEXT: hash equality would silently not
+        # match where compare_values raises, so the rewrite must not
+        # fire and the error must surface unchanged.
+        sql = "SELECT t.k FROM t WHERE EXISTS (SELECT 1 FROM u WHERE u.k = t.k)"
+        assert tags_for(db, sql) == ()
+        with pytest.raises(SqlTypeError):
+            db.query(sql)
+
+    def test_rewrite_returns_input_object_on_no_op(self):
+        db = fresh_db()
+        statement = parse_statement("SELECT t.k FROM t WHERE t.v > 1")
+        rewritten, fired = decorrelate_select(statement, db.catalog)
+        assert rewritten is statement
+        assert fired == ()
+
+
+class TestPlanPoolEligibility:
+    def test_decorrelated_statement_pools(self):
+        db = fresh_db()
+        sql = (
+            "SELECT t.k FROM t WHERE t.v > "
+            "(SELECT avg(s.v) FROM s WHERE s.k = t.k)"
+        )
+        first = db.query(sql)
+        hits = db.plan_cache_hits
+        assert db.query(sql) == first
+        assert db.plan_cache_hits == hits + 1
+
+    def test_unrewritable_subquery_still_not_pooled(self):
+        db = fresh_db()
+        sql = "SELECT t.k FROM t WHERE t.v > (SELECT avg(s.v) FROM s)"
+        first = db.query(sql)
+        hits = db.plan_cache_hits
+        assert db.query(sql) == first
+        assert db.plan_cache_hits == hits
+
+    def test_decorrelation_settings_pool_separately(self):
+        db = fresh_db()
+        sql = (
+            "SELECT t.k FROM t WHERE t.v > "
+            "(SELECT avg(s.v) FROM s WHERE s.k = t.k)"
+        )
+        rows = db.query(sql)
+        with use_decorrelation(False):
+            # Different pool key; the subquery-bearing plan is not pooled.
+            assert db.query(sql) == rows
+            hits = db.plan_cache_hits
+            assert db.query(sql) == rows
+            assert db.plan_cache_hits == hits
+
+    def test_database_decorrelate_off_keeps_row_loop_plan(self):
+        db = Database(page_capacity=8, decorrelate=False)
+        db.execute("CREATE TABLE t (k INT, v FLOAT)")
+        db.execute("CREATE TABLE s (k INT, v FLOAT)")
+        db.insert_rows("t", [(1, 1.0)])
+        db.insert_rows("s", [(1, 1.0)])
+        plan = db.explain(
+            "SELECT t.k FROM t WHERE t.v > "
+            "(SELECT avg(s.v) FROM s WHERE s.k = t.k)"
+        )
+        assert "HashLeftJoin" not in plan
+
+
+class TestUncorrelatedInProbe:
+    def _db(self, small_rows):
+        db = Database(page_capacity=10, decorrelate=False)
+        db.execute("CREATE TABLE big (id INT, v FLOAT)")
+        db.execute("CREATE TABLE small (v FLOAT)")
+        db.insert_rows("big", [(i, float(i % 10)) for i in range(300)])
+        db.insert_rows("small", small_rows)
+        db.analyze()
+        return db
+
+    def test_probe_skips_per_row_comparisons(self, monkeypatch):
+        """The hashed probe does no per-row compare_values calls."""
+        import repro.engine.expr as expr_mod
+
+        calls = {"n": 0}
+        real = expr_mod.compare_values
+
+        def counting(a, b):
+            calls["n"] += 1
+            return real(a, b)
+
+        db = self._db([(3.0,), (7.0,), (None,)])
+        sql = "SELECT id FROM big WHERE v IN (SELECT v FROM small)"
+        expected = db.prepare(sql, execution_mode="row").run_to_completion()
+        monkeypatch.setattr(expr_mod, "compare_values", counting)
+        rows = db.prepare(sql, execution_mode="row").run_to_completion()
+        assert rows == expected
+        # The naive scan would do O(outer x inner) comparisons (several
+        # hundred here); the probe needs none for clean hits/misses.
+        assert calls["n"] == 0
+
+    def test_work_units_are_one_scan_each(self):
+        """The inner query charges its scan once, not once per outer row."""
+        db = self._db([(3.0,), (7.0,)])
+        sql = "SELECT id FROM big WHERE v IN (SELECT v FROM small)"
+        ex = db.prepare(sql, execution_mode="row")
+        ex.run_to_completion()
+        big_pages = db.catalog.table("big").heap.page_count
+        small_pages = db.catalog.table("small").heap.page_count
+        assert ex.work_done == pytest.approx(big_pages + small_pages)
+
+    def test_probe_matches_scan_on_mixed_type_error(self):
+        db = self._db([])
+        db.execute("CREATE TABLE names (s TEXT)")
+        db.insert_rows("names", [("x",)])
+        sql = "SELECT id FROM big WHERE v IN (SELECT s FROM names)"
+        # Comparing float with str must raise exactly as the ordered
+        # scan does (the clash precedes any possible match).
+        with pytest.raises(SqlTypeError):
+            db.prepare(sql, execution_mode="row").run_to_completion()
+
+    def test_probe_falls_back_on_nan(self):
+        nan = float("nan")
+        db = self._db([(nan,)])
+        sql = "SELECT id FROM big WHERE v IN (SELECT v FROM small)"
+        rows = db.prepare(sql, execution_mode="row").run_to_completion()
+        # compare_values treats NaN as equal to every number (engine
+        # quirk), so every big row matches; the probe must agree.
+        assert len(rows) == 300
+
+    def test_correlated_in_still_scans(self):
+        # Correlated runner: rows differ per outer row; no probe.
+        db = Database(page_capacity=10, decorrelate=False)
+        db.execute("CREATE TABLE t (k INT, v FLOAT)")
+        db.execute("CREATE TABLE s (k INT, v FLOAT)")
+        db.insert_rows("t", [(1, 1.0), (2, 2.0)])
+        db.insert_rows("s", [(1, 1.0), (2, 9.0)])
+        sql = (
+            "SELECT t.k FROM t WHERE t.v IN "
+            "(SELECT s.v FROM s WHERE s.k = t.k)"
+        )
+        rows = db.prepare(sql, execution_mode="row").run_to_completion()
+        assert rows == [(1,)]

@@ -240,9 +240,21 @@ class TestPlanCache:
         assert db.plan_cache_misses == misses + 1
 
     def test_subquery_statements_not_pooled(self):
+        # Uncorrelated: the decorrelation pass leaves it alone (it is
+        # already a run-once init-plan), so it still plans fresh.
         db = self._db()
         sql = "SELECT k FROM t p WHERE p.v > (SELECT avg(v) FROM t)"
         first = db.query(sql)
         hits = db.plan_cache_hits
         assert db.query(sql) == first
         assert db.plan_cache_hits == hits  # planned fresh both times
+
+    def test_correlated_subquery_pools_after_decorrelation(self):
+        # Correlated: the rewrite makes the statement subquery-free, so
+        # pool eligibility (decided on the rewritten form) now holds.
+        db = self._db()
+        sql = "SELECT k FROM t p WHERE p.v > (SELECT avg(v) FROM t WHERE k = p.k)"
+        first = db.query(sql)
+        hits = db.plan_cache_hits
+        assert db.query(sql) == first
+        assert db.plan_cache_hits == hits + 1

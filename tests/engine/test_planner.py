@@ -2,7 +2,7 @@
 
 import pytest
 
-from repro.engine import Database
+from repro.engine import Database, use_decorrelation
 from repro.engine.errors import PlanError
 from repro.engine.operators.joins import HashJoin, NestedLoopJoin
 from repro.engine.operators.scans import IndexScan, SeqScan
@@ -63,16 +63,38 @@ class TestAccessPaths:
         assert filters, "single-table predicate should be pushed below the join"
 
     def test_index_scan_in_correlated_subquery(self, db):
-        root = db.prepare(
-            "SELECT * FROM a WHERE a.v > "
-            "(SELECT sum(b.w) FROM b WHERE b.k = a.k)"
-        ).root
+        # The row-loop fallback path (decorrelation off) costs the
+        # subquery per outer row; this stays as the fallback for queries
+        # the rewrite cannot prove safe.
+        with use_decorrelation(False):
+            root = db.prepare(
+                "SELECT * FROM a WHERE a.v > "
+                "(SELECT sum(b.w) FROM b WHERE b.k = a.k)"
+            ).root
         # The subquery plan is held by the filter closure; check the
         # estimated cost reflects per-row subquery work instead.
         filters = find_ops(root, Filter)
         assert filters
         scan = find_ops(root, SeqScan)[0]
         assert root.est_cost > scan.est_cost * 5
+
+    def test_correlated_subquery_decorrelates_by_default(self, db):
+        sql = (
+            "SELECT * FROM a WHERE a.v > "
+            "(SELECT sum(b.w) FROM b WHERE b.k = a.k)"
+        )
+        root = db.prepare(sql).root
+        # The rewrite turns the correlated filter into a grouped LEFT
+        # hash join, far cheaper than the per-row replan...
+        joins = find_ops(root, HashJoin)
+        assert joins and joins[0].left_outer
+        with use_decorrelation(False):
+            fallback = db.prepare(sql).root
+        assert root.est_cost < fallback.est_cost
+        # ...and both shapes return the same rows.
+        with use_decorrelation(False):
+            oracle = db.prepare(sql, execution_mode="row").run_to_completion()
+        assert db.query(sql) == oracle
 
 
 class TestJoinStrategies:
