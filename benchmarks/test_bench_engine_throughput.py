@@ -26,18 +26,21 @@ from repro.workload.tpcr import TpcrConfig, generate
 BENCH_JSON = Path(__file__).resolve().parents[1] / "BENCH_engine.json"
 
 #: CI gate: batch mode must beat row mode by at least this factor on the
-#: scan-heavy queries (full scan, join+aggregate).  The acceptance target
-#: is 3x; the gate is set lower so a loaded CI runner does not flake.
+#: scan-heavy queries.  The acceptance target for the full scan is 8x
+#: under the columnar page layout; the gate is set lower so a loaded CI
+#: runner does not flake.
 MIN_SPEEDUP = 2.0
 
-#: Per-query speedup floors.  The paper query used to be exempt (its
-#: correlated subquery fell back to a per-row loop and batch mode bought
-#: nothing); now that the planner decorrelates it into a grouped LEFT
-#: join it rides the vectorized path and gets its own floor, so the
-#: batch cliff can never silently return.
+#: Per-query speedup floors.  ``full_scan`` rides the columnar fast path
+#: end to end (zero-copy column vectors into the aggregate) and measures
+#: ~20x, so its floor is 6x: dropping below that means late
+#: materialization broke, not that the runner was busy.  The paper query
+#: used to be exempt (its correlated subquery fell back to a per-row
+#: loop); now that the planner decorrelates it into a grouped LEFT join
+#: it rides the vectorized path and gets its own floor.
 GATES = {
-    "full_scan": MIN_SPEEDUP,
-    "join_aggregate": MIN_SPEEDUP,
+    "full_scan": 6.0,
+    "join_aggregate": 3.0,
     "paper_query": 2.0,
 }
 
@@ -119,6 +122,44 @@ def test_throughput_row_vs_batch(dataset):
             f"{name}: batch only {payload[name]['speedup']}x faster than "
             f"row (gate {floor}x); see {BENCH_JSON.name}"
         )
+
+
+def test_throughput_scan_rows_per_sec():
+    """Scan-rate series: rows/sec of a full columnar scan across page
+    capacities (each point its own table via the per-table capacity
+    override).  Persisted to ``BENCH_engine.json`` so the capacity/rate
+    curve is visible alongside the mode speedups."""
+    from repro.engine import Database
+
+    n_rows = 20_000
+    rows = [(i % 97, float(i % 1013) * 0.5) for i in range(n_rows)]
+    db = Database()
+    series = []
+    for cap in (10, 50, 200, 1000):
+        name = f"sweep_{cap}"
+        db.create_table(
+            f"CREATE TABLE {name} (k INT, v FLOAT)", page_capacity=cap
+        )
+        db.insert_rows(name, rows)
+        sql = f"SELECT count(*), sum(v) FROM {name}"
+        expected = db.query(sql, execution_mode="row")
+        assert db.query(sql, execution_mode="batch") == expected
+        t = _best_of(lambda: db.query(sql, execution_mode="batch"), rounds=5)
+        series.append(
+            {
+                "page_capacity": cap,
+                "rows": n_rows,
+                "ms": round(t * 1000, 4),
+                "rows_per_sec": round(n_rows / t),
+            }
+        )
+    merge_bench_json(
+        BENCH_JSON, "scan_rows_per_sec", {"series": series}
+    )
+    # Sanity floor only (absolute rates vary by machine): the columnar
+    # scan should clear 1M rows/sec at the default capacity on any box.
+    by_cap = {p["page_capacity"]: p for p in series}
+    assert by_cap[50]["rows_per_sec"] > 1_000_000
 
 
 def test_paper_query_decorrelation_fired(dataset):

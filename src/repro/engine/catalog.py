@@ -74,20 +74,29 @@ class Catalog:
         """Invalidate cached plans: a table, index, or row set changed."""
         self.stats_epoch += 1
 
-    def create_table(self, schema: TableSchema) -> Table:
+    def create_table(
+        self, schema: TableSchema, page_capacity: int | None = None
+    ) -> Table:
         """Register a new table.
+
+        *page_capacity* overrides the catalog-wide default for this table
+        (benchmarks sweep page sizes per table without rebuilding the
+        database).
 
         Raises
         ------
         CatalogError
-            If a table of that name already exists.
+            If a table of that name already exists or the capacity is
+            invalid.
         """
         key = schema.name.lower()
         if key in self._tables:
             raise CatalogError(f"table {schema.name!r} already exists")
+        if page_capacity is not None and page_capacity < 1:
+            raise CatalogError("page_capacity must be >= 1")
         table = Table(
             schema=schema,
-            heap=HeapFile(self.page_capacity),
+            heap=HeapFile(page_capacity or self.page_capacity),
             on_mutation=self.bump_stats_epoch,
         )
         self._tables[key] = table

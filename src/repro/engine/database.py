@@ -399,7 +399,9 @@ class Database:
         """Replace a table's heap contents and rebuild its indexes."""
         from repro.engine.storage import HeapFile
 
-        table.heap = HeapFile(self.catalog.page_capacity)
+        # Keep the table's own capacity: it may differ from the catalog
+        # default when created via ``create_table(..., page_capacity=...)``.
+        table.heap = HeapFile(table.heap.page_capacity)
         index_positions = {
             name: table.schema.column_position(index.column)
             for name, index in table.indexes.items()
@@ -447,7 +449,9 @@ class Database:
             count += 1
         return count
 
-    def _run_create_table(self, statement: ast.CreateTable) -> Table:
+    def _run_create_table(
+        self, statement: ast.CreateTable, page_capacity: int | None = None
+    ) -> Table:
         columns = [
             Column(
                 name=c.name,
@@ -456,7 +460,23 @@ class Database:
             )
             for c in statement.columns
         ]
-        return self.catalog.create_table(TableSchema.of(statement.name, columns))
+        return self.catalog.create_table(
+            TableSchema.of(statement.name, columns), page_capacity=page_capacity
+        )
+
+    def create_table(self, ddl: str, page_capacity: int | None = None) -> Table:
+        """Run a CREATE TABLE statement with an optional per-table page
+        capacity override (used by benchmarks to sweep page sizes).
+
+        Raises
+        ------
+        PlanError
+            If *ddl* is not a CREATE TABLE statement.
+        """
+        statement = parse_statement(ddl)
+        if not isinstance(statement, ast.CreateTable):
+            raise PlanError("create_table expects a CREATE TABLE statement")
+        return self._run_create_table(statement, page_capacity=page_capacity)
 
     # ------------------------------------------------------------------
     # Maintenance utilities

@@ -293,7 +293,10 @@ class QueryExecution:
                     self.progress.mark_finished()
                     consumed_at_finish = self.account.total - start
                     break
-                self.rows.extend(batch)
+                # Columnar chunks materialize to row tuples exactly here --
+                # the query output is the last pipeline breaker.
+                tuples = getattr(batch, "tuples", None)
+                self.rows.extend(tuples() if tuples is not None else batch)
                 self._debt = debt_start + (self.account.total - start)
                 self._maybe_checkpoint()
         else:

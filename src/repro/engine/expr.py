@@ -31,6 +31,7 @@ from typing import Any, Callable, Optional, Sequence
 from repro.engine.errors import ExecutionError, PlanError, SqlTypeError
 from repro.engine.sql import ast
 from repro.engine.types import compare_values, is_numeric
+from repro.engine.vector import Chunk
 
 # ---------------------------------------------------------------------------
 # Row layout and evaluation environment
@@ -154,8 +155,38 @@ def slot_expr(idx: int) -> BoundExpr:
     def fn(env: Env) -> Any:
         return env.row[idx]
 
-    fn.batch = lambda rows, outer_env: [row[idx] for row in rows]
+    fn.batch = _column_batch(idx)
+    fn.slot = idx
     return fn
+
+
+def _column_batch(idx: int) -> BatchExpr:
+    """The batch form of a bare current-row column reference.
+
+    On a columnar :class:`Chunk` this is the stored column itself (zero
+    copy when the chunk carries no selection); on a plain list of row
+    tuples it gathers the slot per row.
+    """
+
+    def _col(rows, outer_env, idx=idx):
+        if type(rows) is Chunk:
+            return rows.column(idx)
+        return [row[idx] for row in rows]
+
+    return _col
+
+
+def _subset(rows, idxs: list):
+    """The rows at (relative) positions *idxs*, staying columnar when
+    possible.
+
+    Selective evaluation (AND/OR right sides, CASE branches, IN items)
+    re-evaluates sub-expressions on row subsets; narrowing a chunk's
+    selection keeps those evaluations on column vectors.
+    """
+    if type(rows) is Chunk:
+        return rows.take(idxs)
+    return [rows[i] for i in idxs]
 
 
 _SUBQUERY_NODES = (ast.ScalarSubquery, ast.ExistsSubquery, ast.InSubquery)
@@ -758,7 +789,7 @@ def _bind_batch(expr: ast.Expr, ctx: BindContext) -> BatchExpr:
     if isinstance(expr, ast.ColumnRef):
         depth, idx = ctx.resolve(expr.name, expr.qualifier)
         if depth == 0:
-            return lambda rows, outer_env: [row[idx] for row in rows]
+            return _column_batch(idx)
 
         def _outer_col(rows, outer_env, depth=depth, idx=idx):
             if outer_env is None:
@@ -813,7 +844,7 @@ def _bind_batch(expr: ast.Expr, ctx: BindContext) -> BatchExpr:
             cols = [a(rows, outer_env) for a in args]
             try:
                 if not cols:
-                    return [fn() for _ in rows]
+                    return [fn() for _ in range(len(rows))]
                 return [fn(*vals) for vals in zip(*cols)]
             except (TypeError, AttributeError) as exc:
                 raise SqlTypeError(f"bad arguments to {name}: {exc}") from exc
@@ -843,7 +874,7 @@ def _bind_batch(expr: ast.Expr, ctx: BindContext) -> BatchExpr:
             for item in items:
                 if not pending:
                     break
-                matches = item([rows[i] for i in pending], outer_env)
+                matches = item(_subset(rows, pending), outer_env)
                 still = []
                 for w, i in zip(matches, pending):
                     if w is None:
@@ -922,15 +953,15 @@ def _bind_batch(expr: ast.Expr, ctx: BindContext) -> BatchExpr:
             for cond, value in whens:
                 if not pending:
                     break
-                verdicts = cond([rows[i] for i in pending], outer_env)
+                verdicts = cond(_subset(rows, pending), outer_env)
                 hits = [i for i, c in zip(pending, verdicts) if c is True]
                 if hits:
-                    results = value([rows[i] for i in hits], outer_env)
+                    results = value(_subset(rows, hits), outer_env)
                     for i, v in zip(hits, results):
                         out[i] = v
                 pending = [i for i, c in zip(pending, verdicts) if c is not True]
             if else_ is not None and pending:
-                results = else_([rows[i] for i in pending], outer_env)
+                results = else_(_subset(rows, pending), outer_env)
                 for i, v in zip(pending, results):
                     out[i] = v
             return out
@@ -955,7 +986,7 @@ def _bind_batch_binary(expr: ast.BinaryOp, ctx: BindContext) -> BatchExpr:
             out: list = [False] * n
             pending = [i for i in range(n) if lv[i] is not False]
             if pending:
-                rv = right([rows[i] for i in pending], outer_env)
+                rv = right(_subset(rows, pending), outer_env)
                 for r, i in zip(rv, pending):
                     if r is False:
                         continue
@@ -977,7 +1008,7 @@ def _bind_batch_binary(expr: ast.BinaryOp, ctx: BindContext) -> BatchExpr:
             out: list = [True] * n
             pending = [i for i in range(n) if lv[i] is not True]
             if pending:
-                rv = right([rows[i] for i in pending], outer_env)
+                rv = right(_subset(rows, pending), outer_env)
                 for r, i in zip(rv, pending):
                     if r is True:
                         continue

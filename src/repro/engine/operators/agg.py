@@ -15,6 +15,7 @@ from repro.engine.errors import PlanError, SqlTypeError
 from repro.engine.expr import BoundExpr, Env, Layout
 from repro.engine.operators.base import Operator
 from repro.engine.types import compare_values, is_numeric
+from repro.engine.vector import ColumnVector, take_values
 
 
 @dataclass
@@ -68,21 +69,63 @@ class _AggState:
     def update_batch(self, values: list) -> None:
         """Fold a whole column of values at once.
 
-        Equivalent to calling :meth:`update` per value, but SUM/AVG/COUNT
-        without DISTINCT use C-level builtins over the non-null values.
+        Equivalent to calling :meth:`update` per value, but non-DISTINCT
+        aggregates take C-level fast paths over columns whose
+        :class:`ColumnVector` metadata proves them clean:
+
+        * COUNT of a no-null column is just ``len``.
+        * SUM/AVG of a clean numeric column use ``sum(values[1:],
+          values[0])`` -- the *same* left-to-right chain of additions as
+          the scalar path (never starting from ``0.0``, which would turn
+          a leading ``-0.0`` into ``+0.0``), so float totals stay
+          bit-identical to row mode.  A per-batch ``sum()`` folded into
+          the running total afterwards would re-associate the additions
+          and drift in the last ulps.
+        * MIN/MAX use the builtins only on pure-int columns, where ``<``
+          agrees exactly with ``compare_values`` (no NaN, no cross-type
+          surprises).
         """
-        if self.seen is not None or self.spec.func in ("MIN", "MAX"):
+        columnar = type(values) is ColumnVector
+        func = self.spec.func
+        if self.seen is not None or func in ("MIN", "MAX"):
+            if (
+                self.seen is None
+                and columnar
+                and values.kind == "int"
+                and not values.has_null
+                and values
+            ):
+                extreme = min(values) if func == "MIN" else max(values)
+                self.count += len(values)
+                if self.extreme is None:
+                    self.extreme = extreme
+                elif func == "MIN":
+                    if compare_values(extreme, self.extreme) < 0:
+                        self.extreme = extreme
+                elif compare_values(extreme, self.extreme) > 0:
+                    self.extreme = extreme
+                return
             for value in values:
                 self.update(value)
             return
-        func = self.spec.func
         if func == "COUNT":
-            self.count += len(values) - values.count(None)
+            if columnar and not values.has_null:
+                self.count += len(values)
+            else:
+                self.count += len(values) - values.count(None)
             return
-        # SUM / AVG: same accumulation order as the scalar path -- one
-        # left-to-right chain of additions -- so float totals stay
-        # bit-identical to row mode.  (A per-batch ``sum()`` would
-        # re-associate the additions and drift in the last ulps.)
+        # SUM / AVG.
+        if columnar and values.is_clean_numeric:
+            if not values:
+                return
+            self.count += len(values)
+            total = self.total
+            if total is None:
+                self.total = sum(values[1:], values[0]) if len(values) > 1 else values[0]
+            else:
+                self.total = sum(values, total)
+            return
+        # Generic path: same accumulation order, per-value checks.
         count = self.count
         total = self.total
         for value in values:
@@ -394,7 +437,9 @@ class HashAggregate(Operator):
                     elif len(idxs) == len(keys):
                         state.update_batch(column)
                     else:
-                        state.update_batch([column[i] for i in idxs])
+                        # Gather the group's slice; ColumnVector metadata
+                        # carries over so the fast paths stay live.
+                        state.update_batch(take_values(column, idxs))
 
         if self._degraded and gov is not None:
             group_count = len(self._order)

@@ -13,6 +13,7 @@ from repro.engine.catalog import Table
 from repro.engine.expr import BoundExpr, Env, Layout
 from repro.engine.index import BTreeIndex
 from repro.engine.operators.base import Operator, WorkAccount
+from repro.engine.vector import Chunk
 
 
 class SeqScan(Operator):
@@ -103,12 +104,17 @@ class SeqScan(Operator):
                 yield row
 
     def batches(self, outer_env: Optional[Env] = None) -> Iterator[list]:
-        """Page-aligned batch scan.
+        """Page-aligned columnar batch scan.
 
         Batches never span pages: a page is charged exactly when its first
         row enters a batch, so a consumer that stops early (LIMIT) charges
         the same pages row mode would have.  ``batch_size`` only splits
         pages that are larger than it.
+
+        Each batch is a :class:`Chunk` sharing the page's column vectors
+        (zero copy for a whole page; a ``range`` selection for partial
+        pages, including resume offsets that land mid-page).  Zero-column
+        pages fall back to plain row lists.
         """
         resume = self._resume
         self._resume = None
@@ -123,8 +129,8 @@ class SeqScan(Operator):
             else:
                 self.account.charge(1.0)
             self.pages_read += 1
-            page_rows = page.rows
-            n = len(page_rows)
+            columns = page.columns
+            n = len(page)
             self._page_size = max(n, 1)
             self._rows_in_page = 0
             start = 0
@@ -134,7 +140,12 @@ class SeqScan(Operator):
                 self._rows_in_page = start
             while start < n:
                 end = min(start + cap, n)
-                batch = list(page_rows[start:end])
+                if not columns:
+                    batch = page.rows[start:end]
+                elif start == 0 and end == n:
+                    batch = Chunk(columns, source=page)
+                else:
+                    batch = Chunk(columns, range(start, end))
                 # Attribute downstream work on this batch to its last row,
                 # keeping the driver fraction within one batch of truth.
                 self._rows_in_page = end
@@ -143,7 +154,11 @@ class SeqScan(Operator):
                 start = end
 
     def describe(self) -> str:
-        return f"SeqScan {self.table.name} as {self.binding}"
+        heap = self.table.heap
+        return (
+            f"SeqScan {self.table.name} as {self.binding} "
+            f"[pages={heap.page_count} cap={heap.page_capacity}]"
+        )
 
 
 class IndexScan(Operator):

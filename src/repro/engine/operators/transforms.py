@@ -16,6 +16,7 @@ from typing import Iterator, Optional, Sequence
 from repro.engine.errors import SqlTypeError
 from repro.engine.expr import BoundExpr, Env, Layout, batch_eval
 from repro.engine.operators.base import Operator, WorkAccount, checkpoint_child
+from repro.engine.vector import Chunk
 
 __all__ = [
     "Concat",
@@ -100,6 +101,25 @@ class Filter(Operator):
         predicate = self.predicate
         for batch in self.child.batches(outer_env):
             verdicts = batch_eval(predicate, batch, outer_env)
+            if type(batch) is Chunk:
+                # Late materialization: keep the batch columnar and only
+                # narrow its selection -- no row tuples are built here.
+                kept = []
+                keep = kept.append
+                for i, verdict in enumerate(verdicts):
+                    if verdict is True:
+                        keep(i)
+                    elif verdict is not False and verdict is not None:
+                        raise SqlTypeError(
+                            f"WHERE/ON predicate returned "
+                            f"{type(verdict).__name__}, expected boolean"
+                        )
+                if kept:
+                    if len(kept) == len(verdicts):
+                        yield batch
+                    else:
+                        yield batch.take(kept)
+                continue
             out = []
             keep = out.append
             for row, verdict in zip(batch, verdicts):
@@ -152,10 +172,12 @@ class Project(Operator):
         exprs = self.exprs
         for batch in self.child.batches(outer_env):
             if not exprs:
-                yield [() for _ in batch]
+                yield [()] * len(batch)
                 continue
-            columns = [batch_eval(e, batch, outer_env) for e in exprs]
-            yield list(zip(*columns))
+            # Stay columnar: downstream operators (aggregates, sorts,
+            # joins, the output collector) materialize tuples only where
+            # they genuinely need whole rows.
+            yield Chunk([batch_eval(e, batch, outer_env) for e in exprs])
 
     def describe(self) -> str:
         names = ", ".join(s.name for s in self.layout.slots)

@@ -54,6 +54,9 @@ class TableStats:
     row_count: int
     page_count: int
     columns: dict[str, ColumnStats] = field(default_factory=dict)
+    #: Rows per heap page at ANALYZE time (0 when unknown, e.g. synthetic
+    #: stats): lets benchmarks confirm which capacity a sweep point ran at.
+    page_capacity: int = 0
 
     def column(self, name: str) -> ColumnStats | None:
         """Stats of one column, if collected."""
@@ -64,16 +67,25 @@ def analyze_table(table: "Table") -> TableStats:
     """Collect full statistics for *table* (a sequential scan)."""
     schema = table.schema
     row_count = table.heap.row_count
-    stats = TableStats(row_count=row_count, page_count=table.heap.page_count)
+    stats = TableStats(
+        row_count=row_count,
+        page_count=table.heap.page_count,
+        page_capacity=table.heap.page_capacity,
+    )
 
     values: list[list] = [[] for _ in schema.columns]
     nulls = [0] * len(schema.columns)
-    for _, row in table.heap.scan_rows():
-        for i, v in enumerate(row):
-            if v is None:
-                nulls[i] += 1
-            else:
-                values[i].append(v)
+    for _, page in table.heap.scan_pages():
+        for i, column in enumerate(page.columns or ()):
+            acc = values[i]
+            if not column.has_null:
+                acc.extend(column)
+                continue
+            for v in column:
+                if v is None:
+                    nulls[i] += 1
+                else:
+                    acc.append(v)
 
     for i, col in enumerate(schema.columns):
         in_order = values[i]
